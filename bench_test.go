@@ -1,0 +1,459 @@
+// Benchmarks regenerating the paper's evaluation artefacts. Each benchmark
+// corresponds to one experiment row in DESIGN.md / EXPERIMENTS.md:
+//
+//	BenchmarkMsgsSingleException  E1  §4.4 case 1: 3(N-1) messages
+//	BenchmarkMsgsAllNested        E2  §4.4 case 2: 3N(N-1) messages
+//	BenchmarkMsgsAllRaise         E3  §4.4 case 3: (N-1)(2N+1) messages
+//	BenchmarkGeneralFormula       E4  (N-1)(2P+3Q+1)
+//	BenchmarkNewVsCR              E5  O(N²) vs Campbell–Randell O(N³)
+//	BenchmarkNoExceptionOverhead  E6  zero protocol overhead
+//	BenchmarkAbortVsWait          E7  Figure 1 strategies (abort side)
+//	BenchmarkExample1/2           E8/E9 worked examples
+//	BenchmarkRecoveryForwardVsBackward E12 Figure 2 modes
+//	BenchmarkLatencyVsNestingDepth E13 abortion-handler delays
+//	BenchmarkChooserGroupSize     ablation: §4.4 fault-tolerance extension
+//	BenchmarkTransportRawVsReliable ablation: §4.5 transport layers
+//
+// Message counts are attached as the "msgs/op" metric so the complexity
+// tables can be read straight from `go test -bench`.
+package caa_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crbaseline"
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+)
+
+// simCase builds and drains one deterministic (n,p,q) protocol run,
+// returning total messages.
+func simCase(b *testing.B, n, p, q, chooserGroup int) int {
+	sim := protocol.NewSim()
+	tb := exception.NewBuilder("root")
+	for i := 1; i <= n; i++ {
+		tb.Add(fmt.Sprintf("E%d", i), "root")
+	}
+	tree := tb.MustBuild()
+	all := make([]ident.ObjectID, n)
+	for i := range all {
+		all[i] = ident.ObjectID(i + 1)
+		e := sim.AddEngine(all[i])
+		if chooserGroup > 1 {
+			e.SetChooserGroup(chooserGroup)
+		}
+	}
+	if err := sim.EnterAll(protocol.Frame{
+		Action: 1, Path: []ident.ActionID{1}, Members: all, Tree: tree,
+	}, all...); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < q; i++ {
+		obj := all[p+i]
+		na := ident.ActionID(100 + i)
+		if err := sim.EnterAll(protocol.Frame{
+			Action: na, Path: []ident.ActionID{1, na},
+			Members: []ident.ObjectID{obj}, Tree: tree,
+		}, obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < p; i++ {
+		if _, err := sim.Engines[all[i]].RaiseLocal(fmt.Sprintf("E%d", i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sim.Drain(100_000_000); err != nil {
+		b.Fatal(err)
+	}
+	return sim.Log.TotalSends()
+}
+
+// BenchmarkMsgsSingleException regenerates E1 (§4.4 case 1).
+func BenchmarkMsgsSingleException(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				msgs = simCase(b, n, 1, 0, 1)
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+			b.ReportMetric(float64(protocol.PredictMessages(n, 1, 0)), "paper-msgs/op")
+		})
+	}
+}
+
+// BenchmarkMsgsAllNested regenerates E2 (§4.4 case 2).
+func BenchmarkMsgsAllNested(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				msgs = simCase(b, n, 1, n-1, 1)
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+			b.ReportMetric(float64(3*n*(n-1)), "paper-msgs/op")
+		})
+	}
+}
+
+// BenchmarkMsgsAllRaise regenerates E3 (§4.4 case 3).
+func BenchmarkMsgsAllRaise(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				msgs = simCase(b, n, n, 0, 1)
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+			b.ReportMetric(float64((n-1)*(2*n+1)), "paper-msgs/op")
+		})
+	}
+}
+
+// BenchmarkGeneralFormula regenerates E4 on a few representative points.
+func BenchmarkGeneralFormula(b *testing.B) {
+	for _, pq := range [][3]int{{8, 1, 0}, {8, 4, 0}, {8, 1, 7}, {8, 4, 4}, {16, 8, 8}} {
+		n, p, q := pq[0], pq[1], pq[2]
+		b.Run(fmt.Sprintf("N=%d/P=%d/Q=%d", n, p, q), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				msgs = simCase(b, n, p, q, 1)
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+			b.ReportMetric(float64(protocol.PredictMessages(n, p, q)), "paper-msgs/op")
+		})
+	}
+}
+
+// BenchmarkNewVsCR regenerates E5: the new algorithm versus the
+// Campbell–Randell baseline on the domino scenario (chain tree of depth 2N,
+// alternating reduced trees).
+func BenchmarkNewVsCR(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("new/N=%d", n), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				msgs = simCase(b, n, 1, 0, 1)
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+		})
+		b.Run(fmt.Sprintf("cr/N=%d", n), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				cfg, err := crbaseline.DominoChainConfig(2*n, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := crbaseline.Run(cfg, map[ident.ObjectID]string{
+					ident.ObjectID(n): fmt.Sprintf("e%d", 2*n),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Messages
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkNoExceptionOverhead regenerates E6: full-stack action execution
+// with no exception — the protocol must contribute zero messages.
+func BenchmarkNoExceptionOverhead(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				res, err := scenario.RunNoException(n, 2, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Total
+			}
+			b.ReportMetric(float64(msgs), "protocol-msgs/op")
+		})
+	}
+}
+
+// BenchmarkAbortVsWait regenerates the measurable half of E7: end-to-end
+// latency of the abort-nested strategy with a belated participant. (The
+// wait strategy never terminates in this workload — see TestWaitForNested-
+// PolicyBlocksOnBelated and `experiments -exp e7`.)
+func BenchmarkAbortVsWait(b *testing.B) {
+	b.Run("abort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := scenario.RunBelated(core.AbortNestedActions, 30*time.Second)
+			if err != nil || !out.Completed {
+				b.Fatalf("outcome %+v err %v", out, err)
+			}
+		}
+	})
+}
+
+// BenchmarkExample1 regenerates E8's exchange.
+func BenchmarkExample1(b *testing.B) {
+	msgs := 0
+	for i := 0; i < b.N; i++ {
+		msgs = simCase(b, 3, 2, 0, 1)
+	}
+	b.ReportMetric(float64(msgs), "msgs/op")
+}
+
+// BenchmarkExample2 regenerates E9's exchange (nested elimination, belated
+// participant, abortion signal).
+func BenchmarkExample2(b *testing.B) {
+	msgs := 0
+	for i := 0; i < b.N; i++ {
+		sim := protocol.NewSim()
+		tree := exception.NewBuilder("universal").
+			Add("E1", "universal").Add("E2", "universal").Add("E3", "universal").MustBuild()
+		all := []ident.ObjectID{1, 2, 3, 4}
+		for _, o := range all {
+			sim.AddEngine(o)
+		}
+		mustEnter := func(f protocol.Frame, objs ...ident.ObjectID) {
+			if err := sim.EnterAll(f, objs...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mustEnter(protocol.Frame{Action: 1, Path: []ident.ActionID{1}, Members: all, Tree: tree}, all...)
+		mustEnter(protocol.Frame{Action: 2, Path: []ident.ActionID{1, 2},
+			Members: []ident.ObjectID{2, 3, 4}, Tree: tree}, 2, 3, 4)
+		mustEnter(protocol.Frame{Action: 3, Path: []ident.ActionID{1, 2, 3},
+			Members: []ident.ObjectID{2, 3}, Tree: tree}, 2)
+		sim.SetAbortSignal(2, 1, "E3")
+		if _, err := sim.Engines[2].RaiseLocal("E2"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Engines[1].RaiseLocal("E1"); err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Drain(100000); err != nil {
+			b.Fatal(err)
+		}
+		msgs = sim.Log.TotalSends()
+	}
+	b.ReportMetric(float64(msgs), "msgs/op")
+}
+
+// BenchmarkRecoveryForwardVsBackward regenerates E12 (Figure 2).
+func BenchmarkRecoveryForwardVsBackward(b *testing.B) {
+	b.Run("forward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scenario.RunForwardRecovery(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("backward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scenario.RunBackwardRecovery(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLatencyVsNestingDepth regenerates E13: resolution latency grows
+// with nesting depth because abortion handlers run serially down the chain.
+func BenchmarkLatencyVsNestingDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := scenario.Run(scenario.Spec{
+					N: 3, P: 1, Q: 2, Depth: depth,
+					RaiseDelay:   time.Millisecond,
+					AbortionCost: 200 * time.Microsecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Outcome.Completed {
+					b.Fatalf("outcome %+v", res.Outcome)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChooserGroupSize is the ablation for the §4.4 fault-tolerance
+// extension: the message cost of k resolvers is a constant factor.
+func BenchmarkChooserGroupSize(b *testing.B) {
+	const n, p = 8, 4
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				msgs = simCase(b, n, p, 0, k)
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkTransportRawVsReliable is the §4.5 transport ablation: the
+// resolution running over the assumed-reliable network versus over a lossy
+// network healed by the reliable-delivery layer (retransmission cost shows
+// up as wall-clock latency, not protocol messages).
+func BenchmarkTransportRawVsReliable(b *testing.B) {
+	run := func(b *testing.B, opts core.Options) {
+		members := []ident.ObjectID{1, 2, 3}
+		tree := exception.NewBuilder("omega").MustBuild()
+		noop := core.HandlerSet{Default: func(*core.RecoveryContext, exception.Exception) (string, error) {
+			return "", nil
+		}}
+		handlers := map[ident.ObjectID]core.HandlerSet{1: noop, 2: noop, 3: noop}
+		for i := 0; i < b.N; i++ {
+			sys := core.NewSystem(opts)
+			def := core.Definition{
+				Spec: core.ActionSpec{
+					Name: "bench", Tree: tree, Members: members, Handlers: handlers,
+				},
+				Bodies: map[ident.ObjectID]core.Body{
+					1: func(ctx *core.Context) error { ctx.Raise("omega"); return nil },
+					2: func(ctx *core.Context) error { ctx.Sleep(time.Hour); return nil },
+					3: func(ctx *core.Context) error { ctx.Sleep(time.Hour); return nil },
+				},
+			}
+			out, err := sys.Run(def)
+			if err != nil || !out.Completed {
+				sys.Close()
+				b.Fatalf("outcome %+v err %v", out, err)
+			}
+			sys.Close()
+		}
+	}
+	b.Run("raw-reliable-net", func(b *testing.B) {
+		run(b, core.Options{})
+	})
+	b.Run("r3-over-reliable-net", func(b *testing.B) {
+		run(b, core.Options{
+			Transport:  core.TransportReliable,
+			Retransmit: 500 * time.Microsecond,
+		})
+	})
+	b.Run("r3-over-lossy-net-10pct-drop", func(b *testing.B) {
+		opts := core.Options{Transport: core.TransportReliable, Retransmit: 500 * time.Microsecond}
+		opts.Network.DropRate = 0.10
+		opts.Network.Seed = 7
+		run(b, opts)
+	})
+}
+
+// BenchmarkResolveTree is the micro-benchmark for the resolution operation
+// itself (the chooser's "resolve exceptions in LE_i").
+func BenchmarkResolveTree(b *testing.B) {
+	tree := exception.ChainTree(64)
+	set := []string{"e64", "e33", "e48", "e57"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Resolve(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCentralVsDecentralised is the §4.5 ablation (E14): a designated
+// manager resolving centrally versus the paper's decentralised algorithm.
+// Message counts are the metric; the centralised variant is linear in N but
+// adds hops and a single point of failure.
+func BenchmarkCentralVsDecentralised(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("central/N=%d/P=all", n), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				tb := exception.NewBuilder("root")
+				for j := 1; j <= n; j++ {
+					tb.Add(fmt.Sprintf("E%d", j), "root")
+				}
+				members := make([]ident.ObjectID, n)
+				for j := range members {
+					members[j] = ident.ObjectID(j + 1)
+				}
+				cs, err := protocol.NewCentralSim(tb.MustBuild(), members)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 2; j <= n; j++ {
+					if _, err := cs.Raise(ident.ObjectID(j), fmt.Sprintf("E%d", j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := cs.Drain(1_000_000); err != nil {
+					b.Fatal(err)
+				}
+				msgs = cs.Log.TotalSends()
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+		})
+		b.Run(fmt.Sprintf("decentral/N=%d/P=all", n), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				msgs = simCase(b, n, n, 0, 1)
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkCompetingActions measures the competitive-concurrency path: two
+// concurrent CA actions contending for one atomic object with wait-die
+// back-off (§3's second kind of concurrency).
+func BenchmarkCompetingActions(b *testing.B) {
+	sys := core.NewSystem(core.Options{})
+	defer sys.Close()
+	seed := sys.Store().Begin()
+	if err := seed.Write("ctr", 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	tree := exception.NewBuilder("f").MustBuild()
+	noop := core.HandlerSet{Default: func(*core.RecoveryContext, exception.Exception) (string, error) {
+		return "", nil
+	}}
+	mkDef := func() core.Definition {
+		return core.Definition{
+			Spec: core.ActionSpec{
+				Name: "bench-compete", Tree: tree,
+				Members:  []ident.ObjectID{1},
+				Handlers: map[ident.ObjectID]core.HandlerSet{1: noop},
+			},
+			Bodies: map[ident.ObjectID]core.Body{
+				1: func(ctx *core.Context) error {
+					for {
+						err := ctx.Update("ctr", func(v any) (any, error) {
+							return v.(int) + 1, nil
+						})
+						if err == nil {
+							return nil
+						}
+						ctx.Sleep(100 * time.Microsecond)
+					}
+				},
+			},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < 2; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := sys.Run(mkDef()); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

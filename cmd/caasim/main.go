@@ -1,0 +1,106 @@
+// Command caasim runs one ad-hoc CA-action scenario over the full simulated
+// distributed stack and reports the outcome, the protocol-message census and
+// the paper's closed-form prediction for the observed parameters.
+//
+// Examples:
+//
+//	caasim -n 8 -p 2                    # 8 objects, 2 concurrent raisers
+//	caasim -n 6 -p 1 -q 3 -depth 2     # 3 objects nested two deep
+//	caasim -n 4 -p 1 -latency 2ms      # with network latency
+//	caasim -n 3 -p 1 -policy wait -timeout 1s -belated
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "caasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("caasim", flag.ContinueOnError)
+	var (
+		n          = fs.Int("n", 4, "participating objects")
+		p          = fs.Int("p", 1, "objects raising exceptions concurrently")
+		q          = fs.Int("q", 0, "objects inside nested actions")
+		depth      = fs.Int("depth", 1, "nesting depth for the -q objects")
+		latency    = fs.Duration("latency", 0, "one-way network latency")
+		raiseDelay = fs.Duration("raise-delay", 10*time.Millisecond, "delay before raising (lets nesting form)")
+		policy     = fs.String("policy", "abort", "nested-action policy: abort | wait")
+		timeout    = fs.Duration("timeout", 30*time.Second, "run timeout")
+		belated    = fs.Bool("belated", false, "run the belated-participant workload (Figure 1) instead")
+		showTrace  = fs.Bool("trace", false, "print the full event trace (paper-style message log)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pol := core.AbortNestedActions
+	switch *policy {
+	case "abort":
+	case "wait":
+		pol = core.WaitForNestedActions
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	if *belated {
+		out, err := scenario.RunBelated(pol, *timeout)
+		if errors.Is(err, core.ErrTimeout) {
+			fmt.Printf("policy=%s: run TIMED OUT after %v (resolution blocked on the belated participant)\n",
+				*policy, *timeout)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("policy=%s: completed=%v resolved=%q\n", *policy, out.Completed, out.Resolved)
+		return nil
+	}
+
+	spec := scenario.Spec{
+		N: *n, P: *p, Q: *q, Depth: *depth,
+		RaiseDelay: *raiseDelay, Latency: *latency,
+		Policy: pol, Timeout: *timeout, KeepTrace: *showTrace,
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario: N=%d P=%d Q=%d depth=%d latency=%v policy=%s\n",
+		*n, *p, *q, *depth, *latency, *policy)
+	fmt.Printf("outcome: completed=%v resolved=%q signalled=%q\n",
+		res.Outcome.Completed, res.Outcome.Resolved, res.Outcome.Signalled)
+	fmt.Printf("elapsed: %v\n", res.Elapsed.Round(time.Microsecond))
+
+	kinds := make([]string, 0, len(res.Census))
+	for k := range res.Census {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Println("protocol messages:")
+	for _, k := range kinds {
+		fmt.Printf("  %-16s %d\n", k, res.Census[k])
+	}
+	fmt.Printf("  %-16s %d\n", "total", res.Total)
+	fmt.Printf("observed P=%d Q=%d -> paper's prediction (N-1)(2P+3Q+1) = %d  [match: %v]\n",
+		res.ObservedP, res.ObservedQ, res.Predicted, res.Predicted == res.Total)
+	if *showTrace {
+		fmt.Println("\nevent trace:")
+		fmt.Print(res.Trace)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunBasicScenario(t *testing.T) {
+	if err := run([]string{"-n", "3", "-p", "1", "-raise-delay", "1ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNestedScenario(t *testing.T) {
+	if err := run([]string{"-n", "4", "-p", "1", "-q", "2", "-depth", "2", "-raise-delay", "20ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBelatedWaitTimesOut(t *testing.T) {
+	if err := run([]string{"-belated", "-policy", "wait", "-timeout", "200ms"}); err != nil {
+		t.Fatal(err) // timeout is reported, not returned as an error
+	}
+}
+
+func TestRunBelatedAbort(t *testing.T) {
+	if err := run([]string{"-belated", "-policy", "abort"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadPolicy(t *testing.T) {
+	if err := run([]string{"-policy", "nonsense"}); err == nil {
+		t.Fatal("bad policy must error")
+	}
+}
+
+func TestRunInvalidSpec(t *testing.T) {
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Fatal("invalid spec must error")
+	}
+}

@@ -1,0 +1,60 @@
+// Command caaviz renders resolution trees as Graphviz DOT, optionally
+// highlighting a raised exception set and its resolution — handy when
+// designing an action's exception context.
+//
+// Examples:
+//
+//	caaviz -tree aircraft
+//	caaviz -tree chain -size 8 -raise e5,e7
+//	caaviz -tree aircraft -raise left_engine_exception,right_engine_exception | dot -Tsvg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exception"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "caaviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("caaviz", flag.ContinueOnError)
+	var (
+		treeName = fs.String("tree", "aircraft", "built-in tree: aircraft | chain")
+		size     = fs.Int("size", 8, "chain length for -tree chain")
+		raise    = fs.String("raise", "", "comma-separated raised exceptions to highlight")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tree *exception.Tree
+	switch *treeName {
+	case "aircraft":
+		tree = exception.AircraftTree()
+	case "chain":
+		tree = exception.ChainTree(*size)
+	default:
+		return fmt.Errorf("unknown tree %q", *treeName)
+	}
+
+	var highlight []string
+	if *raise != "" {
+		raised := strings.Split(*raise, ",")
+		resolved, err := tree.Resolve(raised)
+		if err != nil {
+			return err
+		}
+		highlight = append(raised, resolved)
+		fmt.Fprintf(os.Stderr, "resolve(%s) = %s\n", *raise, resolved)
+	}
+	return tree.WriteDOT(out, *treeName, highlight...)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunAircraft(t *testing.T) {
+	if err := run([]string{"-tree", "aircraft"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChainWithRaise(t *testing.T) {
+	if err := run([]string{"-tree", "chain", "-size", "6", "-raise", "e4,e6"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownTree(t *testing.T) {
+	if err := run([]string{"-tree", "nope"}, os.Stdout); err == nil {
+		t.Fatal("unknown tree must error")
+	}
+}
+
+func TestRunUnknownRaise(t *testing.T) {
+	if err := run([]string{"-tree", "aircraft", "-raise", "bogus"}, os.Stdout); err == nil {
+		t.Fatal("unknown raised exception must error")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "e8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run([]string{"-exp", "e11", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "e99"}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}

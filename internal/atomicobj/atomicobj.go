@@ -1,0 +1,325 @@
+// Package atomicobj implements the paper's external atomic objects (§3):
+// "objects that are external to the CA action and can be shared with other
+// actions and objects concurrently must be atomic and individually
+// responsible for their own integrity". It provides a transactional in-memory
+// object store with strict two-phase locking, explicit start/commit/abort
+// (the three functions the paper lets exception handlers call, Fig. 2a) and
+// nested transactions whose effects and locks are absorbed by the parent on
+// commit, matching nested CA actions having "all properties of a nested
+// transaction in the terms of atomic objects".
+//
+// Deadlocks between competing actions are avoided with the wait-die rule:
+// an older transaction waits for a younger lock holder, a younger one is
+// refused immediately (ErrWaitDie) and is expected to abort and retry.
+package atomicobj
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by the store and transactions.
+var (
+	// ErrNoSuchObject is returned by Read for a key never written.
+	ErrNoSuchObject = errors.New("atomicobj: no such object")
+	// ErrTxnDone is returned when operating on a committed or aborted txn.
+	ErrTxnDone = errors.New("atomicobj: transaction already finished")
+	// ErrWaitDie is returned when a younger transaction requests a lock held
+	// by an older one; the caller should abort and retry.
+	ErrWaitDie = errors.New("atomicobj: lock refused (wait-die), abort and retry")
+	// ErrActiveChildren is returned by Commit on a txn with live children
+	// (Abort instead cascades into them).
+	ErrActiveChildren = errors.New("atomicobj: transaction has active children")
+)
+
+// TxnState is the lifecycle state of a transaction.
+type TxnState int
+
+// Transaction states.
+const (
+	TxnActive TxnState = iota + 1
+	TxnCommitted
+	TxnAborted
+)
+
+// String renders the state.
+func (s TxnState) String() string {
+	switch s {
+	case TxnActive:
+		return "active"
+	case TxnCommitted:
+		return "committed"
+	case TxnAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+type object struct {
+	value  any
+	exists bool
+	owner  *Txn // topmost lock acquirer; nil when free
+}
+
+// Store is a transactional object store. The zero value is not usable;
+// construct with NewStore.
+type Store struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	objects map[string]*object
+	nextID  int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{objects: make(map[string]*object)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Begin starts a new top-level transaction.
+func (s *Store) Begin() *Txn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return &Txn{store: s, id: s.nextID, root: s.nextID, state: TxnActive}
+}
+
+// Snapshot returns a copy of the committed values of all existing objects.
+// Intended for tests and examples; it does not acquire locks and therefore
+// observes whatever the current (possibly uncommitted) state is.
+func (s *Store) Snapshot() map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]any, len(s.objects))
+	for k, o := range s.objects {
+		if o.exists {
+			out[k] = o.value
+		}
+	}
+	return out
+}
+
+type undoRec struct {
+	key     string
+	prev    any
+	existed bool
+}
+
+// Txn is a (possibly nested) transaction. All methods are safe for use from
+// a single goroutine; a transaction must not be shared between goroutines.
+type Txn struct {
+	store    *Store
+	id       int64
+	root     int64 // root ancestor's id, used for wait-die priority
+	parent   *Txn
+	state    TxnState
+	undo     []undoRec
+	acquired []string // keys this txn newly locked
+	children []*Txn   // live (active) child transactions
+}
+
+// ID returns the transaction's unique identifier.
+func (t *Txn) ID() int64 { return t.id }
+
+// State returns the lifecycle state.
+func (t *Txn) State() TxnState {
+	t.store.mu.Lock()
+	defer t.store.mu.Unlock()
+	return t.state
+}
+
+// BeginChild starts a nested transaction. The child's effects become the
+// parent's on commit and vanish on abort.
+func (t *Txn) BeginChild() (*Txn, error) {
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.state != TxnActive {
+		return nil, ErrTxnDone
+	}
+	s.nextID++
+	child := &Txn{store: s, id: s.nextID, root: t.root, parent: t, state: TxnActive}
+	t.children = append(t.children, child)
+	return child, nil
+}
+
+// dropChildLocked removes a finished child from t's live list.
+func (t *Txn) dropChildLocked(child *Txn) {
+	for i, c := range t.children {
+		if c == child {
+			t.children = append(t.children[:i], t.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// Read returns the current value of key, acquiring its lock (reads lock
+// exclusively: the store provides strict isolation, not read sharing).
+func (t *Txn) Read(key string) (any, error) {
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.state != TxnActive {
+		return nil, ErrTxnDone
+	}
+	o, err := t.lockLocked(key)
+	if err != nil {
+		return nil, err
+	}
+	if !o.exists {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchObject, key)
+	}
+	return o.value, nil
+}
+
+// Write sets key to value, creating the object if necessary.
+func (t *Txn) Write(key string, value any) error {
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.state != TxnActive {
+		return ErrTxnDone
+	}
+	o, err := t.lockLocked(key)
+	if err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRec{key: key, prev: o.value, existed: o.exists})
+	o.value = value
+	o.exists = true
+	return nil
+}
+
+// Update applies f to the current value of key and writes the result back.
+func (t *Txn) Update(key string, f func(any) (any, error)) error {
+	v, err := t.Read(key)
+	if err != nil {
+		return err
+	}
+	nv, err := f(v)
+	if err != nil {
+		return err
+	}
+	return t.Write(key, nv)
+}
+
+// Commit finishes the transaction. For a nested transaction the undo log and
+// lock ownership transfer to the parent; for a top-level transaction the
+// effects become permanent and all locks are released.
+func (t *Txn) Commit() error {
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.state != TxnActive {
+		return ErrTxnDone
+	}
+	if len(t.children) > 0 {
+		return ErrActiveChildren
+	}
+	t.state = TxnCommitted
+	if t.parent != nil {
+		p := t.parent
+		p.dropChildLocked(t)
+		p.undo = append(p.undo, t.undo...)
+		for _, key := range t.acquired {
+			if o := s.objects[key]; o != nil && o.owner == t {
+				o.owner = p
+				p.acquired = append(p.acquired, key)
+			}
+		}
+		t.undo, t.acquired = nil, nil
+		return nil
+	}
+	t.releaseLocked()
+	t.undo = nil
+	return nil
+}
+
+// Abort undoes every write made by this transaction (and by its committed
+// children) and releases the locks it acquired. Live nested transactions are
+// aborted first, innermost-first — aborting a CA action aborts everything
+// running inside it.
+func (t *Txn) Abort() error {
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.state != TxnActive {
+		return ErrTxnDone
+	}
+	t.abortLocked()
+	return nil
+}
+
+// abortLocked aborts t and, recursively, its live children. Caller holds
+// store.mu.
+func (t *Txn) abortLocked() {
+	for len(t.children) > 0 {
+		t.children[len(t.children)-1].abortLocked()
+	}
+	t.state = TxnAborted
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		rec := t.undo[i]
+		if o := t.store.objects[rec.key]; o != nil {
+			o.value = rec.prev
+			o.exists = rec.existed
+		}
+	}
+	t.undo = nil
+	if t.parent != nil {
+		t.parent.dropChildLocked(t)
+	}
+	t.releaseLocked()
+}
+
+// lockLocked acquires key's lock for t (wait-die). Caller holds store.mu.
+func (t *Txn) lockLocked(key string) (*object, error) {
+	s := t.store
+	o, ok := s.objects[key]
+	if !ok {
+		o = &object{}
+		s.objects[key] = o
+	}
+	for {
+		switch {
+		case o.owner == nil:
+			o.owner = t
+			t.acquired = append(t.acquired, key)
+			return o, nil
+		case o.owner == t || t.hasAncestor(o.owner):
+			return o, nil
+		case t.root < o.owner.root:
+			// Older transaction waits for the younger holder.
+			s.cond.Wait()
+			if t.state != TxnActive {
+				return nil, ErrTxnDone
+			}
+		default:
+			// Younger transaction dies rather than waits.
+			return nil, fmt.Errorf("%w: key %q held by txn %d", ErrWaitDie, key, o.owner.id)
+		}
+	}
+}
+
+// hasAncestor reports whether a is an ancestor of t.
+func (t *Txn) hasAncestor(a *Txn) bool {
+	for cur := t.parent; cur != nil; cur = cur.parent {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseLocked frees every lock acquired by t. Caller holds store.mu.
+func (t *Txn) releaseLocked() {
+	for _, key := range t.acquired {
+		if o := t.store.objects[key]; o != nil && o.owner == t {
+			o.owner = nil
+		}
+	}
+	t.acquired = nil
+	t.store.cond.Broadcast()
+}

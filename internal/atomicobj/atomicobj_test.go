@@ -1,0 +1,487 @@
+package atomicobj
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadMissing(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	if _, err := tx.Read("nope"); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("want ErrNoSuchObject, got %v", err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadCommit(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	if err := tx.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.Read("a")
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("read = %v, %v", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot()["a"]; got.(int) != 1 {
+		t.Errorf("snapshot a = %v", got)
+	}
+	if tx.State() != TxnCommitted {
+		t.Errorf("state = %v", tx.State())
+	}
+}
+
+func TestAbortRestores(t *testing.T) {
+	s := NewStore()
+	setup := s.Begin()
+	if err := setup.Write("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := s.Begin()
+	if err := tx.Write("a", 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap["a"].(int) != 10 {
+		t.Errorf("a = %v, want 10", snap["a"])
+	}
+	if _, ok := snap["b"]; ok {
+		t.Error("b should not exist after abort")
+	}
+	if tx.State() != TxnAborted {
+		t.Errorf("state = %v", tx.State())
+	}
+}
+
+func TestOperationsAfterFinish(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("a", 1); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Write after commit: %v", err)
+	}
+	if _, err := tx.Read("a"); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Read after commit: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("double Commit: %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Abort after commit: %v", err)
+	}
+	if _, err := tx.BeginChild(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("BeginChild after commit: %v", err)
+	}
+}
+
+func TestNestedCommitIntoParent(t *testing.T) {
+	s := NewStore()
+	parent := s.Begin()
+	if err := parent.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.BeginChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Write("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Write("b", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Parent sees child's writes.
+	v, err := parent.Read("a")
+	if err != nil || v.(int) != 2 {
+		t.Fatalf("parent read a = %v, %v", v, err)
+	}
+	// Parent abort undoes both its own and the absorbed child writes.
+	if err := parent.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if _, ok := snap["a"]; ok {
+		t.Errorf("a should be gone after parent abort, got %v", snap["a"])
+	}
+	if _, ok := snap["b"]; ok {
+		t.Error("b should be gone after parent abort")
+	}
+}
+
+func TestNestedAbortKeepsParentState(t *testing.T) {
+	s := NewStore()
+	parent := s.Begin()
+	if err := parent.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.BeginChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Write("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := parent.Read("a")
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("parent read a = %v, %v; want 1", v, err)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Snapshot()["a"].(int) != 1 {
+		t.Error("committed value wrong")
+	}
+}
+
+func TestParentCannotCommitWithActiveChild(t *testing.T) {
+	s := NewStore()
+	parent := s.Begin()
+	child, err := parent.BeginChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Commit(); !errors.Is(err, ErrActiveChildren) {
+		t.Errorf("Commit with active child: %v", err)
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortCascadesIntoLiveChildren: aborting an outer transaction aborts
+// its live nested transactions first — the atomic-object face of "aborting a
+// CA action aborts the actions nested within it", in any abort order.
+func TestAbortCascadesIntoLiveChildren(t *testing.T) {
+	s := NewStore()
+	parent := s.Begin()
+	if err := parent.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.BeginChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grand, err := child.BeginChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grand.Write("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Write("c", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Abort(); err != nil {
+		t.Fatalf("cascading abort: %v", err)
+	}
+	if grand.State() != TxnAborted || child.State() != TxnAborted || parent.State() != TxnAborted {
+		t.Errorf("states = %v %v %v", parent.State(), child.State(), grand.State())
+	}
+	snap := s.Snapshot()
+	if len(snap) != 0 {
+		t.Errorf("store = %v, want empty", snap)
+	}
+	// Aborting the already-aborted child reports ErrTxnDone.
+	if err := child.Abort(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("child re-abort: %v", err)
+	}
+}
+
+func TestChildMayUseAncestorLock(t *testing.T) {
+	s := NewStore()
+	parent := s.Begin()
+	if err := parent.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.BeginChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Write("a", 2); err != nil {
+		t.Fatalf("child should write under ancestor lock: %v", err)
+	}
+	if err := child.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := parent.Read("a")
+	if v.(int) != 1 {
+		t.Errorf("child abort should restore parent's value, got %v", v)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitDieYoungerRefused(t *testing.T) {
+	s := NewStore()
+	older := s.Begin()
+	younger := s.Begin()
+	if err := older.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := younger.Write("a", 2); !errors.Is(err, ErrWaitDie) {
+		t.Fatalf("younger should die, got %v", err)
+	}
+	if err := younger.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := older.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitDieOlderWaits(t *testing.T) {
+	s := NewStore()
+	older := s.Begin()
+	younger := s.Begin()
+	if err := younger.Write("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Older blocks until younger commits.
+		done <- older.Write("a", 1)
+	}()
+	if err := younger.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("older write after younger commit: %v", err)
+	}
+	v, _ := older.Read("a")
+	if v.(int) != 1 {
+		t.Errorf("a = %v, want 1", v)
+	}
+	if err := older.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolationBetweenTopLevelTxns(t *testing.T) {
+	s := NewStore()
+	t1 := s.Begin()
+	if err := t1.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	t2 := s.Begin()
+	t3 := s.Begin()
+	if err := t2.Write("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	// t3 is younger; it must not see or touch a while t2 holds it.
+	if _, err := t3.Read("a"); !errors.Is(err, ErrWaitDie) {
+		t.Fatalf("t3 read should die, got %v", err)
+	}
+	if err := t2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := t3.Read("a")
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("t3 read after t2 abort = %v, %v; want 1", v, err)
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerializabilityCounters runs concurrent increment transactions with
+// retry-on-die and checks the final counter equals the number of successful
+// commits — the classic lost-update test.
+func TestSerializabilityCounters(t *testing.T) {
+	s := NewStore()
+	init := s.Begin()
+	if err := init.Write("ctr", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := init.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	var commitCount sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			commits := 0
+			for i := 0; i < perWorker; i++ {
+				for {
+					tx := s.Begin()
+					err := tx.Update("ctr", func(v any) (any, error) {
+						return v.(int) + 1, nil
+					})
+					if err == nil {
+						if err := tx.Commit(); err != nil {
+							t.Errorf("commit: %v", err)
+						}
+						commits++
+						break
+					}
+					if !errors.Is(err, ErrWaitDie) && !errors.Is(err, ErrTxnDone) {
+						t.Errorf("unexpected error: %v", err)
+						_ = tx.Abort()
+						break
+					}
+					_ = tx.Abort()
+				}
+			}
+			commitCount.Store(w, commits)
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	commitCount.Range(func(_, v any) bool {
+		total += v.(int)
+		return true
+	})
+	got := s.Snapshot()["ctr"].(int)
+	if got != total {
+		t.Errorf("counter = %d, commits = %d (lost update)", got, total)
+	}
+	if total != workers*perWorker {
+		t.Errorf("commits = %d, want %d", total, workers*perWorker)
+	}
+}
+
+// TestAbortAlwaysRestoresProperty: for random write sequences, abort returns
+// the store to its exact pre-transaction state.
+func TestAbortAlwaysRestoresProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		setup := s.Begin()
+		for i := 0; i < 5; i++ {
+			if err := setup.Write(fmt.Sprintf("k%d", i), rng.Intn(100)); err != nil {
+				return false
+			}
+		}
+		if err := setup.Commit(); err != nil {
+			return false
+		}
+		before := s.Snapshot()
+
+		tx := s.Begin()
+		for i := 0; i < 20; i++ {
+			key := fmt.Sprintf("k%d", rng.Intn(8)) // may create new keys
+			if err := tx.Write(key, rng.Intn(100)); err != nil {
+				return false
+			}
+		}
+		if err := tx.Abort(); err != nil {
+			return false
+		}
+		after := s.Snapshot()
+		if len(before) != len(after) {
+			return false
+		}
+		for k, v := range before {
+			if after[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestedLockTransferOnCommit(t *testing.T) {
+	s := NewStore()
+	parent := s.Begin()
+	child, err := parent.BeginChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Another (younger) txn must still be excluded: lock now owned by parent.
+	other := s.Begin()
+	if _, err := other.Read("a"); !errors.Is(err, ErrWaitDie) {
+		t.Fatalf("lock should have transferred to parent, got %v", err)
+	}
+	_ = other.Abort()
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Now free.
+	last := s.Begin()
+	if v, err := last.Read("a"); err != nil || v.(int) != 1 {
+		t.Fatalf("read after release = %v, %v", v, err)
+	}
+	_ = last.Commit()
+}
+
+func TestTxnStateString(t *testing.T) {
+	if TxnActive.String() != "active" || TxnCommitted.String() != "committed" ||
+		TxnAborted.String() != "aborted" {
+		t.Error("state strings wrong")
+	}
+	if TxnState(9).String() != "state(9)" {
+		t.Error("unknown state string wrong")
+	}
+	s := NewStore()
+	tx := s.Begin()
+	if tx.ID() == 0 {
+		t.Error("ID should be non-zero")
+	}
+	_ = tx.Abort()
+}
+
+func TestUpdateErrorPropagates(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	if err := tx.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("boom")
+	if err := tx.Update("a", func(any) (any, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("Update error = %v", err)
+	}
+	v, _ := tx.Read("a")
+	if v.(int) != 1 {
+		t.Errorf("failed update must not write, got %v", v)
+	}
+	_ = tx.Abort()
+}

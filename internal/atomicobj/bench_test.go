@@ -1,0 +1,96 @@
+package atomicobj
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkWriteCommit(b *testing.B) {
+	s := NewStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin()
+		if err := tx.Write("key", i); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteAbort(b *testing.B) {
+	s := NewStore()
+	seed := s.Begin()
+	if err := seed.Write("key", 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin()
+		if err := tx.Write("key", i); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Abort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNestedCommitChain(b *testing.B) {
+	for _, depth := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s := NewStore()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				txns := make([]*Txn, 0, depth+1)
+				txns = append(txns, s.Begin())
+				for d := 0; d < depth; d++ {
+					child, err := txns[len(txns)-1].BeginChild()
+					if err != nil {
+						b.Fatal(err)
+					}
+					txns = append(txns, child)
+				}
+				if err := txns[len(txns)-1].Write("key", i); err != nil {
+					b.Fatal(err)
+				}
+				for j := len(txns) - 1; j >= 0; j-- {
+					if err := txns[j].Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkContentionRetry(b *testing.B) {
+	s := NewStore()
+	seed := s.Begin()
+	if err := seed.Write("ctr", 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			for {
+				tx := s.Begin()
+				err := tx.Update("ctr", func(v any) (any, error) { return v.(int) + 1, nil })
+				if err == nil {
+					if err := tx.Commit(); err != nil {
+						b.Error(err)
+					}
+					break
+				}
+				_ = tx.Abort()
+			}
+		}
+	})
+}

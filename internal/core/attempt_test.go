@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+)
+
+// TestAttemptNumberVisibleToBodies: recovery-block style — a single body
+// that degrades by attempt number, retried through the acceptance test.
+func TestAttemptNumberVisibleToBodies(t *testing.T) {
+	sys := newTestSystem(t)
+	members := []ident.ObjectID{1}
+	body := func(ctx *Context) error {
+		// Primary writes an unacceptable value, the alternate a good one.
+		value := "risky"
+		if ctx.Attempt() > 1 {
+			value = "safe"
+		}
+		return ctx.Write("mode", value)
+	}
+	def := Definition{
+		Spec: ActionSpec{
+			Name: "degrading", Tree: testTree("f"), Members: members,
+			Handlers: uniformHandlers(members, defaultOnly(noopHandler)),
+			AcceptanceTest: func(view *TxnView) bool {
+				v, err := view.Read("mode")
+				return err == nil && v == "safe"
+			},
+		},
+		Bodies: map[ident.ObjectID]Body{1: body},
+	}
+	rec, err := sys.RunWithRecovery(def, []Attempt{{1: body}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Attempts != 2 || !rec.Completed {
+		t.Fatalf("recovery outcome = %+v", rec)
+	}
+	if got := sys.Store().Snapshot()["mode"]; got != "safe" {
+		t.Errorf("mode = %v", got)
+	}
+}
+
+func TestAttemptDefaultsToOne(t *testing.T) {
+	sys := newTestSystem(t)
+	members := []ident.ObjectID{1}
+	var saw int
+	def := Definition{
+		Spec: ActionSpec{
+			Name: "plain", Tree: testTree("f"), Members: members,
+			Handlers: uniformHandlers(members, defaultOnly(noopHandler)),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error { saw = ctx.Attempt(); return nil },
+		},
+	}
+	if _, err := sys.Run(def); err != nil {
+		t.Fatal(err)
+	}
+	if saw != 1 {
+		t.Errorf("Attempt() = %d, want 1", saw)
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/atomicobj"
+	"repro/internal/exception"
+	"repro/internal/ident"
+)
+
+// TestCompetingActionsSerializable runs two CA actions concurrently on one
+// system, competing for the same external atomic objects — the paper's
+// competitive concurrency. The store's wait-die locking may refuse the
+// younger action's access; its body retries until the older commits. Both
+// actions must commit and the final balance must reflect both transfers
+// (no lost updates, no deadlock).
+func TestCompetingActionsSerializable(t *testing.T) {
+	sys := newTestSystem(t)
+	seed := sys.Store().Begin()
+	if err := seed.Write("shared", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	mkDef := func(delta int) Definition {
+		members := []ident.ObjectID{1, 2}
+		return Definition{
+			Spec: ActionSpec{
+				Name: fmt.Sprintf("competing-%d", delta), Tree: testTree("fault"),
+				Members:  members,
+				Handlers: uniformHandlers(members, defaultOnly(noopHandler)),
+			},
+			Bodies: map[ident.ObjectID]Body{
+				1: func(ctx *Context) error {
+					for {
+						err := ctx.Update("shared", func(v any) (any, error) {
+							return v.(int) + delta, nil
+						})
+						if err == nil {
+							return nil
+						}
+						if errors.Is(err, atomicobj.ErrWaitDie) {
+							// The competitor (an older transaction) holds the
+							// object: back off and retry.
+							ctx.Sleep(time.Millisecond)
+							continue
+						}
+						return err
+					}
+				},
+				2: func(ctx *Context) error { return nil },
+			},
+		}
+	}
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, 2)
+	errs := make([]error, 2)
+	for i, delta := range []int{100, 10} {
+		wg.Add(1)
+		go func(i, delta int) {
+			defer wg.Done()
+			outcomes[i], errs[i] = sys.Run(mkDef(delta))
+		}(i, delta)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !outcomes[i].Completed {
+			t.Fatalf("run %d outcome: %+v", i, outcomes[i])
+		}
+	}
+	if got := sys.Store().Snapshot()["shared"]; got != 110 {
+		t.Errorf("shared = %v, want 110 (both transfers committed)", got)
+	}
+}
+
+// TestCompetingActionExceptionDoesNotLeakLocks: an action that aborts via a
+// signalled failure exception must release its locks so the competitor can
+// proceed.
+func TestCompetingActionExceptionDoesNotLeakLocks(t *testing.T) {
+	sys := newTestSystem(t)
+	seed := sys.Store().Begin()
+	if err := seed.Write("res", "free"); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	members := []ident.ObjectID{1}
+	failing := Definition{
+		Spec: ActionSpec{
+			Name: "doomed", Tree: testTree("fault"), Members: members,
+			Handlers: uniformHandlers(members, HandlerSet{
+				Default: func(*RecoveryContext, exception.Exception) (string, error) {
+					return "fault", nil // signal failure: transaction aborts
+				},
+			}),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error {
+				if err := ctx.Write("res", "doomed"); err != nil {
+					return err
+				}
+				ctx.Raise("fault")
+				return nil
+			},
+		},
+	}
+	out, err := sys.Run(failing)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Signalled != "fault" {
+		t.Fatalf("outcome = %+v", out)
+	}
+
+	// The lock must be free for a subsequent action.
+	follow := Definition{
+		Spec: ActionSpec{
+			Name: "follow", Tree: testTree("fault"), Members: members,
+			Handlers: uniformHandlers(members, defaultOnly(noopHandler)),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error { return ctx.Write("res", "taken") },
+		},
+	}
+	out2, err := sys.Run(follow)
+	if err != nil || !out2.Completed {
+		t.Fatalf("follow-up: %+v %v", out2, err)
+	}
+	if got := sys.Store().Snapshot()["res"]; got != "taken" {
+		t.Errorf("res = %v", got)
+	}
+}
+
+// TestManyCompetingActionsThroughput: a heavier competitive workload — 6
+// concurrent single-member actions incrementing one counter with retries.
+func TestManyCompetingActionsThroughput(t *testing.T) {
+	sys := newTestSystem(t)
+	seed := sys.Store().Begin()
+	if err := seed.Write("ctr", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const actions = 6
+	var wg sync.WaitGroup
+	errs := make([]error, actions)
+	for i := 0; i < actions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			def := Definition{
+				Spec: ActionSpec{
+					Name: fmt.Sprintf("inc-%d", i), Tree: testTree("f"),
+					Members:  []ident.ObjectID{1},
+					Handlers: map[ident.ObjectID]HandlerSet{1: defaultOnly(noopHandler)},
+				},
+				Bodies: map[ident.ObjectID]Body{
+					1: func(ctx *Context) error {
+						for {
+							err := ctx.Update("ctr", func(v any) (any, error) {
+								return v.(int) + 1, nil
+							})
+							if err == nil {
+								return nil
+							}
+							if errors.Is(err, atomicobj.ErrWaitDie) {
+								ctx.Sleep(500 * time.Microsecond)
+								continue
+							}
+							return err
+						}
+					},
+				},
+			}
+			out, err := sys.Run(def)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !out.Completed {
+				errs[i] = fmt.Errorf("outcome %+v", out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("action %d: %v", i, err)
+		}
+	}
+	if got := sys.Store().Snapshot()["ctr"]; got != actions {
+		t.Errorf("ctr = %v, want %d", got, actions)
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/atomicobj"
+	"repro/internal/group"
+	"repro/internal/ident"
+)
+
+// Run-level errors.
+var (
+	// ErrActionFinished is returned by transactional operations after the
+	// action's transaction committed or aborted.
+	ErrActionFinished = errors.New("core: action transaction already finished")
+	// ErrCancelled is reported when a run is torn down (context expiry).
+	ErrCancelled = errors.New("core: run cancelled")
+	// ErrSuspendedEntry is an internal condition: a nested entry was refused
+	// because an exception resolution is already under way.
+	ErrSuspendedEntry = errors.New("core: nested entry refused, resolution in progress")
+)
+
+// run is the state of one top-level CA-action execution.
+type run struct {
+	sys *System
+	def *Definition
+	dir *group.Directory
+
+	mu        sync.Mutex
+	instances map[*ActionSpec]*instance
+	byID      map[ident.ActionID]*instance
+	cancelled bool
+
+	top          *instance
+	participants map[ident.ObjectID]*participant
+	attempt      int
+}
+
+func newRun(sys *System, def *Definition) *run {
+	nextNode := func() ident.NodeID {
+		// Reuse the action counter as a global node allocator so concurrent
+		// and successive runs on one system never collide.
+		sys.mu.Lock()
+		defer sys.mu.Unlock()
+		sys.nextAction++
+		return ident.NodeID(1000 + sys.nextAction)
+	}
+	r := &run{
+		sys:          sys,
+		def:          def,
+		dir:          group.NewDirectoryWithAllocator(sys.net, nextNode),
+		instances:    make(map[*ActionSpec]*instance),
+		byID:         make(map[ident.ActionID]*instance),
+		participants: make(map[ident.ObjectID]*participant),
+	}
+	return r
+}
+
+// instanceFor returns (creating on demand) the instance of spec nested under
+// parent. The same *ActionSpec shared by all members maps to one instance.
+func (r *run) instanceFor(spec *ActionSpec, parent *instance) (*instance, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if inst, ok := r.instances[spec]; ok {
+		return inst, nil
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	id := r.sys.allocAction()
+	inst := &instance{
+		run:         r,
+		spec:        spec,
+		id:          id,
+		parent:      parent,
+		exitArrived: make(map[ident.ObjectID]bool),
+		exitDone:    make(chan struct{}),
+	}
+	if parent != nil {
+		inst.path = append(append([]ident.ActionID{}, parent.path...), id)
+		tx, err := parent.beginChild()
+		if err != nil {
+			return nil, err
+		}
+		inst.txn = tx
+	} else {
+		inst.path = []ident.ActionID{id}
+		inst.txn = r.sys.store.Begin()
+	}
+	r.instances[spec] = inst
+	r.byID[id] = inst
+	return inst, nil
+}
+
+func (r *run) instanceByID(id ident.ActionID) *instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// cancel tears the run down: every participant unwinds with ErrCancelled.
+func (r *run) cancel() {
+	r.mu.Lock()
+	if r.cancelled {
+		r.mu.Unlock()
+		return
+	}
+	r.cancelled = true
+	parts := make([]*participant, 0, len(r.participants))
+	for _, p := range r.participants {
+		parts = append(parts, p)
+	}
+	r.mu.Unlock()
+	for _, p := range parts {
+		p.setSuspendLevel(levelCancelled)
+	}
+}
+
+// instance is one action execution: the shared barrier, transaction and
+// abort bookkeeping for all its members.
+type instance struct {
+	run    *run
+	spec   *ActionSpec
+	id     ident.ActionID
+	path   []ident.ActionID
+	parent *instance
+
+	txmu    sync.Mutex
+	txn     *atomicobj.Txn
+	txnDone bool
+
+	mu           sync.Mutex
+	exitArrived  map[ident.ObjectID]bool
+	exitDone     chan struct{}
+	exitClosed   bool
+	acceptFailed bool
+	commitErr    error
+	aborted      bool
+}
+
+// beginChild starts a child transaction under this instance's transaction.
+func (i *instance) beginChild() (*atomicobj.Txn, error) {
+	i.txmu.Lock()
+	defer i.txmu.Unlock()
+	if i.txnDone {
+		return nil, ErrActionFinished
+	}
+	return i.txn.BeginChild()
+}
+
+func (i *instance) txnRead(key string) (any, error) {
+	i.txmu.Lock()
+	defer i.txmu.Unlock()
+	if i.txnDone {
+		return nil, ErrActionFinished
+	}
+	return i.txn.Read(key)
+}
+
+func (i *instance) txnWrite(key string, value any) error {
+	i.txmu.Lock()
+	defer i.txmu.Unlock()
+	if i.txnDone {
+		return ErrActionFinished
+	}
+	return i.txn.Write(key, value)
+}
+
+func (i *instance) txnUpdate(key string, f func(any) (any, error)) error {
+	i.txmu.Lock()
+	defer i.txmu.Unlock()
+	if i.txnDone {
+		return ErrActionFinished
+	}
+	return i.txn.Update(key, f)
+}
+
+// abortTxn aborts the instance's transaction (idempotent). Used when
+// abortion handlers run and when a resolution handler signals failure.
+func (i *instance) abortTxn() {
+	i.txmu.Lock()
+	if !i.txnDone {
+		i.txnDone = true
+		_ = i.txn.Abort()
+	}
+	i.txmu.Unlock()
+	// i.mu is taken after txmu is released: finishLocked holds i.mu while
+	// touching txmu, so nesting them here would invert the lock order.
+	i.mu.Lock()
+	i.aborted = true
+	i.mu.Unlock()
+}
+
+// arriveExit records obj at the completion barrier ("must leave it at the
+// same time"). When the last member arrives, the acceptance test (if any)
+// runs and the transaction commits or aborts. The returned channel closes
+// when the barrier opens.
+func (i *instance) arriveExit(obj ident.ObjectID) <-chan struct{} {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.exitArrived[obj] = true
+	if !i.exitClosed && len(i.exitArrived) == len(i.spec.Members) {
+		i.finishLocked()
+	}
+	return i.exitDone
+}
+
+// finishLocked completes the action at the barrier: acceptance test, then
+// transaction commit (into the parent for nested actions). Caller holds i.mu.
+func (i *instance) finishLocked() {
+	defer func() {
+		i.exitClosed = true
+		close(i.exitDone)
+	}()
+	if i.aborted {
+		return
+	}
+	if i.spec.AcceptanceTest != nil && !i.spec.AcceptanceTest(&TxnView{inst: i}) {
+		i.acceptFailed = true
+		i.txmu.Lock()
+		if !i.txnDone {
+			i.txnDone = true
+			_ = i.txn.Abort()
+		}
+		i.txmu.Unlock()
+		return
+	}
+	i.txmu.Lock()
+	if !i.txnDone {
+		i.txnDone = true
+		i.commitErr = i.txn.Commit()
+	}
+	i.txmu.Unlock()
+	if i.commitErr != nil {
+		i.commitErr = fmt.Errorf("commit %s: %w", i.id, i.commitErr)
+	}
+}
+
+// exitStatus reads the barrier result after exitDone closes.
+func (i *instance) exitStatus() (acceptFailed bool, err error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.acceptFailed, i.commitErr
+}

@@ -1,0 +1,487 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+)
+
+func TestNestedActionNormalCompletion(t *testing.T) {
+	sys := newTestSystem(t)
+	members := []ident.ObjectID{1, 2, 3}
+	inner := []ident.ObjectID{2, 3}
+	nested := &ActionSpec{
+		Name: "inner", Tree: testTree("ifault"), Members: inner,
+		Handlers: uniformHandlers(inner, defaultOnly(noopHandler)),
+	}
+	def := Definition{
+		Spec: ActionSpec{
+			Name: "outer", Tree: testTree("ofault"), Members: members,
+			Handlers: uniformHandlers(members, defaultOnly(noopHandler)),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error { return ctx.Write("outer", "o") },
+			2: func(ctx *Context) error {
+				res, err := ctx.Enclose(nested, func(nctx *Context) error {
+					return nctx.Write("inner", "i")
+				})
+				if err != nil {
+					return err
+				}
+				if !res.Completed {
+					return errors.New("nested did not complete")
+				}
+				// The nested write is visible in the containing action after
+				// the nested transaction committed into the parent.
+				v, err := ctx.Read("inner")
+				if err != nil || v != "i" {
+					return errors.New("nested write not visible in parent")
+				}
+				return nil
+			},
+			3: func(ctx *Context) error {
+				_, err := ctx.Enclose(nested, func(nctx *Context) error { return nil })
+				return err
+			},
+		},
+	}
+	out, err := sys.Run(def)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sys.Trace().Dump())
+	}
+	if !out.Completed {
+		t.Fatalf("outcome = %+v", out)
+	}
+	snap := sys.Store().Snapshot()
+	if snap["outer"] != "o" || snap["inner"] != "i" {
+		t.Errorf("store = %v", snap)
+	}
+}
+
+func TestNestedResolutionDoesNotDisturbOuter(t *testing.T) {
+	sys := newTestSystem(t)
+	members := []ident.ObjectID{1, 2, 3}
+	inner := []ident.ObjectID{2, 3}
+	var outerHandlerRan sync.Map
+	nested := &ActionSpec{
+		Name: "inner", Tree: testTree("ifault"), Members: inner,
+		Handlers: uniformHandlers(inner, defaultOnly(noopHandler)),
+	}
+	outerHS := HandlerSet{Default: func(rctx *RecoveryContext, resolved exception.Exception) (string, error) {
+		outerHandlerRan.Store(rctx.Object, true)
+		return "", nil
+	}}
+	def := Definition{
+		Spec: ActionSpec{
+			Name: "outer", Tree: testTree("ofault"), Members: members,
+			Handlers: uniformHandlers(members, outerHS),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error { return nil },
+			2: func(ctx *Context) error {
+				res, err := ctx.Enclose(nested, func(nctx *Context) error {
+					nctx.Raise("ifault")
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				if res.Resolved != "ifault" {
+					return errors.New("nested resolution missing: " + res.Resolved)
+				}
+				return nil
+			},
+			3: func(ctx *Context) error {
+				res, err := ctx.Enclose(nested, func(nctx *Context) error {
+					nctx.Sleep(time.Hour)
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				if res.Resolved != "ifault" {
+					return errors.New("nested resolution missing at O3")
+				}
+				return nil
+			},
+		},
+	}
+	out, err := sys.Run(def)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sys.Trace().Dump())
+	}
+	if !out.Completed || out.Resolved != "" {
+		t.Fatalf("outer outcome = %+v (nested recovery must be invisible)", out)
+	}
+	count := 0
+	outerHandlerRan.Range(func(_, _ any) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("outer handlers ran %d times, want 0", count)
+	}
+}
+
+func TestNestedSignalPropagatesToOuter(t *testing.T) {
+	sys := newTestSystem(t)
+	members := []ident.ObjectID{1, 2, 3}
+	inner := []ident.ObjectID{2, 3}
+	innerHS := HandlerSet{Default: func(*RecoveryContext, exception.Exception) (string, error) {
+		return "ofault", nil // handlers cannot recover: signal to the outer action
+	}}
+	nested := &ActionSpec{
+		Name: "inner", Tree: testTree("ifault"), Members: inner,
+		Handlers: uniformHandlers(inner, innerHS),
+	}
+	var outerResolved sync.Map
+	outerHS := HandlerSet{Default: func(rctx *RecoveryContext, resolved exception.Exception) (string, error) {
+		outerResolved.Store(rctx.Object, resolved.Name)
+		return "", nil
+	}}
+	def := Definition{
+		Spec: ActionSpec{
+			Name: "outer", Tree: testTree("ofault"), Members: members,
+			Handlers: uniformHandlers(members, outerHS),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error { ctx.Sleep(time.Hour); return nil },
+			2: func(ctx *Context) error {
+				_, err := ctx.Enclose(nested, func(nctx *Context) error {
+					nctx.Raise("ifault")
+					return nil
+				})
+				return err // unreachable: the signal path unwinds
+			},
+			3: func(ctx *Context) error {
+				_, err := ctx.Enclose(nested, func(nctx *Context) error {
+					nctx.Sleep(time.Hour)
+					return nil
+				})
+				return err
+			},
+		},
+	}
+	out, err := sys.Run(def)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sys.Trace().Dump())
+	}
+	if !out.Completed || out.Resolved != "ofault" {
+		t.Fatalf("outcome = %+v, want resolved ofault", out)
+	}
+	for _, o := range members {
+		v, ok := outerResolved.Load(o)
+		if !ok || v != "ofault" {
+			t.Errorf("outer handler at %s saw %v", o, v)
+		}
+	}
+}
+
+// TestOuterExceptionAbortsNested is Figure 1(b): an exception in the
+// containing action aborts the nested action; abortion handlers run and the
+// nested transaction is rolled back.
+func TestOuterExceptionAbortsNested(t *testing.T) {
+	sys := newTestSystem(t)
+	members := []ident.ObjectID{1, 2, 3}
+	inner := []ident.ObjectID{2, 3}
+	var aborted sync.Map
+	nested := &ActionSpec{
+		Name: "inner", Tree: testTree("ifault"), Members: inner,
+		Handlers: uniformHandlers(inner, defaultOnly(noopHandler)),
+		Abortion: map[ident.ObjectID]AbortionHandler{
+			2: func(rctx *RecoveryContext) string { aborted.Store(ident.ObjectID(2), true); return "" },
+			3: func(rctx *RecoveryContext) string { aborted.Store(ident.ObjectID(3), true); return "" },
+		},
+	}
+	var outerResolved sync.Map
+	outerHS := HandlerSet{Default: func(rctx *RecoveryContext, resolved exception.Exception) (string, error) {
+		outerResolved.Store(rctx.Object, resolved.Name)
+		return "", nil
+	}}
+	def := Definition{
+		Spec: ActionSpec{
+			Name: "outer", Tree: testTree("ofault"), Members: members,
+			Handlers: uniformHandlers(members, outerHS),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error {
+				ctx.Sleep(5 * time.Millisecond) // let 2 and 3 enter the nested action
+				ctx.Raise("ofault")
+				return nil
+			},
+			2: func(ctx *Context) error {
+				_, err := ctx.Enclose(nested, func(nctx *Context) error {
+					if err := nctx.Write("nested-data", 1); err != nil {
+						return err
+					}
+					nctx.Sleep(time.Hour)
+					return nil
+				})
+				return err
+			},
+			3: func(ctx *Context) error {
+				_, err := ctx.Enclose(nested, func(nctx *Context) error {
+					nctx.Sleep(time.Hour)
+					return nil
+				})
+				return err
+			},
+		},
+	}
+	out, err := sys.Run(def)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sys.Trace().Dump())
+	}
+	if !out.Completed || out.Resolved != "ofault" {
+		t.Fatalf("outcome = %+v", out)
+	}
+	for _, o := range inner {
+		if _, ok := aborted.Load(o); !ok {
+			t.Errorf("abortion handler did not run at %s", o)
+		}
+	}
+	if _, ok := sys.Store().Snapshot()["nested-data"]; ok {
+		t.Error("aborted nested transaction leaked a write")
+	}
+}
+
+// TestExample2EndToEnd runs §4.3 Example 2 / Figure 4 through the full
+// runtime: four objects, nested A2 ⊃ A3, O3 belated for A3, E1 and E2 raised
+// concurrently, O2's A2-abortion handler signalling E3.
+func TestExample2EndToEnd(t *testing.T) {
+	sys := newTestSystem(t)
+	all := []ident.ObjectID{1, 2, 3, 4}
+	a2members := []ident.ObjectID{2, 3, 4}
+	a3members := []ident.ObjectID{2, 3}
+	tree := testTree("E1", "E2", "E3")
+
+	a3 := &ActionSpec{
+		Name: "A3", Tree: tree, Members: a3members,
+		Handlers: uniformHandlers(a3members, defaultOnly(noopHandler)),
+	}
+	a2 := &ActionSpec{
+		Name: "A2", Tree: tree, Members: a2members,
+		Handlers: uniformHandlers(a2members, defaultOnly(noopHandler)),
+		Abortion: map[ident.ObjectID]AbortionHandler{
+			2: func(*RecoveryContext) string { return "E3" },
+		},
+	}
+	var outerResolved sync.Map
+	outerHS := HandlerSet{Default: func(rctx *RecoveryContext, resolved exception.Exception) (string, error) {
+		outerResolved.Store(rctx.Object, resolved.Name)
+		return "", nil
+	}}
+	def := Definition{
+		Spec: ActionSpec{
+			Name: "A1", Tree: tree, Members: all,
+			Handlers: uniformHandlers(all, outerHS),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error {
+				ctx.Sleep(10 * time.Millisecond) // let the nesting form
+				ctx.Raise("E1")
+				return nil
+			},
+			2: func(ctx *Context) error {
+				_, err := ctx.Enclose(a2, func(c2 *Context) error {
+					_, err := c2.Enclose(a3, func(c3 *Context) error {
+						c3.Sleep(5 * time.Millisecond)
+						c3.Raise("E2") // stalls: O3 is belated for A3
+						return nil
+					})
+					return err
+				})
+				return err
+			},
+			3: func(ctx *Context) error {
+				_, err := ctx.Enclose(a2, func(c2 *Context) error {
+					// O3 never enters A3 (belated participant).
+					c2.Sleep(time.Hour)
+					return nil
+				})
+				return err
+			},
+			4: func(ctx *Context) error {
+				_, err := ctx.Enclose(a2, func(c2 *Context) error {
+					c2.Sleep(time.Hour)
+					return nil
+				})
+				return err
+			},
+		},
+	}
+	out, err := sys.Run(def)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sys.Trace().Dump())
+	}
+	// Resolution happens at A1 over {E1, E3} (E2's nested resolution is
+	// eliminated); with a flat tree the cover is the root.
+	if !out.Completed || out.Resolved != "universal" {
+		t.Fatalf("outcome = %+v", out)
+	}
+	for _, o := range all {
+		v, ok := outerResolved.Load(o)
+		if !ok || v != "universal" {
+			t.Errorf("outer handler at %s saw %v", o, v)
+		}
+	}
+}
+
+func TestEncloseNonMember(t *testing.T) {
+	sys := newTestSystem(t)
+	members := []ident.ObjectID{1, 2}
+	nested := &ActionSpec{
+		Name: "inner", Tree: testTree("f"), Members: []ident.ObjectID{2},
+		Handlers: uniformHandlers([]ident.ObjectID{2}, defaultOnly(noopHandler)),
+	}
+	def := Definition{
+		Spec: ActionSpec{
+			Name: "outer", Tree: testTree("f"), Members: members,
+			Handlers: uniformHandlers(members, defaultOnly(noopHandler)),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error {
+				_, err := ctx.Enclose(nested, func(*Context) error { return nil })
+				if !errors.Is(err, ErrNotMember) {
+					return errors.New("want ErrNotMember")
+				}
+				return nil
+			},
+			2: func(ctx *Context) error {
+				_, err := ctx.Enclose(nested, func(*Context) error { return nil })
+				return err
+			},
+		},
+	}
+	if _, err := sys.Run(def); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestAcceptanceTestFailureAborts: failing the acceptance test aborts the
+// transaction (backward error recovery's precondition).
+func TestAcceptanceTestFailureAborts(t *testing.T) {
+	sys := newTestSystem(t)
+	members := []ident.ObjectID{1, 2}
+	def := Definition{
+		Spec: ActionSpec{
+			Name: "outer", Tree: testTree("f"), Members: members,
+			Handlers: uniformHandlers(members, defaultOnly(noopHandler)),
+			AcceptanceTest: func(view *TxnView) bool {
+				v, err := view.Read("x")
+				return err == nil && v == "good"
+			},
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error { return ctx.Write("x", "bad") },
+			2: func(ctx *Context) error { return nil },
+		},
+	}
+	out, err := sys.Run(def)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !out.AcceptanceFailed {
+		t.Fatalf("outcome = %+v, want AcceptanceFailed", out)
+	}
+	if _, ok := sys.Store().Snapshot()["x"]; ok {
+		t.Error("failed acceptance test must abort the transaction")
+	}
+}
+
+// TestRunWithRecoveryRetriesAlternate: the recovery-block behaviour of
+// Figure 2(b): primary fails the acceptance test, the alternate passes.
+func TestRunWithRecoveryRetriesAlternate(t *testing.T) {
+	sys := newTestSystem(t)
+	members := []ident.ObjectID{1, 2}
+	def := Definition{
+		Spec: ActionSpec{
+			Name: "outer", Tree: testTree("f"), Members: members,
+			Handlers: uniformHandlers(members, defaultOnly(noopHandler)),
+			AcceptanceTest: func(view *TxnView) bool {
+				v, err := view.Read("x")
+				return err == nil && v == "good"
+			},
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error { return ctx.Write("x", "bad") },
+			2: func(ctx *Context) error { return nil },
+		},
+	}
+	alternate := Attempt{
+		1: func(ctx *Context) error { return ctx.Write("x", "good") },
+		2: func(ctx *Context) error { return nil },
+	}
+	rec, err := sys.RunWithRecovery(def, []Attempt{alternate})
+	if err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+	if rec.Attempts != 2 || !rec.Completed || rec.AcceptanceFailed {
+		t.Fatalf("recovery outcome = %+v", rec)
+	}
+	if got := sys.Store().Snapshot()["x"]; got != "good" {
+		t.Errorf("x = %v, want good", got)
+	}
+}
+
+// TestWaitForNestedPolicyBlocksOnBelated is experiment E7: under Figure
+// 1(a)'s wait strategy, an exception in the containing action cannot be
+// resolved while a belated participant keeps the nested action alive — the
+// run times out. The abort strategy (default) completes.
+func TestWaitForNestedPolicyBlocksOnBelated(t *testing.T) {
+	runWith := func(policy NestedPolicy, timeout time.Duration) (Outcome, error) {
+		sys := NewSystem(Options{})
+		defer sys.Close()
+		members := []ident.ObjectID{1, 2, 3}
+		inner := []ident.ObjectID{2, 3}
+		nested := &ActionSpec{
+			Name: "inner", Tree: testTree("ifault"), Members: inner,
+			Handlers: uniformHandlers(inner, defaultOnly(noopHandler)),
+		}
+		def := Definition{
+			Spec: ActionSpec{
+				Name: "outer", Tree: testTree("ofault"), Members: members,
+				Handlers: uniformHandlers(members, defaultOnly(noopHandler)),
+				Policy:   policy,
+			},
+			Bodies: map[ident.ObjectID]Body{
+				1: func(ctx *Context) error {
+					ctx.Sleep(5 * time.Millisecond)
+					ctx.Raise("ofault")
+					return nil
+				},
+				2: func(ctx *Context) error {
+					// O2 enters the nested action and waits for O3, which
+					// never arrives (belated forever).
+					_, err := ctx.Enclose(nested, func(nctx *Context) error {
+						nctx.Sleep(time.Hour)
+						return nil
+					})
+					return err
+				},
+				3: func(ctx *Context) error {
+					// Belated: never enters the nested action.
+					ctx.Sleep(time.Hour)
+					return nil
+				},
+			},
+		}
+		return sys.RunTimeout(def, timeout)
+	}
+
+	// Abort policy: completes promptly.
+	out, err := runWith(AbortNestedActions, 5*time.Second)
+	if err != nil {
+		t.Fatalf("abort policy: %v", err)
+	}
+	if !out.Completed || out.Resolved != "ofault" {
+		t.Fatalf("abort policy outcome = %+v", out)
+	}
+
+	// Wait policy: the nested action never completes, the resolution never
+	// starts for O2, the run must time out.
+	if _, err := runWith(WaitForNestedActions, 300*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("wait policy: err = %v, want ErrTimeout", err)
+	}
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/exception"
+	"repro/internal/group"
+	"repro/internal/ident"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Suspension levels. Levels index the participant's action stack (0 =
+// outermost). levelNone means "not suspended"; levelCancelled unwinds the
+// whole body regardless of depth.
+const (
+	levelNone      = math.MaxInt32
+	levelCancelled = -1
+	levelNotParked = math.MinInt32
+)
+
+// handlerOutcome is what a resolution handler produced for one participant.
+type handlerOutcome struct {
+	action   ident.ActionID
+	resolved string
+	signal   string
+	err      error
+}
+
+// event is a local request executed on the engine goroutine.
+type event struct {
+	fn    func() error
+	reply chan error
+}
+
+// participant is one participating object: a protocol engine goroutine plus
+// a body goroutine, communicating only through events and suspension state.
+type participant struct {
+	run       *run
+	obj       ident.ObjectID
+	transport group.Transport
+	engine    *protocol.Engine
+
+	events   chan *event
+	quit     chan struct{}
+	loopDone chan struct{}
+
+	// estack mirrors the engine's action stack with run instances. Engine
+	// goroutine only.
+	estack []*instance
+
+	// Body/engine shared suspension state.
+	smu          sync.Mutex
+	parkCond     *sync.Cond
+	suspendLevel int
+	suspendCh    chan struct{}
+	parkedLevel  int
+	bodyDone     bool
+	outcomes     map[ident.ActionID]chan handlerOutcome
+}
+
+func newParticipant(r *run, obj ident.ObjectID) (*participant, error) {
+	tr, err := r.sys.newTransport(r.dir, obj)
+	if err != nil {
+		return nil, err
+	}
+	p := &participant{
+		run:          r,
+		obj:          obj,
+		transport:    tr,
+		events:       make(chan *event),
+		quit:         make(chan struct{}),
+		loopDone:     make(chan struct{}),
+		suspendLevel: levelNone,
+		suspendCh:    make(chan struct{}),
+		parkedLevel:  levelNotParked,
+		outcomes:     make(map[ident.ActionID]chan handlerOutcome),
+	}
+	p.parkCond = sync.NewCond(&p.smu)
+	p.engine = protocol.NewEngine(obj, protocol.Hooks{
+		Send:         p.hookSend,
+		Suspend:      p.hookSuspend,
+		AbortNested:  p.hookAbortNested,
+		StartHandler: p.hookStartHandler,
+		Log:          func(ev trace.Event) { r.sys.log.Record(ev) },
+	})
+	go p.loop()
+	return p, nil
+}
+
+// loop is the engine goroutine: it serialises protocol messages and local
+// events onto the engine state machine.
+func (p *participant) loop() {
+	defer close(p.loopDone)
+	for {
+		select {
+		case <-p.quit:
+			return
+		case d, ok := <-p.transport.Recv():
+			if !ok {
+				return
+			}
+			switch payload := d.Payload.(type) {
+			case protocol.Msg:
+				p.engine.HandleMessage(payload)
+			case []byte:
+				m, err := wire.Decode(payload)
+				if err != nil {
+					p.run.sys.log.Record(trace.Event{Kind: trace.EvNote, Object: p.obj,
+						Label: "decode-error", Detail: err.Error()})
+					continue
+				}
+				p.engine.HandleMessage(m)
+			}
+		case ev := <-p.events:
+			ev.reply <- ev.fn()
+		}
+	}
+}
+
+// stop terminates the engine goroutine and transport.
+func (p *participant) stop() {
+	close(p.quit)
+	<-p.loopDone
+	p.transport.Close()
+}
+
+// post runs fn on the engine goroutine and waits for its result. level is
+// the body's current action depth: if a suspension targeting that level (or
+// an outer one) arrives while the engine is busy — typically because it is
+// waiting for this very body to park before running abortion handlers — post
+// abandons the request and unwinds the body instead of deadlocking.
+func (p *participant) post(level int, fn func() error) error {
+	ev := &event{fn: fn, reply: make(chan error, 1)}
+	for {
+		susp, ch := p.suspendSnapshot()
+		if susp <= level {
+			panic(sentinel{level: susp})
+		}
+		select {
+		case p.events <- ev:
+		case <-ch:
+			continue
+		case <-p.quit:
+			panic(sentinel{level: levelCancelled})
+		}
+		break
+	}
+	for {
+		susp, ch := p.suspendSnapshot()
+		select {
+		case err := <-ev.reply:
+			return err
+		case <-ch:
+			if susp <= level {
+				// The engine may be blocked waiting for this body to park;
+				// abandon the pending reply and unwind. The event closure is
+				// suspension-aware and degrades to a no-op when it runs.
+				susp2, _ := p.suspendSnapshot()
+				panic(sentinel{level: susp2})
+			}
+		case <-p.quit:
+			panic(sentinel{level: levelCancelled})
+		}
+	}
+}
+
+// --- engine hooks (engine goroutine) ---
+
+func (p *participant) hookSend(to ident.ObjectID, m protocol.Msg) {
+	var payload any = m
+	if p.run.sys.opts.WireEncoding {
+		b, err := wire.Encode(m)
+		if err != nil {
+			p.run.sys.log.Record(trace.Event{Kind: trace.EvNote, Object: p.obj,
+				Label: "encode-error", Detail: err.Error()})
+			return
+		}
+		payload = b
+	}
+	if err := p.transport.Send(to, m.Kind, payload); err != nil {
+		p.run.sys.log.Record(trace.Event{Kind: trace.EvNote, Object: p.obj,
+			Label: "send-error", Detail: err.Error()})
+	}
+}
+
+func (p *participant) hookSuspend(action ident.ActionID) {
+	level := p.levelOf(action)
+	if level < 0 {
+		return
+	}
+	p.setSuspendLevel(level)
+}
+
+// hookAbortNested aborts every action nested within downTo: it waits for the
+// body to park at the resolution level, then runs abortion handlers
+// innermost-first and aborts their transactions. It returns the exception
+// signalled by the abortion handler of the action directly nested in downTo.
+func (p *participant) hookAbortNested(downTo ident.ActionID) string {
+	target := p.levelOf(downTo)
+	if target < 0 {
+		return ""
+	}
+	p.waitParked(target)
+
+	signal := ""
+	for idx := len(p.estack) - 1; idx > target; idx-- {
+		inst := p.estack[idx]
+		sig := ""
+		if h := inst.spec.Abortion[p.obj]; h != nil {
+			parentView := &TxnView{inst: p.estack[idx-1]}
+			sig = h(&RecoveryContext{Object: p.obj, Action: inst.id, View: parentView})
+		}
+		inst.abortTxn()
+		if idx == target+1 {
+			// Only the exception signalled by the action directly nested in
+			// the resolution level may be raised there (§4.1).
+			signal = sig
+		}
+	}
+	p.estack = p.estack[:target+1]
+	return signal
+}
+
+// hookStartHandler launches the resolved exception handler for this
+// participant on its own goroutine (the engine keeps serving messages, e.g.
+// ACKs owed to late raisers).
+func (p *participant) hookStartHandler(action ident.ActionID, exc string) {
+	inst := p.run.instanceByID(action)
+	if inst == nil {
+		return
+	}
+	go p.runHandler(inst, exc)
+}
+
+func (p *participant) runHandler(inst *instance, exc string) {
+	out := handlerOutcome{action: inst.id, resolved: exc}
+	hs := inst.spec.Handlers[p.obj]
+	h, ok := hs.Lookup(exc)
+	if !ok {
+		// Validation guarantees coverage; a miss means the resolved
+		// exception was not declared. Escalate as a failure signal.
+		out.signal = inst.spec.Tree.Root()
+		out.err = fmt.Errorf("%s: %w for resolved %q", inst.spec.Name, ErrIncompleteHandlers, exc)
+	} else {
+		rctx := &RecoveryContext{Object: p.obj, Action: inst.id, View: &TxnView{inst: inst}}
+		signal, err := h(rctx, exception.E(exc))
+		out.signal, out.err = signal, err
+	}
+	if out.signal != "" {
+		// Failure exception signalled to the containing action: the
+		// associated transaction cannot be trusted to be consistent, abort
+		// it ("the transaction ... could be aborted transparently once an
+		// exception is propagated to the containing action").
+		inst.abortTxn()
+	}
+	p.deliverOutcome(out)
+}
+
+// --- suspension / parking (shared state) ---
+
+func (p *participant) setSuspendLevel(level int) {
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	if level >= p.suspendLevel {
+		return
+	}
+	p.suspendLevel = level
+	close(p.suspendCh)
+	p.suspendCh = make(chan struct{})
+	p.parkCond.Broadcast()
+}
+
+// suspendSnapshot returns the current suspension level and its change signal.
+func (p *participant) suspendSnapshot() (int, chan struct{}) {
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	return p.suspendLevel, p.suspendCh
+}
+
+// park marks the body parked at the given level (resolution in progress
+// there) and returns the outcome channel to await.
+func (p *participant) park(level int, action ident.ActionID) chan handlerOutcome {
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	p.parkedLevel = level
+	ch, ok := p.outcomes[action]
+	if !ok {
+		ch = make(chan handlerOutcome, 1)
+		p.outcomes[action] = ch
+	}
+	p.parkCond.Broadcast()
+	return ch
+}
+
+func (p *participant) unpark() {
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	p.parkedLevel = levelNotParked
+	p.parkCond.Broadcast()
+}
+
+// waitParked blocks (engine goroutine) until the body parks at level, the
+// body finishes, or the run is cancelled.
+func (p *participant) waitParked(level int) {
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	for p.parkedLevel != level && !p.bodyDone && p.suspendLevel != levelCancelled {
+		p.parkCond.Wait()
+	}
+}
+
+// markBodyDone records that the body goroutine returned, releasing any
+// engine-side waits on parking.
+func (p *participant) markBodyDone() {
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	p.bodyDone = true
+	p.parkCond.Broadcast()
+}
+
+func (p *participant) deliverOutcome(out handlerOutcome) {
+	p.smu.Lock()
+	ch, ok := p.outcomes[out.action]
+	if !ok {
+		ch = make(chan handlerOutcome, 1)
+		p.outcomes[out.action] = ch
+	}
+	p.smu.Unlock()
+	select {
+	case ch <- out:
+	default: // duplicate outcome; keep the first
+	}
+}
+
+// levelOf returns the index of the action in the engine-side stack (engine
+// goroutine only).
+func (p *participant) levelOf(action ident.ActionID) int {
+	for i, inst := range p.estack {
+		if inst.id == action {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- engine-goroutine events posted by the body ---
+
+// enterInstance pushes the action frame; refused when a resolution already
+// covers the current level (the body is about to be terminated anyway).
+// bodyLevel is the body's depth before entering.
+func (p *participant) enterInstance(bodyLevel int, inst *instance) error {
+	return p.post(bodyLevel, func() error {
+		lvl, _ := p.suspendSnapshot()
+		if lvl <= len(p.estack)-1 {
+			return ErrSuspendedEntry
+		}
+		frame := protocol.Frame{
+			Action:  inst.id,
+			Path:    inst.path,
+			Members: inst.spec.Members,
+			Tree:    inst.spec.Tree,
+		}
+		if inst.spec.Policy == WaitForNestedActions {
+			p.engine.SetWaitForNested(true)
+		}
+		// estack must be extended BEFORE EnterAction: the engine replays
+		// messages that arrived while this object was belated, and the
+		// hooks they trigger (Suspend, AbortNested) resolve action levels
+		// through estack.
+		p.estack = append(p.estack, inst)
+		if err := p.engine.EnterAction(frame); err != nil {
+			p.estack = p.estack[:len(p.estack)-1]
+			return err
+		}
+		return nil
+	})
+}
+
+// leaveInstance pops the action frame after the completion barrier.
+// bodyLevel is the level of the action being left.
+func (p *participant) leaveInstance(bodyLevel int, inst *instance) error {
+	return p.post(bodyLevel, func() error {
+		lvl, _ := p.suspendSnapshot()
+		if lvl <= bodyLevel {
+			// A resolution is (or was) in progress at or outside this level;
+			// the frame must stay for the protocol. The body unwinds instead.
+			return ErrSuspendedEntry
+		}
+		if len(p.estack) == 0 || p.estack[len(p.estack)-1] != inst {
+			return fmt.Errorf("%w: %s not active", protocol.ErrNotInAction, inst.id)
+		}
+		if err := p.engine.LeaveAction(inst.id); err != nil {
+			return err
+		}
+		p.estack = p.estack[:len(p.estack)-1]
+		return nil
+	})
+}
+
+// raise asks the engine to raise an exception in the active action.
+// bodyLevel is the body's current depth.
+func (p *participant) raise(bodyLevel int, exc string) (accepted bool) {
+	_ = p.post(bodyLevel, func() error {
+		ok, err := p.engine.RaiseLocal(exc)
+		accepted = ok
+		return err
+	})
+	return accepted
+}

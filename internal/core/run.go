@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// ParticipantResult is one participating object's view of how the top-level
+// action finished.
+type ParticipantResult struct {
+	Completed        bool
+	Resolved         string
+	Signalled        string
+	AcceptanceFailed bool
+	Err              error
+}
+
+// Outcome aggregates a top-level CA-action run.
+type Outcome struct {
+	// Completed is true when the action finished (normally or after
+	// successful forward recovery) for every participant.
+	Completed bool
+	// Resolved is the exception that was resolved and handled ("" when the
+	// run saw no exception).
+	Resolved string
+	// Signalled is the failure exception the action's handlers signalled to
+	// the caller ("" when none).
+	Signalled string
+	// AcceptanceFailed is true when the acceptance test rejected the result
+	// (the transaction was aborted; backward recovery may retry).
+	AcceptanceFailed bool
+	// PerObject holds each participant's view.
+	PerObject map[ident.ObjectID]ParticipantResult
+}
+
+// Run errors.
+var (
+	// ErrTimeout reports that RunTimeout's deadline expired; the run was
+	// cancelled.
+	ErrTimeout = errors.New("core: run timed out")
+	// ErrDisagreement reports that participants finished with inconsistent
+	// outcomes — a protocol-invariant violation.
+	ErrDisagreement = errors.New("core: participants disagree on the outcome")
+)
+
+// Run executes a top-level CA action to completion.
+func (s *System) Run(def Definition) (Outcome, error) {
+	return s.runAttempt(def, 0, 1)
+}
+
+// RunTimeout executes a top-level CA action, cancelling the run if it does
+// not complete within d (used, e.g., to demonstrate that the
+// wait-for-nested-actions policy can block forever on belated participants).
+func (s *System) RunTimeout(def Definition, d time.Duration) (Outcome, error) {
+	return s.runAttempt(def, d, 1)
+}
+
+func (s *System) runAttempt(def Definition, timeout time.Duration, attempt int) (Outcome, error) {
+	if err := def.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	r := newRun(s, &def)
+	r.attempt = attempt
+	topInst, err := r.instanceFor(&def.Spec, nil)
+	if err != nil {
+		return Outcome{}, err
+	}
+	r.top = topInst
+
+	members := make([]ident.ObjectID, len(def.Spec.Members))
+	copy(members, def.Spec.Members)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	for _, obj := range members {
+		p, err := newParticipant(r, obj)
+		if err != nil {
+			r.cancel()
+			for _, q := range r.participants {
+				q.stop()
+			}
+			return Outcome{}, fmt.Errorf("participant %s: %w", obj, err)
+		}
+		r.participants[obj] = p
+	}
+
+	var timer *time.Timer
+	timedOut := false
+	var timedOutMu sync.Mutex
+	if timeout > 0 {
+		timer = time.AfterFunc(timeout, func() {
+			timedOutMu.Lock()
+			timedOut = true
+			timedOutMu.Unlock()
+			r.cancel()
+		})
+		defer timer.Stop()
+	}
+
+	results := make(map[ident.ObjectID]ParticipantResult, len(members))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, obj := range members {
+		p := r.participants[obj]
+		body := def.Bodies[obj]
+		wg.Add(1)
+		go func(obj ident.ObjectID, p *participant, body Body) {
+			defer wg.Done()
+			res := p.runTop(topInst, body)
+			mu.Lock()
+			results[obj] = res
+			mu.Unlock()
+		}(obj, p, body)
+	}
+	wg.Wait()
+
+	for _, p := range r.participants {
+		p.stop()
+	}
+
+	out := Outcome{Completed: true, PerObject: results}
+	var firstErr error
+	for _, obj := range members {
+		res := results[obj]
+		if res.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", obj, res.Err)
+		}
+		if !res.Completed {
+			out.Completed = false
+		}
+		if res.AcceptanceFailed {
+			out.AcceptanceFailed = true
+		}
+		if res.Resolved != "" {
+			if out.Resolved != "" && out.Resolved != res.Resolved && firstErr == nil {
+				firstErr = fmt.Errorf("%w: resolved %q vs %q", ErrDisagreement, out.Resolved, res.Resolved)
+			}
+			out.Resolved = res.Resolved
+		}
+		if res.Signalled != "" {
+			if out.Signalled != "" && out.Signalled != res.Signalled && firstErr == nil {
+				firstErr = fmt.Errorf("%w: signalled %q vs %q", ErrDisagreement, out.Signalled, res.Signalled)
+			}
+			out.Signalled = res.Signalled
+		}
+	}
+	timedOutMu.Lock()
+	expired := timedOut
+	timedOutMu.Unlock()
+	if expired {
+		return out, ErrTimeout
+	}
+	return out, firstErr
+}
+
+// runTop is the body-goroutine entry: it enters the top-level action, runs
+// the scope machinery, and converts sentinels and results into a
+// ParticipantResult.
+func (p *participant) runTop(inst *instance, body Body) (res ParticipantResult) {
+	defer p.markBodyDone()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(sentinel); ok {
+				// Only cancellation sentinels can reach level -1.
+				res = ParticipantResult{Err: ErrCancelled}
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := p.enterInstance(-1, inst); err != nil {
+		return ParticipantResult{Err: err}
+	}
+	ctx := &Context{p: p, inst: inst, level: 0}
+	nres, err := p.runScope(ctx, body)
+	if err != nil {
+		return ParticipantResult{Err: err}
+	}
+	return ParticipantResult{
+		Completed:        nres.Completed || (nres.Resolved != "" && nres.Signalled == "" && !nres.AcceptanceFailed),
+		Resolved:         nres.Resolved,
+		Signalled:        nres.Signalled,
+		AcceptanceFailed: nres.AcceptanceFailed,
+	}
+}
+
+// Attempt describes one backward-recovery attempt: the bodies to run (the
+// primary "try block" or an alternate, as in recovery blocks).
+type Attempt map[ident.ObjectID]Body
+
+// RecoveryOutcome reports a RunWithRecovery execution.
+type RecoveryOutcome struct {
+	Outcome
+	// Attempts is the number of attempts executed (1 = primary succeeded).
+	Attempts int
+}
+
+// RunWithRecovery provides conversation-style backward error recovery
+// (Figure 2(b)): it runs the primary bodies and, whenever the acceptance
+// test fails or the action signals a failure exception (the transaction
+// having been aborted, restoring the external atomic objects), retries with
+// the next alternate. It returns the first passing outcome, or the last
+// failing one when every alternate is exhausted.
+func (s *System) RunWithRecovery(def Definition, alternates []Attempt) (RecoveryOutcome, error) {
+	attempts := 1 + len(alternates)
+	var (
+		out Outcome
+		err error
+	)
+	for i := 0; i < attempts; i++ {
+		attemptDef := def
+		if i > 0 {
+			attemptDef.Bodies = alternates[i-1]
+		}
+		out, err = s.runAttempt(attemptDef, 0, i+1)
+		if err != nil {
+			return RecoveryOutcome{Outcome: out, Attempts: i + 1}, err
+		}
+		if !out.AcceptanceFailed && out.Signalled == "" {
+			return RecoveryOutcome{Outcome: out, Attempts: i + 1}, nil
+		}
+	}
+	return RecoveryOutcome{Outcome: out, Attempts: attempts}, nil
+}

@@ -1,0 +1,220 @@
+// Package core implements the paper's Coordinated Atomic (CA) action runtime
+// (§3): participating objects cooperating inside actions, nested actions,
+// forward error recovery through resolved exception handlers, abortion
+// handlers for nested actions, external atomic objects guarded by
+// transactions, and conversation-style backward recovery (state restoration,
+// acceptance tests, retry).
+//
+// Every participating object runs on its own simulated network node and
+// communicates only by messages; the resolution protocol itself is the
+// engine in package protocol.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+)
+
+// Body is a participating object's normal activity within an action. It runs
+// until it returns (normal completion), calls Context.Raise, or is terminated
+// because an exception was raised elsewhere. A nil return means the object is
+// ready to pass the action's completion barrier. A non-nil error is a
+// programming failure that aborts the whole run (use Raise for anticipated
+// abnormal situations).
+type Body func(ctx *Context) error
+
+// Handler recovers an action after exception resolution. It receives the
+// resolved exception (which, by the resolution-tree contract, covers every
+// exception concurrently raised) and may repair the external atomic objects
+// through the RecoveryContext. Returning signal == "" completes the action
+// successfully ("the appropriate exception handlers may be able to put them
+// into new valid states"); a non-empty signal is the failure exception
+// signalled to the containing action.
+type Handler func(rctx *RecoveryContext, resolved exception.Exception) (signal string, err error)
+
+// AbortionHandler is run when a nested action is aborted because an exception
+// was raised in a containing action (Figure 1(b)). It may signal an exception
+// to the containing action; per §4.1 only the signal from the action directly
+// nested in the resolution level is kept.
+type AbortionHandler func(rctx *RecoveryContext) (signal string)
+
+// NestedPolicy selects how a containing action's exception treats nested
+// actions in progress (Figure 1).
+type NestedPolicy int
+
+// Nested policies.
+const (
+	// AbortNestedActions (Figure 1(b), the paper's choice): raise an abortion
+	// exception in the nested action and run abortion handlers.
+	AbortNestedActions NestedPolicy = iota
+	// WaitForNestedActions (Figure 1(a)): delay the containing action's
+	// resolution until nested actions complete. Risks unbounded waiting on
+	// belated participants.
+	WaitForNestedActions
+)
+
+// HandlerSet is one participant's handlers for an action's exceptions. The
+// paper's assumption (§3.3) is that "each participating object has handlers
+// for all exceptions declared in a given action"; Validate enforces it,
+// counting Default as covering any name without an explicit entry.
+type HandlerSet struct {
+	ByName  map[string]Handler
+	Default Handler
+}
+
+// Lookup returns the handler for the resolved exception name.
+func (hs HandlerSet) Lookup(name string) (Handler, bool) {
+	if h, ok := hs.ByName[name]; ok {
+		return h, true
+	}
+	if hs.Default != nil {
+		return hs.Default, true
+	}
+	return nil, false
+}
+
+// covers reports whether the set covers every name in the tree.
+func (hs HandlerSet) covers(tree *exception.Tree) error {
+	if hs.Default != nil {
+		return nil
+	}
+	for _, name := range tree.Names() {
+		if _, ok := hs.ByName[name]; !ok {
+			return fmt.Errorf("%w: no handler for %q", ErrIncompleteHandlers, name)
+		}
+	}
+	return nil
+}
+
+// ActionSpec declares one CA action: its exception context (tree), members,
+// per-member handlers and abortion handlers. The same ActionSpec value is
+// shared by all members; a nested action is entered by each member calling
+// Context.Enclose with the same spec.
+type ActionSpec struct {
+	// Name is a human-readable label used in traces.
+	Name string
+	// Tree is the action's declared exception tree ("the exceptions that can
+	// be raised within a CA action are declared together with the action
+	// declaration").
+	Tree *exception.Tree
+	// Members lists every declared participating object.
+	Members []ident.ObjectID
+	// Handlers maps each member to its handler set. Every member must cover
+	// the whole tree.
+	Handlers map[ident.ObjectID]HandlerSet
+	// Abortion maps members to their abortion handlers (used when this
+	// action is nested and gets aborted). Optional; a missing entry signals
+	// nothing.
+	Abortion map[ident.ObjectID]AbortionHandler
+	// AcceptanceTest, if non-nil, is evaluated at the completion barrier
+	// against the action's transactional view; failure aborts the
+	// transaction (backward error recovery, Figure 2(b)).
+	AcceptanceTest func(view *TxnView) bool
+	// Policy selects the nested-action strategy for exceptions raised in
+	// THIS action while members are inside actions nested within it.
+	Policy NestedPolicy
+}
+
+// Validation errors.
+var (
+	ErrIncompleteHandlers = errors.New("core: handler set does not cover the exception tree")
+	ErrNoMembers          = errors.New("core: action has no members")
+	ErrNilTree            = errors.New("core: action has no exception tree")
+	ErrNotMember          = errors.New("core: object is not a declared member")
+	ErrDuplicateMember    = errors.New("core: duplicate member")
+	ErrMissingBody        = errors.New("core: member has no body")
+)
+
+// Validate checks the spec's static obligations.
+func (s *ActionSpec) Validate() error {
+	if s.Tree == nil {
+		return fmt.Errorf("%s: %w", s.Name, ErrNilTree)
+	}
+	if len(s.Members) == 0 {
+		return fmt.Errorf("%s: %w", s.Name, ErrNoMembers)
+	}
+	seen := make(map[ident.ObjectID]bool, len(s.Members))
+	for _, m := range s.Members {
+		if seen[m] {
+			return fmt.Errorf("%s: %w: %s", s.Name, ErrDuplicateMember, m)
+		}
+		seen[m] = true
+		hs, ok := s.Handlers[m]
+		if !ok {
+			return fmt.Errorf("%s: member %s: %w: no handler set", s.Name, m, ErrIncompleteHandlers)
+		}
+		if err := hs.covers(s.Tree); err != nil {
+			return fmt.Errorf("%s: member %s: %w", s.Name, m, err)
+		}
+	}
+	return nil
+}
+
+// isMember reports whether obj is declared in the spec.
+func (s *ActionSpec) isMember(obj ident.ObjectID) bool {
+	for _, m := range s.Members {
+		if m == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// Definition is a top-level CA action: a spec plus each member's body.
+type Definition struct {
+	Spec   ActionSpec
+	Bodies map[ident.ObjectID]Body
+}
+
+// Validate checks spec obligations plus body coverage.
+func (d *Definition) Validate() error {
+	if err := d.Spec.Validate(); err != nil {
+		return err
+	}
+	for _, m := range d.Spec.Members {
+		if d.Bodies[m] == nil {
+			return fmt.Errorf("%s: member %s: %w", d.Spec.Name, m, ErrMissingBody)
+		}
+	}
+	return nil
+}
+
+// TxnView is the read/write interface handlers, bodies and acceptance tests
+// use to touch external atomic objects within the current action's
+// transaction. It serialises access: participants of one action share the
+// action's transaction.
+type TxnView struct {
+	inst *instance
+}
+
+// Read returns the value of an external atomic object.
+func (v *TxnView) Read(key string) (any, error) {
+	return v.inst.txnRead(key)
+}
+
+// Write sets the value of an external atomic object.
+func (v *TxnView) Write(key string, value any) error {
+	return v.inst.txnWrite(key, value)
+}
+
+// Update applies f to the current value and writes the result back.
+func (v *TxnView) Update(key string, f func(any) (any, error)) error {
+	return v.inst.txnUpdate(key, f)
+}
+
+// RecoveryContext is the environment handlers and abortion handlers run in.
+type RecoveryContext struct {
+	// Object is the participant running the handler.
+	Object ident.ObjectID
+	// Action is the action being recovered.
+	Action ident.ActionID
+	// View accesses external atomic objects. For exception handlers it is
+	// the recovering action's transaction (so the handler can "put them into
+	// new valid states"); for abortion handlers it is the transaction of the
+	// CONTAINING action, the aborting transaction's effects having been
+	// rolled back.
+	View *TxnView
+}

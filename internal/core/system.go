@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/atomicobj"
+	"repro/internal/group"
+	"repro/internal/ident"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// TransportKind selects how participants exchange protocol messages.
+type TransportKind int
+
+// Transport kinds.
+const (
+	// TransportRaw assumes a reliable FIFO network (the algorithm's §4.2
+	// baseline assumption). The netsim configuration must not drop messages.
+	TransportRaw TransportKind = iota
+	// TransportReliable layers retransmission/dedup over a possibly lossy
+	// network (the §4.5 group-communication implementation route).
+	TransportReliable
+)
+
+// Options configure a System.
+type Options struct {
+	// Network configures the simulated network. Zero value = instant,
+	// reliable delivery.
+	Network netsim.Config
+	// Transport selects the messaging layer. TransportReliable is required
+	// when the network drops or duplicates messages.
+	Transport TransportKind
+	// Retransmit is the retransmission period for TransportReliable.
+	Retransmit time.Duration
+	// WireEncoding, when true, serialises every protocol message to its
+	// compact binary wire format before it enters the network and decodes
+	// it on arrival, enforcing the disjoint-address-space boundary the
+	// paper assumes (§2.1). Off by default for speed.
+	WireEncoding bool
+	// Trace receives all runtime events; nil allocates a private log.
+	Trace *trace.Log
+}
+
+// System owns the substrates a CA-action run needs: the simulated network,
+// the membership directory, the atomic-object store and the event log.
+// Create with NewSystem, release with Close.
+type System struct {
+	opts  Options
+	net   *netsim.Network
+	dir   *group.Directory
+	store *atomicobj.Store
+	log   *trace.Log
+
+	mu         sync.Mutex
+	nextAction ident.ActionID
+	closed     bool
+}
+
+// NewSystem creates a system.
+func NewSystem(opts Options) *System {
+	log := opts.Trace
+	if log == nil {
+		log = trace.NewLog()
+	}
+	net := netsim.New(opts.Network)
+	return &System{
+		opts:  opts,
+		net:   net,
+		dir:   group.NewDirectory(net),
+		store: atomicobj.NewStore(),
+		log:   log,
+	}
+}
+
+// Store returns the external atomic-object store.
+func (s *System) Store() *atomicobj.Store { return s.store }
+
+// Trace returns the event log.
+func (s *System) Trace() *trace.Log { return s.log }
+
+// NetworkStats returns a snapshot of network counters.
+func (s *System) NetworkStats() netsim.Stats { return s.net.Stats() }
+
+// Close shuts the network down. Runs must have finished.
+func (s *System) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.net.Close()
+}
+
+// allocAction returns a fresh action identifier.
+func (s *System) allocAction() ident.ActionID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextAction++
+	return s.nextAction
+}
+
+// newTransport creates the configured transport for one object in the given
+// membership directory (one directory per run, so successive runs can reuse
+// object identifiers).
+func (s *System) newTransport(dir *group.Directory, obj ident.ObjectID) (group.Transport, error) {
+	switch s.opts.Transport {
+	case TransportReliable:
+		return group.NewR3Transport(dir, obj, s.opts.Retransmit)
+	default:
+		return group.NewRawTransport(dir, obj)
+	}
+}

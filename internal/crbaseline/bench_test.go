@@ -1,0 +1,47 @@
+package crbaseline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ident"
+)
+
+func BenchmarkDominoRun(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				cfg, err := DominoChainConfig(2*n, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := Run(cfg, map[ident.ObjectID]string{
+					ident.ObjectID(n): fmt.Sprintf("e%d", 2*n),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Messages
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+		})
+	}
+}
+
+func BenchmarkFullCoverageRun(b *testing.B) {
+	cfg, err := DominoChainConfig(16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := FullCoverageConfig(cfg.Tree, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(full, map[ident.ObjectID]string{2: "e16"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

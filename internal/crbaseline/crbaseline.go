@@ -1,0 +1,243 @@
+// Package crbaseline reconstructs the 1986 Campbell–Randell exception
+// resolution algorithm, the baseline the paper improves upon. The original
+// publication gives only a sketch; this reconstruction follows the paper's
+// §3.3 critique of it:
+//
+//   - every participant holds only a *reduced* tree of exceptions with
+//     specific handlers, and "has to look through it after raising each
+//     exception and after each resolution";
+//   - there is a third source of exceptions: a participant informed of an
+//     exception it has no handler for "examines the exception tree, finds and
+//     raises an appropriate exception";
+//   - every participant (not a single chooser) resolves and distributes its
+//     result.
+//
+// The algorithm therefore proceeds in rounds: newly raised exceptions are
+// broadcast and acknowledged, then an all-to-all resolution wave runs
+// (N(N-1) messages); participants lacking a handler for the round's result
+// re-raise a covering exception, starting another round. On the paper's
+// directed-chain tree with alternating reduced trees this produces the
+// "domino effect": O(N) rounds of O(N²) messages — O(N³) in total — versus
+// the new algorithm's single O(N²) exchange.
+//
+// The execution here is a synchronous round simulation: it counts the
+// messages a distributed run would exchange without simulating delivery
+// timing, which is exactly what the complexity comparison (experiment E5)
+// needs, deterministically.
+package crbaseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+)
+
+// Message kind names used in the census.
+const (
+	// KindRaise is a broadcast announcing a (re-)raised exception.
+	KindRaise = "Raise"
+	// KindAck acknowledges a Raise.
+	KindAck = "ACK"
+	// KindResolve is one participant distributing its resolution result.
+	KindResolve = "Resolve"
+)
+
+// Participant is one CR participant: an identifier plus its reduced tree.
+type Participant struct {
+	ID      ident.ObjectID
+	Reduced *exception.ReducedTree
+}
+
+// Config describes a CR run.
+type Config struct {
+	// Tree is the action's full exception tree (known to every participant).
+	Tree *exception.Tree
+	// Participants lists every participant of the action.
+	Participants []Participant
+	// MaxRounds bounds the run; 0 means a generous default.
+	MaxRounds int
+}
+
+// Result reports a CR run's outcome and cost.
+type Result struct {
+	// Rounds is the number of raise+resolve rounds executed.
+	Rounds int
+	// Messages is the total message count.
+	Messages int
+	// ByKind breaks Messages down by kind.
+	ByKind map[string]int
+	// Final is the exception the participants converged on.
+	Final string
+	// RaiseSequence lists every exception raise in order (including the
+	// initial ones), exposing the domino effect.
+	RaiseSequence []string
+}
+
+// Errors returned by Run.
+var (
+	ErrNoParticipants = errors.New("crbaseline: no participants")
+	ErrNoInitial      = errors.New("crbaseline: no initial exceptions")
+	ErrDiverged       = errors.New("crbaseline: exceeded round bound without convergence")
+)
+
+// Run executes the CR algorithm for the given initial raises (participant ->
+// exception name) and returns its outcome and message census.
+func Run(cfg Config, initial map[ident.ObjectID]string) (Result, error) {
+	n := len(cfg.Participants)
+	if n == 0 {
+		return Result{}, ErrNoParticipants
+	}
+	if len(initial) == 0 {
+		return Result{}, ErrNoInitial
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4 * cfg.Tree.Size() * n
+	}
+
+	res := Result{ByKind: make(map[string]int)}
+	byID := make(map[ident.ObjectID]Participant, n)
+	for _, p := range cfg.Participants {
+		byID[p.ID] = p
+	}
+
+	// known is the set of exceptions everyone has been informed of. In the
+	// synchronous model all broadcasts of a round are delivered before the
+	// resolution wave, so the set is shared.
+	known := make(map[string]bool)
+	var knownOrder []string
+
+	raise := func(p Participant, exc string) error {
+		// A participant without a specific handler raises the covering
+		// exception from its reduced tree instead (the "third source").
+		eff := exc
+		if !p.Reduced.Handles(exc) {
+			var err error
+			eff, err = p.Reduced.Covering(exc)
+			if err != nil {
+				return err
+			}
+		}
+		if known[eff] {
+			return nil
+		}
+		known[eff] = true
+		knownOrder = append(knownOrder, eff)
+		res.RaiseSequence = append(res.RaiseSequence, eff)
+		res.ByKind[KindRaise] += n - 1
+		res.ByKind[KindAck] += n - 1
+		return nil
+	}
+
+	// Initial raises.
+	for _, p := range cfg.Participants {
+		exc, ok := initial[p.ID]
+		if !ok {
+			continue
+		}
+		if !cfg.Tree.Contains(exc) {
+			return Result{}, fmt.Errorf("crbaseline: %w: %q", exception.ErrUnknownException, exc)
+		}
+		if err := raise(p, exc); err != nil {
+			return Result{}, err
+		}
+	}
+
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return res, ErrDiverged
+		}
+		res.Rounds = round
+
+		// Resolution wave: every participant resolves over the known set and
+		// distributes its result to everyone else.
+		resolved, err := cfg.Tree.Resolve(knownOrder)
+		if err != nil {
+			return res, err
+		}
+		res.ByKind[KindResolve] += n * (n - 1)
+
+		// After the resolution, each participant checks its reduced tree for
+		// a handler; those without one raise a covering exception, which
+		// starts another round.
+		newRaise := false
+		for _, p := range cfg.Participants {
+			if p.Reduced.Handles(resolved) {
+				continue
+			}
+			before := len(knownOrder)
+			if err := raise(p, resolved); err != nil {
+				return res, err
+			}
+			if len(knownOrder) > before {
+				newRaise = true
+			}
+		}
+		if !newRaise {
+			res.Final = resolved
+			break
+		}
+	}
+
+	for _, v := range res.ByKind {
+		res.Messages += v
+	}
+	return res, nil
+}
+
+// DominoChainConfig builds the paper's §3.3 domino scenario for a chain tree
+// of the given length: two participants, one handling the odd chain
+// exceptions, the other the even ones. Extra participants (beyond 2) receive
+// alternating reduced trees as well.
+func DominoChainConfig(chainLen, participants int) (Config, error) {
+	if chainLen < 2 || participants < 2 {
+		return Config{}, fmt.Errorf("crbaseline: domino needs chainLen>=2, participants>=2")
+	}
+	tree := exception.ChainTree(chainLen)
+	var odd, even []string
+	for i := 1; i <= chainLen; i++ {
+		name := fmt.Sprintf("e%d", i)
+		if i%2 == 1 {
+			odd = append(odd, name)
+		} else {
+			even = append(even, name)
+		}
+	}
+	cfg := Config{Tree: tree}
+	for i := 0; i < participants; i++ {
+		handled := odd
+		if i%2 == 1 {
+			handled = even
+		}
+		rt, err := exception.NewReducedTree(tree, handled...)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Participants = append(cfg.Participants, Participant{
+			ID:      ident.ObjectID(i + 1),
+			Reduced: rt,
+		})
+	}
+	return cfg, nil
+}
+
+// FullCoverageConfig builds a CR configuration in which every participant
+// handles every exception — the assumption the new algorithm enforces. With
+// it, CR terminates in one round; the cost gap that remains is the all-to-all
+// resolution wave versus the new algorithm's single chooser.
+func FullCoverageConfig(tree *exception.Tree, participants int) (Config, error) {
+	cfg := Config{Tree: tree}
+	for i := 0; i < participants; i++ {
+		rt, err := exception.NewReducedTree(tree, tree.Names()...)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Participants = append(cfg.Participants, Participant{
+			ID:      ident.ObjectID(i + 1),
+			Reduced: rt,
+		})
+	}
+	return cfg, nil
+}

@@ -1,0 +1,203 @@
+package crbaseline
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/protocol"
+)
+
+func TestRunValidation(t *testing.T) {
+	tree := exception.ChainTree(4)
+	if _, err := Run(Config{Tree: tree}, map[ident.ObjectID]string{1: "e2"}); !errors.Is(err, ErrNoParticipants) {
+		t.Errorf("want ErrNoParticipants, got %v", err)
+	}
+	cfg, err := DominoChainConfig(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg, nil); !errors.Is(err, ErrNoInitial) {
+		t.Errorf("want ErrNoInitial, got %v", err)
+	}
+	if _, err := Run(cfg, map[ident.ObjectID]string{1: "bogus"}); !errors.Is(err, exception.ErrUnknownException) {
+		t.Errorf("want ErrUnknownException, got %v", err)
+	}
+}
+
+// TestDominoEffectChainTree reproduces the §3.3 example exactly: T_A is the
+// chain e1..e8, O1 handles odd and O2 handles even exceptions. Raising e8
+// walks all the way to the root: "any exception will always lead to further
+// exceptions until the root of the exception tree is reached".
+func TestDominoEffectChainTree(t *testing.T) {
+	cfg, err := DominoChainConfig(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O2 raises e8 (it has a handler for it, so the raise is e8 itself).
+	res, err := Run(cfg, map[ident.ObjectID]string{2: "e8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"e8", "e7", "e6", "e5", "e4", "e3", "e2", "e1"}
+	if !reflect.DeepEqual(res.RaiseSequence, want) {
+		t.Errorf("raise sequence = %v, want %v", res.RaiseSequence, want)
+	}
+	if res.Final != "e1" {
+		t.Errorf("final = %q, want the root e1", res.Final)
+	}
+	if res.Rounds != 8 {
+		t.Errorf("rounds = %d, want 8", res.Rounds)
+	}
+}
+
+// TestDominoMessageGrowth checks the cubic-versus-quadratic shape: scaling
+// the chain length and participant count together, CR messages grow like N³
+// while the new algorithm's prediction grows like N².
+func TestDominoMessageGrowth(t *testing.T) {
+	type point struct {
+		n        int
+		cr       int
+		newAlgos int
+	}
+	var pts []point
+	for _, n := range []int{4, 8, 16, 32} {
+		cfg, err := DominoChainConfig(n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg, map[ident.ObjectID]string{ident.ObjectID(n): fmt8(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare against the new algorithm's worst case (all N objects
+		// raise), its O(N²) bound; the same-scenario cost (P=1) is only
+		// 3(N-1), even further below CR.
+		pts = append(pts, point{n: n, cr: res.Messages, newAlgos: protocol.PredictMessages(n, n, 0)})
+	}
+	for i := 1; i < len(pts); i++ {
+		// Doubling N must grow CR messages by ~8x (cubic): allow [5x, 11x].
+		ratio := float64(pts[i].cr) / float64(pts[i-1].cr)
+		if ratio < 5 || ratio > 11 {
+			t.Errorf("CR growth N=%d->%d: ratio %.1f not cubic-like (counts %d -> %d)",
+				pts[i-1].n, pts[i].n, ratio, pts[i-1].cr, pts[i].cr)
+		}
+		// The new algorithm grows by ~4x (quadratic).
+		nratio := float64(pts[i].newAlgos) / float64(pts[i-1].newAlgos)
+		if nratio < 3 || nratio > 5 {
+			t.Errorf("new-algorithm growth ratio %.1f not quadratic-like", nratio)
+		}
+	}
+	// CR must always cost more than the new algorithm, increasingly so.
+	prevGap := 0.0
+	for _, p := range pts {
+		gap := float64(p.cr) / float64(p.newAlgos)
+		if gap <= 1 {
+			t.Errorf("N=%d: CR (%d) not more expensive than new (%d)", p.n, p.cr, p.newAlgos)
+		}
+		if gap < prevGap {
+			t.Errorf("N=%d: CR/new gap %.1f shrank from %.1f", p.n, gap, prevGap)
+		}
+		prevGap = gap
+	}
+}
+
+// TestFullCoverageSingleRound: when every participant handles every
+// exception (the new algorithm's enforced assumption), CR converges in one
+// round — no domino.
+func TestFullCoverageSingleRound(t *testing.T) {
+	tree := exception.ChainTree(8)
+	cfg, err := FullCoverageConfig(tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, map[ident.ObjectID]string{2: "e8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+	if res.Final != "e8" {
+		t.Errorf("final = %q, want e8", res.Final)
+	}
+	// One raise broadcast + acks + one resolve wave.
+	n := 4
+	want := (n - 1) + (n - 1) + n*(n-1)
+	if res.Messages != want {
+		t.Errorf("messages = %d, want %d (%v)", res.Messages, want, res.ByKind)
+	}
+}
+
+// TestConcurrentRaisesResolveToCover: two concurrent raises resolve to the
+// least covering exception both sides can handle.
+func TestConcurrentRaisesResolveToCover(t *testing.T) {
+	tree := exception.AircraftTree()
+	cfg, err := FullCoverageConfig(tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, map[ident.ObjectID]string{
+		1: "left_engine_exception",
+		2: "right_engine_exception",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final != "emergency_engine_loss_exception" {
+		t.Errorf("final = %q", res.Final)
+	}
+}
+
+// TestRaiseSubstitution: a participant raising an exception it has no
+// handler for announces the covering exception instead.
+func TestRaiseSubstitution(t *testing.T) {
+	tree := exception.ChainTree(4)
+	oddOnly, err := exception.NewReducedTree(tree, "e1", "e3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evenOnly, err := exception.NewReducedTree(tree, "e2", "e4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Tree: tree, Participants: []Participant{
+		{ID: 1, Reduced: oddOnly},
+		{ID: 2, Reduced: evenOnly},
+	}}
+	// O1 raises e4, which it cannot handle: the announcement is e3.
+	res, err := Run(cfg, map[ident.ObjectID]string{1: "e4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaiseSequence[0] != "e3" {
+		t.Errorf("first raise = %q, want substituted e3", res.RaiseSequence[0])
+	}
+}
+
+func TestDominoConfigValidation(t *testing.T) {
+	if _, err := DominoChainConfig(1, 2); err == nil {
+		t.Error("chainLen=1 must fail")
+	}
+	if _, err := DominoChainConfig(4, 1); err == nil {
+		t.Error("participants=1 must fail")
+	}
+}
+
+func TestDivergenceGuard(t *testing.T) {
+	cfg, err := DominoChainConfig(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxRounds = 2
+	if _, err := Run(cfg, map[ident.ObjectID]string{2: "e8"}); !errors.Is(err, ErrDiverged) {
+		t.Errorf("want ErrDiverged, got %v", err)
+	}
+}
+
+func fmt8(n int) string {
+	// Deepest exception name in a chain of length n.
+	return exception.ChainTree(n).Names()[n-1]
+}

@@ -1,0 +1,77 @@
+package exception
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkResolveChain(b *testing.B) {
+	for _, size := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			tree := ChainTree(size)
+			set := []string{
+				fmt.Sprintf("e%d", size),
+				fmt.Sprintf("e%d", size/2),
+				fmt.Sprintf("e%d", size/4+1),
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Resolve(set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkResolveWide(b *testing.B) {
+	bld := NewBuilder("root")
+	for i := 0; i < 256; i++ {
+		bld.Add(fmt.Sprintf("c%d", i), "root")
+	}
+	tree := bld.MustBuild()
+	set := []string{"c0", "c100", "c200", "c255"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Resolve(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCovers(b *testing.B) {
+	tree := ChainTree(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Covers("e4", "e128"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildTree(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuilder("root")
+		for j := 0; j < 64; j++ {
+			bld.Add(fmt.Sprintf("c%d", j), "root")
+		}
+		if _, err := bld.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReducedCovering(b *testing.B) {
+	tree := ChainTree(64)
+	rt, err := NewReducedTree(tree, "e1", "e17", "e33", "e49")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Covering("e64"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

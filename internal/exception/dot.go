@@ -1,0 +1,43 @@
+package exception
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the resolution tree in Graphviz DOT format, edges
+// pointing from each exception to its covering parent (the direction
+// resolution walks). Nodes in highlight are filled — used to visualise a
+// raised set and its resolution.
+func (t *Tree) WriteDOT(w io.Writer, name string, highlight ...string) error {
+	hl := make(map[string]bool, len(highlight))
+	for _, h := range highlight {
+		hl[h] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=BT;\n  node [shape=box];\n")
+	names := t.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		attrs := ""
+		if n == t.root {
+			attrs = ` shape=doubleoctagon`
+		}
+		if hl[n] {
+			attrs += ` style=filled fillcolor=lightgrey`
+		}
+		fmt.Fprintf(&b, "  %q [label=%q%s];\n", n, n, attrs)
+	}
+	for _, n := range names {
+		if n == t.root {
+			continue
+		}
+		fmt.Fprintf(&b, "  %q -> %q;\n", n, t.parent[n])
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

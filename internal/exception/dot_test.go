@@ -1,0 +1,37 @@
+package exception
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	tree := AircraftTree()
+	var b strings.Builder
+	if err := tree.WriteDOT(&b, "aircraft", "left_engine_exception"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "aircraft" {`,
+		`"left_engine_exception" -> "emergency_engine_loss_exception";`,
+		`"emergency_engine_loss_exception" -> "universal_exception";`,
+		`shape=doubleoctagon`, // the root
+		`fillcolor=lightgrey`, // the highlight
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink full") }
+
+func TestWriteDOTError(t *testing.T) {
+	if err := AircraftTree().WriteDOT(failWriter{}, "x"); err == nil {
+		t.Error("write error must propagate")
+	}
+}

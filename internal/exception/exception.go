@@ -1,0 +1,257 @@
+// Package exception implements the paper's exception model (§3.2): exceptions
+// are organised into a resolution tree — a partial order in which "a higher
+// exception has a handler which is intended to handle any lower level
+// exception". Resolving a set of concurrently raised exceptions finds the
+// least exception that covers the whole set.
+//
+// In the paper the tree is expressed as an OO class hierarchy (exceptions are
+// classes declared by subtyping); here it is an explicit runtime structure,
+// since the tree "must exist at run time so as to allow concurrent exceptions
+// to be resolved".
+package exception
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Exception is a raised exception instance: a name in some resolution tree
+// plus free-form context. Equality of identity is by Name.
+type Exception struct {
+	Name   string
+	Msg    string
+	Origin string // object that raised it, informational
+}
+
+// E constructs an exception with just a name.
+func E(name string) Exception { return Exception{Name: name} }
+
+// String renders the exception.
+func (e Exception) String() string {
+	if e.Msg == "" {
+		return e.Name
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, e.Msg)
+}
+
+// IsZero reports whether e is the zero exception (the paper's "null").
+func (e Exception) IsZero() bool { return e.Name == "" }
+
+// Errors reported by tree construction and resolution.
+var (
+	ErrUnknownException = errors.New("exception: name not in resolution tree")
+	ErrDuplicateName    = errors.New("exception: duplicate name in resolution tree")
+	ErrEmptySet         = errors.New("exception: cannot resolve empty exception set")
+	ErrNoRoot           = errors.New("exception: tree has no root")
+)
+
+// Tree is an immutable resolution tree. Build one with NewBuilder. The root
+// is the universal exception: resolving any set always succeeds by falling
+// back to the root.
+type Tree struct {
+	root   string
+	parent map[string]string
+	depth  map[string]int
+	order  []string // insertion order, for deterministic iteration
+}
+
+// Builder accumulates tree nodes; Build validates and freezes the tree.
+type Builder struct {
+	root    string
+	parent  map[string]string
+	order   []string
+	errList []error
+}
+
+// NewBuilder starts a tree whose root (universal exception) is named root.
+func NewBuilder(root string) *Builder {
+	b := &Builder{
+		root:   root,
+		parent: make(map[string]string),
+		order:  []string{root},
+	}
+	if root == "" {
+		b.errList = append(b.errList, ErrNoRoot)
+	}
+	b.parent[root] = ""
+	return b
+}
+
+// Add declares child as a direct descendant of parent and returns the
+// builder for chaining. Errors are reported by Build.
+func (b *Builder) Add(child, parent string) *Builder {
+	if _, dup := b.parent[child]; dup {
+		b.errList = append(b.errList, fmt.Errorf("%w: %q", ErrDuplicateName, child))
+		return b
+	}
+	if _, ok := b.parent[parent]; !ok {
+		b.errList = append(b.errList, fmt.Errorf("%w: parent %q of %q", ErrUnknownException, parent, child))
+		return b
+	}
+	b.parent[child] = parent
+	b.order = append(b.order, child)
+	return b
+}
+
+// Chain adds a descending chain under parent: names[0] is a child of parent,
+// names[1] a child of names[0], and so on. Used to build the paper's §3.3
+// "directed chain" trees.
+func (b *Builder) Chain(parent string, names ...string) *Builder {
+	for _, name := range names {
+		b.Add(name, parent)
+		parent = name
+	}
+	return b
+}
+
+// Build validates and returns the immutable tree.
+func (b *Builder) Build() (*Tree, error) {
+	if len(b.errList) > 0 {
+		return nil, errors.Join(b.errList...)
+	}
+	t := &Tree{
+		root:   b.root,
+		parent: make(map[string]string, len(b.parent)),
+		depth:  make(map[string]int, len(b.parent)),
+		order:  make([]string, len(b.order)),
+	}
+	for k, v := range b.parent {
+		t.parent[k] = v
+	}
+	copy(t.order, b.order)
+	for _, name := range t.order {
+		d := 0
+		for cur := name; cur != t.root; cur = t.parent[cur] {
+			d++
+		}
+		t.depth[name] = d
+	}
+	return t, nil
+}
+
+// MustBuild is Build that panics on error; for statically known trees.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Root returns the universal exception's name.
+func (t *Tree) Root() string { return t.root }
+
+// Names returns all exception names in declaration order.
+func (t *Tree) Names() []string {
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// Size returns the number of exceptions in the tree.
+func (t *Tree) Size() int { return len(t.order) }
+
+// Contains reports whether name is declared in the tree.
+func (t *Tree) Contains(name string) bool {
+	_, ok := t.parent[name]
+	return ok
+}
+
+// Parent returns the parent of name ("" for the root) and whether name exists.
+func (t *Tree) Parent(name string) (string, bool) {
+	p, ok := t.parent[name]
+	return p, ok
+}
+
+// Depth returns the distance from name to the root.
+func (t *Tree) Depth(name string) (int, bool) {
+	d, ok := t.depth[name]
+	return d, ok
+}
+
+// Covers reports whether upper covers lower: upper is lower itself or one of
+// its ancestors, i.e. upper's handler is intended to handle lower.
+func (t *Tree) Covers(upper, lower string) (bool, error) {
+	if !t.Contains(upper) {
+		return false, fmt.Errorf("%w: %q", ErrUnknownException, upper)
+	}
+	if !t.Contains(lower) {
+		return false, fmt.Errorf("%w: %q", ErrUnknownException, lower)
+	}
+	for cur := lower; ; {
+		if cur == upper {
+			return true, nil
+		}
+		if cur == t.root {
+			return false, nil
+		}
+		cur = t.parent[cur]
+	}
+}
+
+// Resolve returns the least exception covering every name in the set — the
+// lowest common ancestor in the tree. Duplicates are permitted. This is the
+// operation the chooser runs on LE_i ("resolve exceptions in LE_i; find E in
+// the exception tree").
+func (t *Tree) Resolve(names []string) (string, error) {
+	if len(names) == 0 {
+		return "", ErrEmptySet
+	}
+	for _, n := range names {
+		if !t.Contains(n) {
+			return "", fmt.Errorf("%w: %q", ErrUnknownException, n)
+		}
+	}
+	acc := names[0]
+	for _, n := range names[1:] {
+		acc = t.lca(acc, n)
+	}
+	return acc, nil
+}
+
+// lca computes the lowest common ancestor of two declared names.
+func (t *Tree) lca(a, b string) string {
+	da, db := t.depth[a], t.depth[b]
+	for da > db {
+		a = t.parent[a]
+		da--
+	}
+	for db > da {
+		b = t.parent[b]
+		db--
+	}
+	for a != b {
+		a = t.parent[a]
+		b = t.parent[b]
+	}
+	return a
+}
+
+// Ancestors returns the path from name (exclusive) up to the root
+// (inclusive).
+func (t *Tree) Ancestors(name string) ([]string, error) {
+	if !t.Contains(name) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownException, name)
+	}
+	var out []string
+	for cur := name; cur != t.root; {
+		cur = t.parent[cur]
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// String renders the tree as "child<parent" pairs sorted by name.
+func (t *Tree) String() string {
+	pairs := make([]string, 0, len(t.order))
+	for _, name := range t.order {
+		if name == t.root {
+			continue
+		}
+		pairs = append(pairs, name+"<"+t.parent[name])
+	}
+	sort.Strings(pairs)
+	return fmt.Sprintf("tree(root=%s %s)", t.root, strings.Join(pairs, " "))
+}

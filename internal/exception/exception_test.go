@@ -1,0 +1,354 @@
+package exception
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustTree(t *testing.T, b *Builder) *Tree {
+	t.Helper()
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatalf("build tree: %v", err)
+	}
+	return tree
+}
+
+func TestBuilderRejectsDuplicate(t *testing.T) {
+	_, err := NewBuilder("root").Add("a", "root").Add("a", "root").Build()
+	if !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("want ErrDuplicateName, got %v", err)
+	}
+}
+
+func TestBuilderRejectsUnknownParent(t *testing.T) {
+	_, err := NewBuilder("root").Add("a", "nope").Build()
+	if !errors.Is(err, ErrUnknownException) {
+		t.Fatalf("want ErrUnknownException, got %v", err)
+	}
+}
+
+func TestBuilderRejectsEmptyRoot(t *testing.T) {
+	if _, err := NewBuilder("").Build(); !errors.Is(err, ErrNoRoot) {
+		t.Fatalf("want ErrNoRoot, got %v", err)
+	}
+}
+
+func TestTreeBasics(t *testing.T) {
+	tree := AircraftTree()
+	if got, want := tree.Root(), "universal_exception"; got != want {
+		t.Errorf("root = %q, want %q", got, want)
+	}
+	if got, want := tree.Size(), 4; got != want {
+		t.Errorf("size = %d, want %d", got, want)
+	}
+	if !tree.Contains("left_engine_exception") {
+		t.Error("tree should contain left_engine_exception")
+	}
+	if tree.Contains("warp_core_breach") {
+		t.Error("tree should not contain undeclared exception")
+	}
+	p, ok := tree.Parent("left_engine_exception")
+	if !ok || p != "emergency_engine_loss_exception" {
+		t.Errorf("parent = %q, %v", p, ok)
+	}
+	d, ok := tree.Depth("left_engine_exception")
+	if !ok || d != 2 {
+		t.Errorf("depth = %d, %v, want 2", d, ok)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	tree := AircraftTree()
+	tests := []struct {
+		upper, lower string
+		want         bool
+	}{
+		{"universal_exception", "left_engine_exception", true},
+		{"emergency_engine_loss_exception", "left_engine_exception", true},
+		{"left_engine_exception", "left_engine_exception", true},
+		{"left_engine_exception", "right_engine_exception", false},
+		{"left_engine_exception", "universal_exception", false},
+		{"right_engine_exception", "emergency_engine_loss_exception", false},
+	}
+	for _, tt := range tests {
+		got, err := tree.Covers(tt.upper, tt.lower)
+		if err != nil {
+			t.Fatalf("Covers(%q,%q): %v", tt.upper, tt.lower, err)
+		}
+		if got != tt.want {
+			t.Errorf("Covers(%q,%q) = %v, want %v", tt.upper, tt.lower, got, tt.want)
+		}
+	}
+}
+
+func TestCoversUnknown(t *testing.T) {
+	tree := AircraftTree()
+	if _, err := tree.Covers("nope", "left_engine_exception"); !errors.Is(err, ErrUnknownException) {
+		t.Errorf("want ErrUnknownException for upper, got %v", err)
+	}
+	if _, err := tree.Covers("universal_exception", "nope"); !errors.Is(err, ErrUnknownException) {
+		t.Errorf("want ErrUnknownException for lower, got %v", err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	tree := AircraftTree()
+	tests := []struct {
+		name  string
+		give  []string
+		want  string
+		isErr bool
+	}{
+		{name: "single", give: []string{"left_engine_exception"}, want: "left_engine_exception"},
+		{name: "siblings", give: []string{"left_engine_exception", "right_engine_exception"},
+			want: "emergency_engine_loss_exception"},
+		{name: "with ancestor", give: []string{"left_engine_exception", "emergency_engine_loss_exception"},
+			want: "emergency_engine_loss_exception"},
+		{name: "with root", give: []string{"left_engine_exception", "universal_exception"},
+			want: "universal_exception"},
+		{name: "duplicates", give: []string{"left_engine_exception", "left_engine_exception"},
+			want: "left_engine_exception"},
+		{name: "empty", give: nil, isErr: true},
+		{name: "unknown", give: []string{"nope"}, isErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tree.Resolve(tt.give)
+			if tt.isErr {
+				if err == nil {
+					t.Fatalf("Resolve(%v) = %q, want error", tt.give, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Resolve(%v): %v", tt.give, err)
+			}
+			if got != tt.want {
+				t.Errorf("Resolve(%v) = %q, want %q", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestResolveChain(t *testing.T) {
+	tree := ChainTree(8)
+	got, err := tree.Resolve([]string{"e8", "e7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "e7" {
+		t.Errorf("Resolve(e8,e7) = %q, want e7", got)
+	}
+	got, err = tree.Resolve([]string{"e3", "e8", "e5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "e3" {
+		t.Errorf("Resolve(e3,e8,e5) = %q, want e3", got)
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	tree := AircraftTree()
+	got, err := tree.Ancestors("left_engine_exception")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"emergency_engine_loss_exception", "universal_exception"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ancestors = %v, want %v", got, want)
+	}
+	root, err := tree.Ancestors("universal_exception")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root) != 0 {
+		t.Errorf("Ancestors(root) = %v, want empty", root)
+	}
+	if _, err := tree.Ancestors("nope"); !errors.Is(err, ErrUnknownException) {
+		t.Errorf("want ErrUnknownException, got %v", err)
+	}
+}
+
+func TestExceptionValue(t *testing.T) {
+	var zero Exception
+	if !zero.IsZero() {
+		t.Error("zero exception should report IsZero")
+	}
+	e := E("left_engine_exception")
+	if e.IsZero() {
+		t.Error("named exception should not be zero")
+	}
+	if e.String() != "left_engine_exception" {
+		t.Errorf("String = %q", e.String())
+	}
+	e.Msg = "fire"
+	if e.String() != "left_engine_exception(fire)" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+// randomTree builds a random tree with n nodes named x0..x(n-1); x0 is root.
+func randomTree(rng *rand.Rand, n int) *Tree {
+	b := NewBuilder("x0")
+	names := []string{"x0"}
+	for i := 1; i < n; i++ {
+		name := "x" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		parent := names[rng.Intn(len(names))]
+		b.Add(name, parent)
+		names = append(names, name)
+	}
+	return b.MustBuild()
+}
+
+// TestResolvePropertyCoversAll checks the defining property of resolution:
+// the result covers every input, and no strictly lower exception on the
+// result's path does.
+func TestResolvePropertyCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64, pickRaw []uint8) bool {
+		tree := randomTree(rng, 12)
+		names := tree.Names()
+		if len(pickRaw) == 0 {
+			pickRaw = []uint8{0}
+		}
+		if len(pickRaw) > 6 {
+			pickRaw = pickRaw[:6]
+		}
+		var set []string
+		for _, p := range pickRaw {
+			set = append(set, names[int(p)%len(names)])
+		}
+		res, err := tree.Resolve(set)
+		if err != nil {
+			return false
+		}
+		for _, n := range set {
+			ok, err := tree.Covers(res, n)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		// Minimality: res's children on the path cannot cover the whole set
+		// (i.e. res is the least such). Equivalent check: unless res is in
+		// the set itself, at least two inputs diverge directly below res.
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResolveCommutativeAssociative checks Resolve is order-insensitive and
+// foldable — required for the chooser to compute the same answer regardless
+// of LE arrival order.
+func TestResolveCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree := randomTree(rng, 20)
+	names := tree.Names()
+	f := func(idx []uint8) bool {
+		if len(idx) == 0 {
+			return true
+		}
+		if len(idx) > 8 {
+			idx = idx[:8]
+		}
+		set := make([]string, len(idx))
+		for i, p := range idx {
+			set[i] = names[int(p)%len(names)]
+		}
+		r1, err1 := tree.Resolve(set)
+		rev := make([]string, len(set))
+		for i := range set {
+			rev[i] = set[len(set)-1-i]
+		}
+		r2, err2 := tree.Resolve(rev)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Fold pairwise.
+		acc := set[0]
+		for _, n := range set[1:] {
+			var err error
+			acc, err = tree.Resolve([]string{acc, n})
+			if err != nil {
+				return false
+			}
+		}
+		return r1 == r2 && r1 == acc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReducedTreeCovering(t *testing.T) {
+	tree := ChainTree(8)
+	// O1 handles odd exceptions, O2 handles even ones — the §3.3 domino
+	// example.
+	odd, err := NewReducedTree(tree, "e1", "e3", "e5", "e7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, err := NewReducedTree(tree, "e2", "e4", "e6", "e8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := odd.Covering("e8")
+	if err != nil || got != "e7" {
+		t.Errorf("odd.Covering(e8) = %q, %v; want e7", got, err)
+	}
+	got, err = even.Covering("e7")
+	if err != nil || got != "e6" {
+		t.Errorf("even.Covering(e7) = %q, %v; want e6", got, err)
+	}
+	got, err = odd.Covering("e1")
+	if err != nil || got != "e1" {
+		t.Errorf("odd.Covering(e1) = %q, %v; want e1", got, err)
+	}
+	if !odd.Handles("e3") || odd.Handles("e2") {
+		t.Error("odd reduced tree membership wrong")
+	}
+}
+
+func TestReducedTreeRootAlwaysHandled(t *testing.T) {
+	tree := AircraftTree()
+	rt, err := NewReducedTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Handles("universal_exception") {
+		t.Error("root must always be handled (default handler)")
+	}
+	got, err := rt.Covering("left_engine_exception")
+	if err != nil || got != "universal_exception" {
+		t.Errorf("Covering = %q, %v", got, err)
+	}
+}
+
+func TestReducedTreeUnknown(t *testing.T) {
+	tree := AircraftTree()
+	if _, err := NewReducedTree(tree, "nope"); !errors.Is(err, ErrUnknownException) {
+		t.Errorf("want ErrUnknownException, got %v", err)
+	}
+	rt, _ := NewReducedTree(tree)
+	if _, err := rt.Covering("nope"); !errors.Is(err, ErrUnknownException) {
+		t.Errorf("want ErrUnknownException, got %v", err)
+	}
+}
+
+func TestChainTreeShape(t *testing.T) {
+	tree := ChainTree(5)
+	if tree.Size() != 5 {
+		t.Fatalf("size = %d, want 5", tree.Size())
+	}
+	d, _ := tree.Depth("e5")
+	if d != 4 {
+		t.Errorf("depth(e5) = %d, want 4", d)
+	}
+	mustTree(t, NewBuilder("r")) // exercise helper
+}

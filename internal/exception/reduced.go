@@ -1,0 +1,97 @@
+package exception
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ReducedTree is the per-participant structure assumed by the 1986
+// Campbell–Randell algorithm (§3.3): the subset of an action's exceptions for
+// which a given participant has specific handlers. The new algorithm
+// deliberately abolishes reduced trees (every participant must handle every
+// declared exception); this type exists to implement the CR baseline and to
+// demonstrate the "domino effect" the paper describes.
+type ReducedTree struct {
+	tree    *Tree
+	handled map[string]bool
+}
+
+// NewReducedTree restricts tree to the named handled exceptions. The root is
+// always considered handled (the "default handler" every participant could
+// contain).
+func NewReducedTree(tree *Tree, handled ...string) (*ReducedTree, error) {
+	rt := &ReducedTree{tree: tree, handled: make(map[string]bool, len(handled)+1)}
+	rt.handled[tree.Root()] = true
+	for _, name := range handled {
+		if !tree.Contains(name) {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownException, name)
+		}
+		rt.handled[name] = true
+	}
+	return rt, nil
+}
+
+// Tree returns the full underlying resolution tree.
+func (rt *ReducedTree) Tree() *Tree { return rt.tree }
+
+// Handles reports whether the participant has a specific handler for name.
+func (rt *ReducedTree) Handles(name string) bool { return rt.handled[name] }
+
+// Handled returns the handled names in sorted order.
+func (rt *ReducedTree) Handled() []string {
+	out := make([]string, 0, len(rt.handled))
+	for name := range rt.handled {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Covering returns the nearest exception at or above name for which the
+// participant has a handler. This is the CR algorithm's "third source" of
+// exceptions: a participant informed of an exception it cannot handle
+// "examines the exception tree, finds and raises an appropriate exception".
+func (rt *ReducedTree) Covering(name string) (string, error) {
+	if !rt.tree.Contains(name) {
+		return "", fmt.Errorf("%w: %q", ErrUnknownException, name)
+	}
+	for cur := name; ; {
+		if rt.handled[cur] {
+			return cur, nil
+		}
+		if cur == rt.tree.Root() {
+			return cur, nil
+		}
+		cur, _ = rt.tree.Parent(cur)
+	}
+}
+
+// String renders the reduced tree.
+func (rt *ReducedTree) String() string {
+	return "reduced(" + strings.Join(rt.Handled(), " ") + ")"
+}
+
+// AircraftTree builds the paper's running example tree (§3.2):
+//
+//	universal_exception
+//	  emergency_engine_loss_exception
+//	    left_engine_exception
+//	    right_engine_exception
+func AircraftTree() *Tree {
+	return NewBuilder("universal_exception").
+		Add("emergency_engine_loss_exception", "universal_exception").
+		Add("left_engine_exception", "emergency_engine_loss_exception").
+		Add("right_engine_exception", "emergency_engine_loss_exception").
+		MustBuild()
+}
+
+// ChainTree builds the §3.3 directed-chain tree e1 -> e2 -> ... -> en where
+// e1 is the root and each e(k+1) is covered by e(k). Names are "e1".."en".
+func ChainTree(n int) *Tree {
+	b := NewBuilder("e1")
+	for i := 2; i <= n; i++ {
+		b.Add(fmt.Sprintf("e%d", i), fmt.Sprintf("e%d", i-1))
+	}
+	return b.MustBuild()
+}

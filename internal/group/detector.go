@@ -1,0 +1,144 @@
+package group
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// Detector is a heartbeat failure detector, the missing half of the "group
+// membership service" the paper's §4.5 implementation sketch calls for:
+// every member periodically multicasts a heartbeat and suspects peers whose
+// heartbeats stop arriving. A CA-action manager can consult it to decide
+// whether a belated participant is merely slow or gone for good (the case
+// that motivates the abort-nested strategy of Figure 1(b)).
+//
+// The detector owns its transport: heartbeats do not interleave with
+// application messages.
+type Detector struct {
+	transport Transport
+	peers     []ident.ObjectID
+	interval  time.Duration
+	timeout   time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	lastSeen map[ident.ObjectID]time.Time
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// heartbeatKind is the wire kind of detector messages.
+const heartbeatKind = "group.heartbeat"
+
+// NewDetector creates a detector for the given peers. interval is the
+// heartbeat period; a peer is suspected when no heartbeat arrived for
+// timeout. now defaults to time.Now.
+func NewDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Duration, now func() time.Time) *Detector {
+	if now == nil {
+		now = time.Now
+	}
+	d := &Detector{
+		transport: t,
+		peers:     append([]ident.ObjectID{}, peers...),
+		interval:  interval,
+		timeout:   timeout,
+		now:       now,
+		lastSeen:  make(map[ident.ObjectID]time.Time, len(peers)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	start := now()
+	for _, p := range d.peers {
+		if p != t.Self() {
+			d.lastSeen[p] = start // grace period: everyone starts alive
+		}
+	}
+	go d.loop()
+	return d
+}
+
+// Stop terminates the detector's goroutine.
+func (d *Detector) Stop() {
+	d.once.Do(func() {
+		close(d.stop)
+		<-d.done
+	})
+}
+
+// Suspects returns the peers whose heartbeats have stopped, sorted.
+func (d *Detector) Suspects() []ident.ObjectID {
+	cutoff := d.now().Add(-d.timeout)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []ident.ObjectID
+	for p, seen := range d.lastSeen {
+		if seen.Before(cutoff) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Alive returns the peers currently considered alive, sorted.
+func (d *Detector) Alive() []ident.ObjectID {
+	cutoff := d.now().Add(-d.timeout)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []ident.ObjectID
+	for p, seen := range d.lastSeen {
+		if !seen.Before(cutoff) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Suspected reports whether one peer is currently suspected.
+func (d *Detector) Suspected(p ident.ObjectID) bool {
+	cutoff := d.now().Add(-d.timeout)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seen, ok := d.lastSeen[p]
+	return ok && seen.Before(cutoff)
+}
+
+func (d *Detector) loop() {
+	defer close(d.done)
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	d.beat()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+			d.beat()
+		case msg, ok := <-d.transport.Recv():
+			if !ok {
+				return
+			}
+			if msg.Kind != heartbeatKind {
+				continue
+			}
+			d.mu.Lock()
+			d.lastSeen[msg.From] = d.now()
+			d.mu.Unlock()
+		}
+	}
+}
+
+func (d *Detector) beat() {
+	for _, p := range d.peers {
+		if p == d.transport.Self() {
+			continue
+		}
+		_ = d.transport.Send(p, heartbeatKind, nil)
+	}
+}

@@ -1,0 +1,137 @@
+package group
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/netsim"
+)
+
+// detectorCluster builds n detectors over one network, returning them plus
+// the node each object lives on (for partitioning).
+func detectorCluster(t *testing.T, n int, interval, timeout time.Duration) (*netsim.Network, []*Detector, map[ident.ObjectID]ident.NodeID) {
+	t.Helper()
+	net := netsim.New(netsim.Config{})
+	dir := NewDirectory(net)
+	members := make([]ident.ObjectID, n)
+	for i := range members {
+		members[i] = ident.ObjectID(i + 1)
+	}
+	detectors := make([]*Detector, n)
+	nodes := make(map[ident.ObjectID]ident.NodeID, n)
+	for i, m := range members {
+		tr, err := NewRawTransport(dir, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := dir.Lookup(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[m] = node
+		detectors[i] = NewDetector(tr, members, interval, timeout, nil)
+		t.Cleanup(tr.Close)
+	}
+	t.Cleanup(func() {
+		for _, d := range detectors {
+			d.Stop()
+		}
+		net.Close()
+	})
+	return net, detectors, nodes
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if cond() {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func TestDetectorAllAlive(t *testing.T) {
+	_, detectors, _ := detectorCluster(t, 3, time.Millisecond, 50*time.Millisecond)
+	waitFor(t, "everyone alive", func() bool {
+		for _, d := range detectors {
+			if len(d.Alive()) != 2 || len(d.Suspects()) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestDetectorSuspectsPartitionedNode(t *testing.T) {
+	net, detectors, nodes := detectorCluster(t, 3, time.Millisecond, 20*time.Millisecond)
+	waitFor(t, "initial liveness", func() bool {
+		return len(detectors[0].Alive()) == 2
+	})
+
+	// Partition O3's node away.
+	net.Isolate(nodes[3])
+	waitFor(t, "O3 suspected by O1 and O2", func() bool {
+		return detectors[0].Suspected(3) && detectors[1].Suspected(3)
+	})
+	// O1 and O2 still see each other.
+	if detectors[0].Suspected(2) || detectors[1].Suspected(1) {
+		t.Error("connected peers wrongly suspected")
+	}
+	// The isolated node suspects everyone.
+	waitFor(t, "O3 suspects the rest", func() bool {
+		return len(detectors[2].Suspects()) == 2
+	})
+
+	// Heal: O3 must come back.
+	net.Heal(nodes[3])
+	waitFor(t, "O3 alive again", func() bool {
+		return !detectors[0].Suspected(3) && !detectors[1].Suspected(3)
+	})
+}
+
+func TestDetectorStopIdempotent(t *testing.T) {
+	_, detectors, _ := detectorCluster(t, 2, time.Millisecond, 10*time.Millisecond)
+	detectors[0].Stop()
+	detectors[0].Stop()
+}
+
+func TestNetworkIsolateDropsBothDirections(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a := net.Node(1)
+	b := net.Node(2)
+	net.Isolate(2)
+	if err := a.Send(2, "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(1, "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-a.Recv():
+		t.Fatalf("message %v crossed a partition", m)
+	case m := <-b.Recv():
+		t.Fatalf("message %v crossed a partition", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	st := net.Stats()
+	if st.Dropped != 2 {
+		t.Errorf("dropped = %d, want 2", st.Dropped)
+	}
+	// Heal restores connectivity.
+	net.Heal(2)
+	if err := a.Send(2, "m2", nil); err != nil {
+		t.Fatal(err)
+	}
+	m := <-b.Recv()
+	if m.Kind != "m2" {
+		t.Errorf("got %v", m)
+	}
+}

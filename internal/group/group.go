@@ -1,0 +1,130 @@
+// Package group provides the group-communication support the paper names as
+// the practical implementation route for the resolution algorithm (§4.5):
+// "a practical way could be to use group communication and a group membership
+// service. Participating objects in a CA action could be treated as members
+// of a closed group which multicasts service messages to all members."
+//
+// It offers:
+//   - Directory: a membership service mapping participating objects to the
+//     nodes they run on, with closed-group views.
+//   - Transport: per-object reliable FIFO messaging. RawTransport assumes the
+//     network is reliable (the algorithm's baseline assumption); R3Transport
+//     ("reliable over unreliable") adds sequence numbers, cumulative acks,
+//     retransmission and duplicate suppression so the same guarantees hold on
+//     a lossy/duplicating netsim configuration.
+//   - Multicaster: totally-ordered multicast used by the ablation that elides
+//     protocol-level ACK messages ("if a reliable multicast can be used,
+//     acknowledgement messages will no longer be necessary").
+package group
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ident"
+	"repro/internal/netsim"
+)
+
+// Delivery is a message handed to the application layer.
+type Delivery struct {
+	From    ident.ObjectID
+	Kind    string
+	Payload any
+}
+
+// Transport is the reliable FIFO point-to-point channel abstraction the
+// resolution protocol runs over.
+type Transport interface {
+	// Self returns the owning object's identifier.
+	Self() ident.ObjectID
+	// Send transmits to one peer with FIFO-per-pair, exactly-once semantics.
+	Send(to ident.ObjectID, kind string, payload any) error
+	// Recv yields deliveries; the channel closes when the transport closes.
+	Recv() <-chan Delivery
+	// Close releases resources.
+	Close()
+}
+
+// Errors returned by the directory.
+var (
+	ErrUnknownMember = errors.New("group: unknown member")
+	ErrDuplicate     = errors.New("group: member already registered")
+)
+
+// Directory is the membership service: it assigns each participating object
+// a network node and tracks closed-group views.
+type Directory struct {
+	mu      sync.Mutex
+	net     *netsim.Network
+	nodes   map[ident.ObjectID]ident.NodeID
+	nextTag ident.NodeID
+	alloc   func() ident.NodeID // optional external node allocator
+}
+
+// NewDirectory creates a membership service over the given network.
+func NewDirectory(net *netsim.Network) *Directory {
+	return &Directory{net: net, nodes: make(map[ident.ObjectID]ident.NodeID)}
+}
+
+// NewDirectoryWithAllocator creates a membership service whose node
+// identifiers come from alloc. Use this when several directories share one
+// network (e.g. successive recovery attempts) so their nodes never collide.
+func NewDirectoryWithAllocator(net *netsim.Network, alloc func() ident.NodeID) *Directory {
+	return &Directory{net: net, nodes: make(map[ident.ObjectID]ident.NodeID), alloc: alloc}
+}
+
+// Register places obj on a fresh node and returns its endpoint.
+func (d *Directory) Register(obj ident.ObjectID) (*netsim.Endpoint, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.nodes[obj]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, obj)
+	}
+	var node ident.NodeID
+	if d.alloc != nil {
+		node = d.alloc()
+	} else {
+		d.nextTag++
+		node = d.nextTag
+	}
+	d.nodes[obj] = node
+	return d.net.Node(node), nil
+}
+
+// Lookup returns the node hosting obj.
+func (d *Directory) Lookup(obj ident.ObjectID) (ident.NodeID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	node, ok := d.nodes[obj]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownMember, obj)
+	}
+	return node, nil
+}
+
+// Members returns the sorted identifiers of every registered object — the
+// closed group view.
+func (d *Directory) Members() []ident.ObjectID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ident.ObjectID, 0, len(d.nodes))
+	for obj := range d.nodes {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// envelope is the wire format shared by both transports.
+type envelope struct {
+	From    ident.ObjectID
+	Kind    string
+	Payload any
+	Seq     uint64 // 0 for raw transport
+	Ack     uint64 // cumulative ack piggyback / explicit ack
+	IsAck   bool
+}
+
+const wireKind = "group.envelope"

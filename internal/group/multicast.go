@@ -1,0 +1,62 @@
+package group
+
+import (
+	"sync"
+
+	"repro/internal/ident"
+)
+
+// Multicaster provides closed-group multicast over any Transport. Ordered
+// variants serialise multicasts through a group-wide sequencer lock so that
+// all members observe all multicasts in one total order — the property that
+// lets the resolution protocol drop its explicit ACK messages (§4.5).
+type Multicaster struct {
+	transport Transport
+	members   []ident.ObjectID
+	seq       *sync.Mutex // shared across the group's multicasters; nil = unordered
+}
+
+// NewMulticaster wraps a transport with the group view. members must include
+// every group member (self is skipped when sending).
+func NewMulticaster(t Transport, members []ident.ObjectID) *Multicaster {
+	out := make([]ident.ObjectID, len(members))
+	copy(out, members)
+	return &Multicaster{transport: t, members: out}
+}
+
+// NewOrderedMulticaster is NewMulticaster plus a total-order sequencer shared
+// by the whole group (pass the same *sync.Mutex to every member).
+func NewOrderedMulticaster(t Transport, members []ident.ObjectID, sequencer *sync.Mutex) *Multicaster {
+	m := NewMulticaster(t, members)
+	m.seq = sequencer
+	return m
+}
+
+// Members returns a copy of the group view.
+func (m *Multicaster) Members() []ident.ObjectID {
+	out := make([]ident.ObjectID, len(m.members))
+	copy(out, m.members)
+	return out
+}
+
+// Multicast sends one message to every other member. With a sequencer, the
+// sends for one multicast are atomic with respect to other multicasts in the
+// group, yielding a total order at all receivers. Returns the number of
+// point-to-point sends performed.
+func (m *Multicaster) Multicast(kind string, payload any) (int, error) {
+	if m.seq != nil {
+		m.seq.Lock()
+		defer m.seq.Unlock()
+	}
+	sent := 0
+	for _, member := range m.members {
+		if member == m.transport.Self() {
+			continue
+		}
+		if err := m.transport.Send(member, kind, payload); err != nil {
+			return sent, err
+		}
+		sent++
+	}
+	return sent, nil
+}

@@ -1,0 +1,92 @@
+package group
+
+import (
+	"sync"
+
+	"repro/internal/ident"
+	"repro/internal/netsim"
+)
+
+// RawTransport is the baseline transport: it relies on the network itself
+// being reliable and FIFO (the paper's §4.2 assumption, "FIFO message
+// sending/receiving between objects"). Use it with a netsim configuration
+// that has no drop or duplication.
+type RawTransport struct {
+	self ident.ObjectID
+	dir  *Directory
+	ep   *netsim.Endpoint
+
+	out  chan Delivery
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+var _ Transport = (*RawTransport)(nil)
+
+// NewRawTransport registers obj with the directory and starts its receive
+// loop.
+func NewRawTransport(dir *Directory, obj ident.ObjectID) (*RawTransport, error) {
+	ep, err := dir.Register(obj)
+	if err != nil {
+		return nil, err
+	}
+	t := &RawTransport{
+		self: obj,
+		dir:  dir,
+		ep:   ep,
+		out:  make(chan Delivery),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go t.loop()
+	return t, nil
+}
+
+// Self returns the owning object's identifier.
+func (t *RawTransport) Self() ident.ObjectID { return t.self }
+
+// Send transmits one message to a peer.
+func (t *RawTransport) Send(to ident.ObjectID, kind string, payload any) error {
+	node, err := t.dir.Lookup(to)
+	if err != nil {
+		return err
+	}
+	return t.ep.Send(node, wireKind, envelope{From: t.self, Kind: kind, Payload: payload})
+}
+
+// Recv yields deliveries in per-sender FIFO order.
+func (t *RawTransport) Recv() <-chan Delivery { return t.out }
+
+// Close stops the receive loop and closes the delivery channel.
+func (t *RawTransport) Close() {
+	t.once.Do(func() {
+		close(t.stop)
+		<-t.done
+	})
+}
+
+func (t *RawTransport) loop() {
+	defer close(t.done)
+	defer close(t.out)
+	for {
+		select {
+		case <-t.stop:
+			return
+		case m, ok := <-t.ep.Recv():
+			if !ok {
+				return
+			}
+			env, ok := m.Payload.(envelope)
+			if !ok {
+				continue
+			}
+			d := Delivery{From: env.From, Kind: env.Kind, Payload: env.Payload}
+			select {
+			case t.out <- d:
+			case <-t.stop:
+				return
+			}
+		}
+	}
+}

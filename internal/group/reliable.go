@@ -1,0 +1,239 @@
+package group
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/netsim"
+)
+
+// R3Transport ("reliable over unreliable") implements exactly-once FIFO
+// delivery on top of a lossy, duplicating netsim configuration: per-peer
+// sequence numbers, selective-repeat receive buffering, cumulative
+// acknowledgements and periodic retransmission. It is the piece that turns
+// the raw network into the channel the resolution algorithm assumes.
+type R3Transport struct {
+	self ident.ObjectID
+	dir  *Directory
+	ep   *netsim.Endpoint
+
+	mu    sync.Mutex
+	peers map[ident.ObjectID]*peerState
+
+	retransmit time.Duration
+	out        chan Delivery
+	stop       chan struct{}
+	done       chan struct{}
+	once       sync.Once
+}
+
+var _ Transport = (*R3Transport)(nil)
+
+type peerState struct {
+	// Sender side.
+	sendSeq uint64
+	ackedTo uint64 // highest cumulative ack processed
+	unacked map[uint64]*outMsg
+	// Receiver side.
+	recvNext uint64 // next expected sequence number (first is 1)
+	pending  map[uint64]envelope
+}
+
+// outMsg tracks one unacknowledged message with its retransmission state.
+// Each entry has its own timeout with exponential backoff: without it, the
+// ticker re-blasts the whole backlog every period, the duplicates trigger
+// re-acks, and the ack backlog delays the very acknowledgements that would
+// clear the window — a self-amplifying retransmission storm (congestion
+// collapse).
+type outMsg struct {
+	env      envelope
+	lastSent time.Time
+	rto      time.Duration
+}
+
+func newPeerState() *peerState {
+	return &peerState{
+		recvNext: 1,
+		unacked:  make(map[uint64]*outMsg),
+		pending:  make(map[uint64]envelope),
+	}
+}
+
+// maxRTO caps the per-message retransmission backoff.
+const maxRTO = 50 * time.Millisecond
+
+// NewR3Transport registers obj and starts its protocol loop. retransmit is
+// the retransmission period for unacknowledged messages.
+func NewR3Transport(dir *Directory, obj ident.ObjectID, retransmit time.Duration) (*R3Transport, error) {
+	ep, err := dir.Register(obj)
+	if err != nil {
+		return nil, err
+	}
+	if retransmit <= 0 {
+		retransmit = 5 * time.Millisecond
+	}
+	t := &R3Transport{
+		self:       obj,
+		dir:        dir,
+		ep:         ep,
+		peers:      make(map[ident.ObjectID]*peerState),
+		retransmit: retransmit,
+		out:        make(chan Delivery),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go t.loop()
+	return t, nil
+}
+
+// Self returns the owning object's identifier.
+func (t *R3Transport) Self() ident.ObjectID { return t.self }
+
+// Send queues one message for reliable delivery to a peer.
+func (t *R3Transport) Send(to ident.ObjectID, kind string, payload any) error {
+	node, err := t.dir.Lookup(to)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	ps := t.peer(to)
+	ps.sendSeq++
+	env := envelope{From: t.self, Kind: kind, Payload: payload, Seq: ps.sendSeq}
+	ps.unacked[env.Seq] = &outMsg{env: env, lastSent: time.Now(), rto: t.retransmit}
+	t.mu.Unlock()
+	return t.ep.Send(node, wireKind, env)
+}
+
+// Recv yields deliveries in per-sender FIFO order with duplicates removed.
+func (t *R3Transport) Recv() <-chan Delivery { return t.out }
+
+// Close stops the protocol loop.
+func (t *R3Transport) Close() {
+	t.once.Do(func() {
+		close(t.stop)
+		<-t.done
+	})
+}
+
+// peer returns (creating) the state for one peer. Caller holds t.mu.
+func (t *R3Transport) peer(id ident.ObjectID) *peerState {
+	ps, ok := t.peers[id]
+	if !ok {
+		ps = newPeerState()
+		t.peers[id] = ps
+	}
+	return ps
+}
+
+func (t *R3Transport) loop() {
+	defer close(t.done)
+	defer close(t.out)
+	ticker := time.NewTicker(t.retransmit)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.resendUnacked()
+		case m, ok := <-t.ep.Recv():
+			if !ok {
+				return
+			}
+			env, ok := m.Payload.(envelope)
+			if !ok {
+				continue
+			}
+			if env.IsAck {
+				t.handleAck(env)
+				continue
+			}
+			for _, d := range t.handleData(env) {
+				select {
+				case t.out <- d:
+				case <-t.stop:
+					return
+				}
+			}
+		}
+	}
+}
+
+// handleData processes one data envelope: acks it, suppresses duplicates,
+// buffers out-of-order arrivals and returns any now-deliverable messages.
+func (t *R3Transport) handleData(env envelope) []Delivery {
+	t.mu.Lock()
+	ps := t.peer(env.From)
+	var ready []Delivery
+	switch {
+	case env.Seq < ps.recvNext:
+		// Duplicate of an already-delivered message: just re-ack below.
+	case env.Seq == ps.recvNext:
+		ready = append(ready, Delivery{From: env.From, Kind: env.Kind, Payload: env.Payload})
+		ps.recvNext++
+		for {
+			next, ok := ps.pending[ps.recvNext]
+			if !ok {
+				break
+			}
+			delete(ps.pending, ps.recvNext)
+			ready = append(ready, Delivery{From: next.From, Kind: next.Kind, Payload: next.Payload})
+			ps.recvNext++
+		}
+	default:
+		ps.pending[env.Seq] = env
+	}
+	ackUpTo := ps.recvNext - 1
+	t.mu.Unlock()
+
+	if node, err := t.dir.Lookup(env.From); err == nil {
+		_ = t.ep.Send(node, wireKind, envelope{From: t.self, IsAck: true, Ack: ackUpTo})
+	}
+	return ready
+}
+
+func (t *R3Transport) handleAck(env envelope) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := t.peer(env.From)
+	// Acks are cumulative and sequence numbers contiguous: advance the
+	// watermark and delete exactly the newly covered range. Scanning the
+	// whole map per ack would be O(window) and lets the window growth feed
+	// on itself under load.
+	if env.Ack <= ps.ackedTo {
+		return
+	}
+	for seq := ps.ackedTo + 1; seq <= env.Ack; seq++ {
+		delete(ps.unacked, seq)
+	}
+	ps.ackedTo = env.Ack
+}
+
+func (t *R3Transport) resendUnacked() {
+	now := time.Now()
+	t.mu.Lock()
+	type resend struct {
+		to  ident.ObjectID
+		env envelope
+	}
+	var batch []resend
+	for peerID, ps := range t.peers {
+		for _, m := range ps.unacked {
+			if now.Sub(m.lastSent) < m.rto {
+				continue // its own timeout has not expired yet
+			}
+			m.lastSent = now
+			if m.rto *= 2; m.rto > maxRTO {
+				m.rto = maxRTO
+			}
+			batch = append(batch, resend{to: peerID, env: m.env})
+		}
+	}
+	t.mu.Unlock()
+	for _, r := range batch {
+		if node, err := t.dir.Lookup(r.to); err == nil {
+			_ = t.ep.Send(node, wireKind, r.env)
+		}
+	}
+}

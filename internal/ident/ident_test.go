@@ -1,0 +1,38 @@
+package ident
+
+import "testing"
+
+func TestStrings(t *testing.T) {
+	if ObjectID(3).String() != "O3" {
+		t.Errorf("ObjectID(3) = %q", ObjectID(3).String())
+	}
+	if ActionID(2).String() != "A2" {
+		t.Errorf("ActionID(2) = %q", ActionID(2).String())
+	}
+	if NodeID(1).String() != "node1" {
+		t.Errorf("NodeID(1) = %q", NodeID(1).String())
+	}
+}
+
+func TestLess(t *testing.T) {
+	if !ObjectID(1).Less(2) {
+		t.Error("O1 should order before O2")
+	}
+	if ObjectID(2).Less(2) {
+		t.Error("Less must be strict")
+	}
+}
+
+func TestMaxObject(t *testing.T) {
+	if _, ok := MaxObject(nil); ok {
+		t.Error("empty set has no max")
+	}
+	got, ok := MaxObject([]ObjectID{3, 1, 7, 2})
+	if !ok || got != 7 {
+		t.Errorf("MaxObject = %v, %v; want 7", got, ok)
+	}
+	got, ok = MaxObject([]ObjectID{5})
+	if !ok || got != 5 {
+		t.Errorf("MaxObject = %v, %v; want 5", got, ok)
+	}
+}

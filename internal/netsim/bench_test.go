@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+)
+
+func BenchmarkSendDeliver(b *testing.B) {
+	net := New(Config{})
+	src := net.Node(1)
+	dst := net.Node(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range dst.Recv() {
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send(2, "bench", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	net.Close()
+	<-done
+}
+
+func BenchmarkSendWithFaultInjection(b *testing.B) {
+	net := New(Config{DropRate: 0.1, DupRate: 0.1, Seed: 1})
+	src := net.Node(1)
+	dst := net.Node(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range dst.Recv() {
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send(2, "bench", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	net.Close()
+	<-done
+}
+
+func BenchmarkFanOut16(b *testing.B) {
+	const peers = 16
+	net := New(Config{})
+	src := net.Node(0)
+	var drains []chan struct{}
+	for p := 1; p <= peers; p++ {
+		dst := net.Node(ident.NodeID(p))
+		done := make(chan struct{})
+		drains = append(drains, done)
+		go func(dst *Endpoint, done chan struct{}) {
+			defer close(done)
+			for range dst.Recv() {
+			}
+		}(dst, done)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 1; p <= peers; p++ {
+			if err := src.Send(ident.NodeID(p), "bench", i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	net.Close()
+	for _, d := range drains {
+		<-d
+	}
+}

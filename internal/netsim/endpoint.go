@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"sync"
+
+	"repro/internal/ident"
+)
+
+// Endpoint is a node's attachment to the network. Its inbox is an unbounded
+// FIFO queue: Send never blocks on a slow receiver, which mirrors a real
+// network stack's buffering and prevents protocol-level deadlocks from
+// backpressure.
+type Endpoint struct {
+	id  ident.NodeID
+	net *Network
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+
+	out  chan Message
+	done chan struct{}
+}
+
+func newEndpoint(id ident.NodeID, net *Network) *Endpoint {
+	ep := &Endpoint{
+		id:   id,
+		net:  net,
+		out:  make(chan Message),
+		done: make(chan struct{}),
+	}
+	ep.cond = sync.NewCond(&ep.mu)
+	net.wg.Add(1)
+	go ep.pump()
+	return ep
+}
+
+// ID returns the node identifier.
+func (e *Endpoint) ID() ident.NodeID { return e.id }
+
+// Send transmits a message from this endpoint to the named node.
+func (e *Endpoint) Send(to ident.NodeID, kind string, payload any) error {
+	return e.net.send(Message{From: e.id, To: to, Kind: kind, Payload: payload})
+}
+
+// Recv returns the channel on which delivered messages arrive, in per-sender
+// FIFO order. The channel is closed when the network shuts down; messages
+// still queued at that point are discarded.
+func (e *Endpoint) Recv() <-chan Message { return e.out }
+
+// enqueue appends a delivered message to the inbox queue.
+func (e *Endpoint) enqueue(m Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.queue = append(e.queue, m)
+	e.cond.Signal()
+}
+
+// close marks the endpoint closed; pump exits promptly even if no reader is
+// draining the out channel.
+func (e *Endpoint) close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.done)
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// pump moves messages from the unbounded queue to the out channel.
+func (e *Endpoint) pump() {
+	defer e.net.wg.Done()
+	defer close(e.out)
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		m := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+
+		select {
+		case e.out <- m:
+		case <-e.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package netsim simulates the distributed substrate the paper assumes: a set
+// of nodes with disjoint address spaces connected by a message-passing
+// network that provides FIFO delivery per ordered node pair (§4.2 "FIFO
+// message sending/receiving between objects").
+//
+// The simulation runs in-process: every node is an Endpoint whose inbox is an
+// unbounded FIFO queue, and every ordered pair of nodes is a link that can be
+// given non-zero latency. Optional fault injection (message drop and
+// duplication) models an unreliable network underneath the reliable-multicast
+// layer in package group, mirroring the implementation route sketched in
+// §4.5 of the paper.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// Message is a unit of communication between two nodes. Payload is opaque to
+// the network.
+type Message struct {
+	From    ident.NodeID
+	To      ident.NodeID
+	Kind    string
+	Payload any
+}
+
+// String renders the message envelope.
+func (m Message) String() string {
+	return fmt.Sprintf("%s->%s %s", m.From, m.To, m.Kind)
+}
+
+// LatencyModel computes the one-way delivery delay for a message. Delays are
+// applied serially per link, so per-pair FIFO order is always preserved.
+type LatencyModel func(from, to ident.NodeID) time.Duration
+
+// NoLatency delivers every message immediately.
+func NoLatency(ident.NodeID, ident.NodeID) time.Duration { return 0 }
+
+// FixedLatency returns a model with a constant one-way delay.
+func FixedLatency(d time.Duration) LatencyModel {
+	return func(ident.NodeID, ident.NodeID) time.Duration { return d }
+}
+
+// JitterLatency returns a model with delay uniformly distributed in
+// [base, base+jitter). The model owns its RNG and is safe for concurrent use.
+func JitterLatency(base, jitter time.Duration, seed int64) LatencyModel {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(ident.NodeID, ident.NodeID) time.Duration {
+		if jitter <= 0 {
+			return base
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return base + time.Duration(rng.Int63n(int64(jitter)))
+	}
+}
+
+// Config controls a Network.
+type Config struct {
+	// Latency computes per-message one-way delay. Nil means NoLatency.
+	Latency LatencyModel
+	// DropRate is the probability in [0,1) that a message is silently lost.
+	DropRate float64
+	// DupRate is the probability in [0,1) that a message is delivered twice.
+	DupRate float64
+	// Seed seeds the fault-injection RNG; fault decisions are deterministic
+	// for a fixed seed and send sequence.
+	Seed int64
+}
+
+// ErrClosed is returned by Send after the network has been shut down.
+var ErrClosed = errors.New("netsim: network closed")
+
+// ErrUnknownNode is returned when sending to a node with no endpoint.
+var ErrUnknownNode = errors.New("netsim: unknown node")
+
+// Network is a simulated message-passing network. Construct with New; use
+// Node to create endpoints. Close releases all goroutines.
+type Network struct {
+	cfg Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[ident.NodeID]*Endpoint
+	links     map[linkKey]*link
+	isolated  map[ident.NodeID]bool
+	closed    bool
+	stats     Stats
+
+	wg sync.WaitGroup
+}
+
+type linkKey struct {
+	from, to ident.NodeID
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.Latency == nil {
+		cfg.Latency = NoLatency
+	}
+	return &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		endpoints: make(map[ident.NodeID]*Endpoint),
+		links:     make(map[linkKey]*link),
+		isolated:  make(map[ident.NodeID]bool),
+	}
+}
+
+// Isolate partitions a node away: every message to or from it is dropped
+// until Heal. Models a crashed or partitioned node (the paper's fault model
+// includes "crashes or transient errors of nodes or the communication
+// network").
+func (n *Network) Isolate(id ident.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.isolated[id] = true
+}
+
+// Heal reconnects a node isolated with Isolate. Messages dropped while
+// partitioned are lost (transports with retransmission recover them).
+func (n *Network) Heal(id ident.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.isolated, id)
+}
+
+// Node returns the endpoint for id, creating it if necessary.
+func (n *Network) Node(id ident.NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok {
+		return ep
+	}
+	ep := newEndpoint(id, n)
+	n.endpoints[id] = ep
+	return ep
+}
+
+// Close shuts the network down: all endpoint queues are closed after their
+// pending messages drain, and all internal goroutines exit. Close blocks
+// until that happens. Sends after Close return ErrClosed.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+
+	for _, l := range links {
+		l.close()
+	}
+	for _, ep := range eps {
+		ep.close()
+	}
+	n.wg.Wait()
+}
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats.clone()
+}
+
+// ResetStats zeroes all counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// send routes a message from an endpoint. It applies fault injection, then
+// hands the message to the per-pair link (serial, latency-applying) or, with
+// zero latency, directly to the destination queue.
+func (n *Network) send(m Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[m.To]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, m.To)
+	}
+	n.stats.record(statSent, m.Kind)
+
+	copies := 1
+	if n.isolated[m.From] || n.isolated[m.To] {
+		copies = 0
+		n.stats.record(statDropped, m.Kind)
+	} else if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+		copies = 0
+		n.stats.record(statDropped, m.Kind)
+	} else if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		copies = 2
+		n.stats.record(statDuplicated, m.Kind)
+	}
+	if copies == 0 {
+		n.mu.Unlock()
+		return nil
+	}
+
+	lat := n.cfg.Latency(m.From, m.To)
+	var lk *link
+	if lat > 0 {
+		lk = n.linkLocked(m.From, m.To)
+	}
+	n.mu.Unlock()
+
+	for i := 0; i < copies; i++ {
+		if lk != nil {
+			lk.enqueue(m)
+		} else {
+			dst.enqueue(m)
+			n.mu.Lock()
+			n.stats.record(statDelivered, m.Kind)
+			n.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// linkLocked returns (creating on demand) the serial delivery link for the
+// ordered pair. Caller must hold n.mu.
+func (n *Network) linkLocked(from, to ident.NodeID) *link {
+	key := linkKey{from: from, to: to}
+	if l, ok := n.links[key]; ok {
+		return l
+	}
+	l := newLink(n, from, to)
+	n.links[key] = l
+	return l
+}

@@ -1,0 +1,249 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ident"
+)
+
+func TestSendReceive(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a := net.Node(1)
+	b := net.Node(2)
+
+	if err := a.Send(2, "ping", 42); err != nil {
+		t.Fatal(err)
+	}
+	m := <-b.Recv()
+	if m.From != 1 || m.To != 2 || m.Kind != "ping" || m.Payload.(int) != 42 {
+		t.Errorf("unexpected message %+v", m)
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a := net.Node(1)
+	if err := a.Send(99, "ping", nil); err == nil {
+		t.Fatal("want error for unknown node")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	net := New(Config{})
+	a := net.Node(1)
+	net.Node(2)
+	net.Close()
+	if err := a.Send(2, "ping", nil); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	// Recv channel must be closed.
+	if _, ok := <-a.Recv(); ok {
+		t.Error("recv channel should be closed")
+	}
+	// Close is idempotent.
+	net.Close()
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a := net.Node(1)
+	b := net.Node(2)
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, "seq", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m := <-b.Recv()
+		if m.Payload.(int) != i {
+			t.Fatalf("message %d arrived out of order (got %d)", i, m.Payload)
+		}
+	}
+}
+
+func TestFIFOPerPairWithLatency(t *testing.T) {
+	net := New(Config{Latency: JitterLatency(0, 200*time.Microsecond, 1)})
+	defer net.Close()
+	a := net.Node(1)
+	b := net.Node(2)
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, "seq", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m := <-b.Recv()
+		if m.Payload.(int) != i {
+			t.Fatalf("message %d arrived out of order (got %d)", i, m.Payload)
+		}
+	}
+}
+
+// TestFIFOProperty sends random interleavings from multiple senders and
+// checks per-sender order at the receiver.
+func TestFIFOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := New(Config{Latency: JitterLatency(0, 50*time.Microsecond, seed)})
+		defer net.Close()
+
+		const senders = 4
+		const msgs = 30
+		dst := net.Node(100)
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			ep := net.Node(ident.NodeID(s + 1))
+			wg.Add(1)
+			go func(ep *Endpoint) {
+				defer wg.Done()
+				for i := 0; i < msgs; i++ {
+					_ = ep.Send(100, "m", i)
+				}
+			}(ep)
+		}
+		next := make(map[ident.NodeID]int)
+		for i := 0; i < senders*msgs; i++ {
+			m := <-dst.Recv()
+			if m.Payload.(int) != next[m.From] {
+				return false
+			}
+			next[m.From]++
+		}
+		wg.Wait()
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	net := New(Config{DropRate: 1.0, Seed: 1})
+	defer net.Close()
+	a := net.Node(1)
+	b := net.Node(2)
+	for i := 0; i < 10; i++ {
+		if err := a.Send(2, "m", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("message %v should have been dropped", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	st := net.Stats()
+	if st.Sent != 10 || st.Dropped != 10 || st.Delivered != 0 {
+		t.Errorf("stats = %s", st)
+	}
+}
+
+func TestDupRate(t *testing.T) {
+	net := New(Config{DupRate: 1.0, Seed: 1})
+	defer net.Close()
+	a := net.Node(1)
+	b := net.Node(2)
+	if err := a.Send(2, "m", 7); err != nil {
+		t.Fatal(err)
+	}
+	m1 := <-b.Recv()
+	m2 := <-b.Recv()
+	if m1.Payload.(int) != 7 || m2.Payload.(int) != 7 {
+		t.Errorf("want duplicate delivery, got %v %v", m1, m2)
+	}
+	st := net.Stats()
+	if st.Duplicated != 1 {
+		t.Errorf("stats = %s", st)
+	}
+}
+
+func TestStatsByKind(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a := net.Node(1)
+	b := net.Node(2)
+	for i := 0; i < 3; i++ {
+		_ = a.Send(2, "x", nil)
+	}
+	_ = a.Send(2, "y", nil)
+	for i := 0; i < 4; i++ {
+		<-b.Recv()
+	}
+	st := net.Stats()
+	if st.SentByKind["x"] != 3 || st.SentByKind["y"] != 1 {
+		t.Errorf("census = %v", st.SentByKind)
+	}
+	if st.String() == "" {
+		t.Error("String should render")
+	}
+	net.ResetStats()
+	if net.Stats().Sent != 0 {
+		t.Error("ResetStats should zero counters")
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	const d = 5 * time.Millisecond
+	net := New(Config{Latency: FixedLatency(d)})
+	defer net.Close()
+	a := net.Node(1)
+	b := net.Node(2)
+	start := time.Now()
+	if err := a.Send(2, "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Recv()
+	if elapsed := time.Since(start); elapsed < d {
+		t.Errorf("delivered after %v, want >= %v", elapsed, d)
+	}
+}
+
+func TestCloseUnblocksPendingDelivery(t *testing.T) {
+	net := New(Config{})
+	a := net.Node(1)
+	net.Node(2)
+	// Fill node 2's queue but never read it; Close must still return.
+	for i := 0; i < 100; i++ {
+		_ = a.Send(2, "m", i)
+	}
+	done := make(chan struct{})
+	go func() {
+		net.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked on undrained endpoint")
+	}
+}
+
+func TestNodeIdempotent(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	if net.Node(5) != net.Node(5) {
+		t.Error("Node must return the same endpoint for the same id")
+	}
+	if net.Node(5).ID() != 5 {
+		t.Error("ID mismatch")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := Message{From: 1, To: 2, Kind: "ping"}
+	if m.String() != "node1->node2 ping" {
+		t.Errorf("String = %q", m.String())
+	}
+}

@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type statClass int
+
+const (
+	statSent statClass = iota + 1
+	statDelivered
+	statDropped
+	statDuplicated
+)
+
+// Stats holds network counters, overall and per message kind.
+type Stats struct {
+	Sent       int
+	Delivered  int
+	Dropped    int
+	Duplicated int
+
+	SentByKind map[string]int
+}
+
+func (s *Stats) record(class statClass, kind string) {
+	switch class {
+	case statSent:
+		s.Sent++
+		if s.SentByKind == nil {
+			s.SentByKind = make(map[string]int)
+		}
+		s.SentByKind[kind]++
+	case statDelivered:
+		s.Delivered++
+	case statDropped:
+		s.Dropped++
+	case statDuplicated:
+		s.Duplicated++
+	}
+}
+
+func (s Stats) clone() Stats {
+	out := s
+	out.SentByKind = make(map[string]int, len(s.SentByKind))
+	for k, v := range s.SentByKind {
+		out.SentByKind[k] = v
+	}
+	return out
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	keys := make([]string, 0, len(s.SentByKind))
+	for k := range s.SentByKind {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, s.SentByKind[k]))
+	}
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d dup=%d [%s]",
+		s.Sent, s.Delivered, s.Dropped, s.Duplicated, strings.Join(parts, " "))
+}

@@ -1,0 +1,168 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+func newCentral(t *testing.T, n int) *CentralSim {
+	t.Helper()
+	tb := exception.NewBuilder("root")
+	for i := 1; i <= n; i++ {
+		tb.Add(fmt.Sprintf("E%d", i), "root")
+	}
+	members := make([]ident.ObjectID, n)
+	for i := range members {
+		members[i] = ident.ObjectID(i + 1)
+	}
+	cs, err := NewCentralSim(tb.MustBuild(), members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestCentralSingleRaiser(t *testing.T) {
+	cs := newCentral(t, 4)
+	if ok, err := cs.Raise(3, "E3"); err != nil || !ok {
+		t.Fatalf("raise: %v %v", ok, err)
+	}
+	if err := cs.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		got := cs.Handled[ident.ObjectID(i)]
+		if len(got) != 1 || got[0] != "E3" {
+			t.Errorf("O%d handled %v", i, got)
+		}
+	}
+	// 1 CException + 3 CProbe + 3 CStatus + 3 CCommit = 10 = P + 3(N-1).
+	if got, want := cs.Log.TotalSends(), PredictCentralMessages(4, 1); got != want {
+		t.Errorf("messages = %d, want %d (%s)", got, want, cs.Log.CensusString())
+	}
+}
+
+func TestCentralAllRaise(t *testing.T) {
+	const n = 6
+	cs := newCentral(t, n)
+	// All non-manager objects raise before any delivery (concurrent burst).
+	for i := 2; i <= n; i++ {
+		if ok, err := cs.Raise(ident.ObjectID(i), fmt.Sprintf("E%d", i)); err != nil || !ok {
+			t.Fatalf("raise %d: %v %v", i, ok, err)
+		}
+	}
+	if err := cs.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	want := PredictCentralMessages(n, n-1)
+	if got := cs.Log.TotalSends(); got != want {
+		t.Errorf("messages = %d, want %d (%s)", got, want, cs.Log.CensusString())
+	}
+	// Resolution covers all: flat tree -> root.
+	for i := 1; i <= n; i++ {
+		got := cs.Handled[ident.ObjectID(i)]
+		if len(got) != 1 || got[0] != "root" {
+			t.Errorf("O%d handled %v", i, got)
+		}
+	}
+}
+
+func TestCentralManagerRaises(t *testing.T) {
+	cs := newCentral(t, 3)
+	if ok, err := cs.Raise(cs.Manager(), "E1"); err != nil || !ok {
+		t.Fatalf("raise: %v %v", ok, err)
+	}
+	if err := cs.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	// No CException message: 2 probes + 2 status + 2 commits = 6.
+	if got := cs.Log.TotalSends(); got != 6 {
+		t.Errorf("messages = %d, want 6 (%s)", got, cs.Log.CensusString())
+	}
+	for i := 1; i <= 3; i++ {
+		if got := cs.Handled[ident.ObjectID(i)]; len(got) != 1 || got[0] != "E1" {
+			t.Errorf("O%d handled %v", i, got)
+		}
+	}
+}
+
+func TestCentralRaiseAfterSuspensionDropped(t *testing.T) {
+	cs := newCentral(t, 3)
+	if ok, _ := cs.Raise(2, "E2"); !ok {
+		t.Fatal("raise dropped")
+	}
+	// Deliver until O3 is probed (suspended), then try to raise there.
+	for i := 0; i < 3; i++ {
+		if !cs.Step() {
+			t.Fatal("queue drained early")
+		}
+	}
+	ok, err := cs.Raise(3, "E3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("raise after suspension must be dropped")
+	}
+	if err := cs.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if got := cs.Handled[ident.ObjectID(i)]; len(got) != 1 || got[0] != "E2" {
+			t.Errorf("O%d handled %v", i, got)
+		}
+	}
+}
+
+func TestCentralConcurrentRaceCapturedByStatus(t *testing.T) {
+	cs := newCentral(t, 3)
+	if ok, _ := cs.Raise(2, "E2"); !ok {
+		t.Fatal("raise dropped")
+	}
+	// O3 raises before the probe reaches it: its CException and its CStatus
+	// both travel; the manager must not double-count or miss it.
+	if ok, _ := cs.Raise(3, "E3"); !ok {
+		t.Fatal("raise dropped")
+	}
+	if err := cs.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	chosen := cs.Log.FilterKind(trace.EvCommitChosen)
+	if len(chosen) != 1 || chosen[0].Label != "root" {
+		t.Fatalf("chosen = %v, want one commit of root (covers E2,E3)", chosen)
+	}
+}
+
+func TestCentralValidation(t *testing.T) {
+	if _, err := NewCentralSim(exception.AircraftTree(), nil); err == nil {
+		t.Error("empty membership must error")
+	}
+	cs := newCentral(t, 2)
+	if _, err := cs.Raise(99, "E1"); err == nil {
+		t.Error("unknown object must error")
+	}
+}
+
+// TestCentralVsDecentralisedCrossover pins the trade-off: the centralised
+// variant is linear in N (cheaper for large P) but the decentralised one
+// wins on hops and has no single point of failure. Message counts only.
+func TestCentralVsDecentralisedCrossover(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		central := PredictCentralMessages(n, n-1)
+		decentral := PredictMessages(n, n, 0)
+		if central >= decentral {
+			t.Errorf("N=%d: central %d should be cheaper than decentralised %d when all raise",
+				n, central, decentral)
+		}
+		// With a single raiser the two are comparable (both linear).
+		c1 := PredictCentralMessages(n, 1)
+		d1 := PredictMessages(n, 1, 0)
+		if c1 != 1+3*(n-1) || d1 != 3*(n-1) {
+			t.Errorf("N=%d: closed forms broke: %d, %d", n, c1, d1)
+		}
+	}
+}

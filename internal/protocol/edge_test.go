@@ -1,0 +1,274 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+)
+
+// TestPostCommitStragglerGetsAck: an Exception that arrives after the
+// resolution committed must still be acknowledged so the late raiser can
+// reach R and consume its stashed Commit. This is the engine's
+// post-commit-message path.
+func TestPostCommitStragglerGetsAck(t *testing.T) {
+	tree := aircraft()
+	members := []ident.ObjectID{1, 2, 3}
+	b := newBus(t)
+	for _, o := range members {
+		b.addEngine(o)
+	}
+	f := frameOf(1, []ident.ActionID{1}, tree, members...)
+	b.enterAll(f, members...)
+
+	// O1 and O3 raise concurrently. We deliver messages manually so that
+	// O3's Exception reaches O2 only after O2 processed the Commit.
+	if ok, _ := b.engines[1].RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	if ok, _ := b.engines[3].RaiseLocal("right_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain()
+	// Everyone agrees despite interleaving; engines all committed.
+	for _, o := range members {
+		if got, ok := b.engines[o].CommittedAt(1); !ok || got != "engine_loss" {
+			t.Errorf("%s committed %q %v", o, got, ok)
+		}
+		if got := b.handled[o]; len(got) != 1 || got[0] != "A1:engine_loss" {
+			t.Errorf("%s handled %v", o, got)
+		}
+	}
+	// Now inject a forged straggler Exception for the already-committed
+	// action: it must be ACKed, not restart a resolution.
+	before := b.log.CountSends(KindAck)
+	b.engines[2].HandleMessage(Msg{
+		Kind: KindException, Action: 1, Path: []ident.ActionID{1}, From: 3, Exc: "left_engine",
+	})
+	if got := b.log.CountSends(KindAck); got != before+1 {
+		t.Errorf("straggler ACKs = %d, want %d", got, before+1)
+	}
+	if b.engines[2].State() != StateNormal {
+		t.Errorf("state = %v after straggler, want N", b.engines[2].State())
+	}
+}
+
+// TestDuplicateCommitIgnored: a second Commit for the same action is a
+// no-op (at-least-once delivery safety).
+func TestDuplicateCommitIgnored(t *testing.T) {
+	tree := aircraft()
+	members := []ident.ObjectID{1, 2}
+	b := newBus(t)
+	for _, o := range members {
+		b.addEngine(o)
+	}
+	b.enterAll(frameOf(1, []ident.ActionID{1}, tree, members...), members...)
+	if ok, _ := b.engines[1].RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain()
+	if got := b.handled[2]; len(got) != 1 {
+		t.Fatalf("handled %v", got)
+	}
+	b.engines[2].HandleMessage(Msg{Kind: KindCommit, Action: 1, From: 1, Exc: "left_engine"})
+	if got := b.handled[2]; len(got) != 1 {
+		t.Errorf("duplicate Commit re-ran the handler: %v", got)
+	}
+}
+
+// TestStaleAckIgnored: ACKs tagged with an abandoned nested action must not
+// count toward the containing resolution.
+func TestStaleAckIgnored(t *testing.T) {
+	tree := aircraft()
+	b := newBus(t)
+	e := b.addEngine(1)
+	b.addEngine(2)
+	b.enterAll(frameOf(1, []ident.ActionID{1}, tree, 1, 2), 1, 2)
+	if ok, _ := e.RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	// A stale ACK for some other action: ignored.
+	e.HandleMessage(Msg{Kind: KindAck, Action: 99, From: 2})
+	if e.State() != StateExceptional {
+		t.Fatalf("state = %v, want X (stale ack must not advance)", e.State())
+	}
+	b.drain()
+	if got := b.handled[1]; len(got) != 1 {
+		t.Errorf("handled %v", got)
+	}
+}
+
+// TestUnknownMessageKindLogged: garbage kinds are logged and ignored.
+func TestUnknownMessageKindLogged(t *testing.T) {
+	b := newBus(t)
+	e := b.addEngine(1)
+	e.HandleMessage(Msg{Kind: "Garbage", Action: 1, From: 2})
+	found := false
+	for _, ev := range b.log.Events() {
+		if ev.Label == "unknown-kind" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unknown kind was not logged")
+	}
+	if e.State() != StateNormal {
+		t.Errorf("state = %v", e.State())
+	}
+}
+
+// TestBelatedEntryAfterCommit: a belated participant whose parked Exception
+// is replayed after the action's resolution already committed (possible when
+// it enters very late) just acknowledges it.
+func TestBelatedEntryAfterCommit(t *testing.T) {
+	tree := aircraft()
+	b := newBus(t)
+	for _, o := range []ident.ObjectID{1, 2} {
+		b.addEngine(o)
+	}
+	a1 := frameOf(1, []ident.ActionID{1}, tree, 1, 2)
+	b.enterAll(a1, 1, 2)
+	// Nested action with members 1 and 2; O2 belated.
+	a2 := frameOf(2, []ident.ActionID{1, 2}, tree, 1, 2)
+	b.enterAll(a2, 1)
+
+	if ok, _ := b.engines[1].RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain() // O1's Exception parks at belated O2; resolution stalls.
+
+	// Simulate O2 learning the resolution out-of-band: mark it committed by
+	// delivering a Commit after it finally enters.
+	b.enterAll(a2, 2)
+	b.drain()
+	// Having entered, O2 replays the Exception, ACKs it, O1 reaches R,
+	// commits; O2 gets the Commit and runs the handler.
+	for _, o := range []ident.ObjectID{1, 2} {
+		if got := b.handled[o]; len(got) != 1 || got[0] != "A2:left_engine" {
+			t.Errorf("%s handled %v", o, got)
+		}
+	}
+}
+
+// TestLeaveWhileResolutionElsewhere: leaving an action you are not innermost
+// in errors rather than corrupting the stack.
+func TestLeaveWrongOrder(t *testing.T) {
+	tree := aircraft()
+	b := newBus(t)
+	e := b.addEngine(1)
+	b.enterAll(frameOf(1, []ident.ActionID{1}, tree, 1), 1)
+	b.enterAll(frameOf(2, []ident.ActionID{1, 2}, tree, 1), 1)
+	if err := e.LeaveAction(1); err == nil {
+		t.Fatal("leaving the outer action while inside a nested one must error")
+	}
+	if err := e.LeaveAction(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LeaveAction(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	tests := []struct {
+		give Msg
+		want string
+	}{
+		{Msg{Kind: KindException, Action: 1, From: 2, Exc: "E2"}, "Exception(A1, O2, E2)"},
+		{Msg{Kind: KindException, Action: 1, From: 2}, "Exception(A1, O2, null)"},
+		{Msg{Kind: KindHaveNested, Action: 1, From: 3}, "HaveNested(O3, A1)"},
+		{Msg{Kind: KindNestedCompleted, Action: 1, From: 3, Exc: "E3"}, "NestedCompleted(A1, O3, E3)"},
+		{Msg{Kind: KindAck, Action: 1, From: 4}, "ACK(O4, A1)"},
+		{Msg{Kind: KindCommit, Action: 1, Exc: "E"}, "Commit(A1, E)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+	if StateNormal.String() != "N" || StateExceptional.String() != "X" ||
+		StateSuspended.String() != "S" || StateReady.String() != "R" {
+		t.Error("state names wrong")
+	}
+	if !strings.Contains(State(42).String(), "42") {
+		t.Error("unknown state rendering")
+	}
+	r := Raised{Action: 1, Obj: 2, Exc: "E2"}
+	if r.String() != "<A1, O2, E2>" {
+		t.Errorf("Raised.String = %q", r.String())
+	}
+}
+
+// TestNestedWithinPathJudgement: messages carry ancestry paths; cleanup
+// applies only to strictly nested actions.
+func TestNestedWithinPathJudgement(t *testing.T) {
+	m := Msg{Action: 3, Path: []ident.ActionID{1, 2, 3}}
+	if !m.nestedWithin(1) || !m.nestedWithin(2) {
+		t.Error("A3 is nested within A1 and A2")
+	}
+	if m.nestedWithin(3) {
+		t.Error("an action is not nested within itself")
+	}
+	if m.nestedWithin(9) {
+		t.Error("unrelated action")
+	}
+}
+
+// TestPredictMessagesSpecialCases pins the closed forms quoted in §4.4.
+func TestPredictMessagesSpecialCases(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 100} {
+		if got, want := PredictMessages(n, 1, 0), 3*(n-1); got != want {
+			t.Errorf("case1 N=%d: %d != %d", n, got, want)
+		}
+		if got, want := PredictMessages(n, 1, n-1), 3*n*(n-1); got != want {
+			t.Errorf("case2 N=%d: %d != %d", n, got, want)
+		}
+		if got, want := PredictMessages(n, n, 0), (n-1)*(2*n+1); got != want {
+			t.Errorf("case3 N=%d: %d != %d", n, got, want)
+		}
+	}
+}
+
+// TestResolutionAtMiddleLevel: three-deep chain A1 ⊃ A2 ⊃ A3; an exception
+// raised in A2 aborts only A3 and resolves among A2's members; A1 never
+// sees protocol traffic.
+func TestResolutionAtMiddleLevel(t *testing.T) {
+	tree := exception.ChainTree(4)
+	b := newBus(t)
+	all := []ident.ObjectID{1, 2, 3}
+	for _, o := range all {
+		b.addEngine(o)
+	}
+	b.enterAll(frameOf(1, []ident.ActionID{1}, tree, all...), all...)
+	b.enterAll(frameOf(2, []ident.ActionID{1, 2}, tree, 2, 3), 2, 3)
+	b.enterAll(frameOf(3, []ident.ActionID{1, 2, 3}, tree, 3), 3)
+
+	// O2 raises in A2 while O3 is deeper, in A3.
+	if ok, _ := b.engines[2].RaiseLocal("e3"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain()
+
+	if got := b.handled[2]; len(got) != 1 || got[0] != "A2:e3" {
+		t.Errorf("O2 handled %v", got)
+	}
+	if got := b.handled[3]; len(got) != 1 || got[0] != "A2:e3" {
+		t.Errorf("O3 handled %v", got)
+	}
+	if got := b.handled[1]; len(got) != 0 {
+		t.Errorf("O1 handled %v, want none (A1 untouched)", got)
+	}
+	// O3 aborted exactly its A3 frame.
+	if len(b.aborts[3]) != 1 || b.aborts[3][0] != 2 {
+		t.Errorf("O3 aborts = %v, want [A2]", b.aborts[3])
+	}
+	if b.engines[1].State() != StateNormal {
+		t.Errorf("O1 state = %v", b.engines[1].State())
+	}
+	// Message count: resolution among A2's 2 members with P=1, Q=1:
+	// (2-1)(2+3+1) = 6.
+	if got := b.log.TotalSends(); got != 6 {
+		t.Errorf("messages = %d, want 6 [%s]", got, b.log.CensusString())
+	}
+}

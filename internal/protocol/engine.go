@@ -1,0 +1,600 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// Hooks are the effects an Engine produces. All hooks are invoked
+// synchronously from whatever goroutine drives the engine; implementations
+// must not call back into the engine.
+type Hooks struct {
+	// Send transmits a protocol message to one peer.
+	Send func(to ident.ObjectID, m Msg)
+	// Suspend tells the participant's body to stop normal work in the given
+	// action ("it is in practice impossible to interrupt all participating
+	// objects immediately" — this is the asynchronous interruption request).
+	Suspend func(action ident.ActionID)
+	// AbortNested aborts every action nested within downTo, innermost first,
+	// by running abortion handlers, and returns the exception signalled by
+	// the abortion handlers of the action directly nested in downTo ("" for
+	// none). It must block until abortion completes.
+	AbortNested func(downTo ident.ActionID) string
+	// StartHandler begins the handler for the resolved exception in the
+	// given action.
+	StartHandler func(action ident.ActionID, exc string)
+	// Log records a trace event; may be nil.
+	Log func(ev trace.Event)
+}
+
+// Frame is one entry of the SA stack: an entered action with its exception
+// context.
+type Frame struct {
+	Action  ident.ActionID
+	Path    []ident.ActionID // ancestry, outermost first, ending in Action
+	Members []ident.ObjectID // all declared participants, including self
+	Tree    *exception.Tree
+}
+
+// Engine errors.
+var (
+	ErrNotInAction   = errors.New("protocol: object is not in that action")
+	ErrAlreadyInside = errors.New("protocol: action already entered")
+)
+
+// Engine is the per-object resolution state machine. It is not safe for
+// concurrent use; one goroutine must own it.
+type Engine struct {
+	self  ident.ObjectID
+	hooks Hooks
+
+	stack []Frame // SA_i
+
+	// Resolution state. resAction is the action the current resolution runs
+	// at (0 = none). The lists carry the paper's names.
+	state     State
+	resAction ident.ActionID
+	le        []Raised                  // LE_i
+	lo        map[ident.ObjectID]bool   // LO_i: objects owing us NestedCompleted
+	ackWanted map[ident.ObjectID]int    // how many ACKs each peer owes us
+	ackGot    map[ident.ObjectID]int    // LP_i: ACKs received per peer
+	stashed   *string                   // Commit received before reaching R
+	committed map[ident.ActionID]string // resolutions already committed
+
+	// pending holds messages for actions not yet entered (belated arrival).
+	pending []Msg
+
+	// waitPolicy selects Figure 1(a): instead of aborting nested actions on
+	// an exception in a containing action, defer the message until the
+	// nested actions complete naturally. deferred holds those messages.
+	waitPolicy bool
+	deferred   []Msg
+
+	// chooserGroup is the number of objects responsible for resolution (the
+	// §4.4 fault-tolerance extension: "the algorithm can be easily extended
+	// to the use of a group of objects that are responsible for performing
+	// resolution and producing the commit messages"). Default 1. The k
+	// biggest raisers all resolve and multicast Commit; duplicates are
+	// suppressed by the committed-resolution record.
+	chooserGroup int
+
+	// suspendedAt remembers the action for which Suspend was already issued,
+	// to avoid duplicate notifications.
+	suspendedAt ident.ActionID
+}
+
+// NewEngine creates an engine for one participating object.
+func NewEngine(self ident.ObjectID, hooks Hooks) *Engine {
+	return &Engine{
+		self:      self,
+		hooks:     hooks,
+		state:     StateNormal,
+		lo:        make(map[ident.ObjectID]bool),
+		ackWanted: make(map[ident.ObjectID]int),
+		ackGot:    make(map[ident.ObjectID]int),
+		committed: make(map[ident.ActionID]string),
+	}
+}
+
+// Self returns the owning object's identifier.
+func (e *Engine) Self() ident.ObjectID { return e.self }
+
+// SetChooserGroup makes the k biggest raisers all act as resolution choosers
+// (k >= 1), the paper's fault-tolerance extension. Every member of an action
+// must use the same k.
+func (e *Engine) SetChooserGroup(k int) {
+	if k < 1 {
+		k = 1
+	}
+	e.chooserGroup = k
+}
+
+// SetWaitForNested switches the engine to the paper's Figure 1(a) strategy:
+// when an exception is raised in a containing action while this object is
+// inside a nested action, the engine waits for the nested action to complete
+// instead of aborting it. The paper argues (and experiment E7 shows) that
+// this risks waiting forever on belated participants; the default is the
+// abortion strategy of Figure 1(b).
+func (e *Engine) SetWaitForNested(wait bool) { e.waitPolicy = wait }
+
+// State returns the current protocol state.
+func (e *Engine) State() State { return e.state }
+
+// ResolutionAction returns the action the current resolution runs at (0 when
+// no resolution is in progress).
+func (e *Engine) ResolutionAction() ident.ActionID { return e.resAction }
+
+// LE returns a copy of the LE list.
+func (e *Engine) LE() []Raised {
+	out := make([]Raised, len(e.le))
+	copy(out, e.le)
+	return out
+}
+
+// Depth returns the number of entered actions.
+func (e *Engine) Depth() int { return len(e.stack) }
+
+// Active returns the innermost entered action (0 if none).
+func (e *Engine) Active() ident.ActionID {
+	if len(e.stack) == 0 {
+		return 0
+	}
+	return e.stack[len(e.stack)-1].Action
+}
+
+// CommittedAt returns the resolved exception committed at the given action,
+// if any.
+func (e *Engine) CommittedAt(a ident.ActionID) (string, bool) {
+	exc, ok := e.committed[a]
+	return exc, ok
+}
+
+// EnterAction pushes an action frame ("<A> -> SA_i") and processes any
+// messages that arrived for it while this object was belated ("process
+// messages having arrived").
+func (e *Engine) EnterAction(f Frame) error {
+	if e.frameIndex(f.Action) >= 0 {
+		return fmt.Errorf("%w: %s", ErrAlreadyInside, f.Action)
+	}
+	e.stack = append(e.stack, f)
+	e.log(trace.Event{Kind: trace.EvEnter, Object: e.self, Action: f.Action})
+	// Replay pending messages addressed to the newly entered action.
+	var rest, replay []Msg
+	for _, m := range e.pending {
+		if m.Action == f.Action {
+			replay = append(replay, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	e.pending = rest
+	for _, m := range replay {
+		e.HandleMessage(m)
+	}
+	return nil
+}
+
+// LeaveAction pops the innermost action ("delete last element in SA_i"). The
+// caller coordinates the synchronous leave barrier.
+func (e *Engine) LeaveAction(a ident.ActionID) error {
+	if len(e.stack) == 0 || e.stack[len(e.stack)-1].Action != a {
+		return fmt.Errorf("%w: %s is not the active action", ErrNotInAction, a)
+	}
+	e.stack = e.stack[:len(e.stack)-1]
+	if e.resAction == a {
+		e.clearResolution()
+	}
+	if e.suspendedAt == a {
+		e.suspendedAt = 0
+	}
+	e.log(trace.Event{Kind: trace.EvLeave, Object: e.self, Action: a})
+	// Under the wait-for-nested policy, messages deferred for a containing
+	// action become processable once that action is active again.
+	if e.waitPolicy && len(e.deferred) > 0 {
+		active := e.Active()
+		var rest, replay []Msg
+		for _, m := range e.deferred {
+			if m.Action == active {
+				replay = append(replay, m)
+			} else {
+				rest = append(rest, m)
+			}
+		}
+		e.deferred = rest
+		for _, m := range replay {
+			e.HandleMessage(m)
+		}
+	}
+	return nil
+}
+
+// RaiseLocal raises an exception in the active action. It returns true when
+// the raise was accepted; a raise is dropped (returning false) when the
+// object is already in an exceptional/suspended state for a resolution
+// covering the active action — the detected error will be subsumed by the
+// resolution already under way.
+func (e *Engine) RaiseLocal(exc string) (bool, error) {
+	if len(e.stack) == 0 {
+		return false, ErrNotInAction
+	}
+	top := e.stack[len(e.stack)-1]
+	if _, done := e.committed[top.Action]; done {
+		return false, nil
+	}
+	if e.state != StateNormal {
+		e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: top.Action,
+			Label: "raise-dropped", Detail: exc})
+		return false, nil
+	}
+	e.setState(StateExceptional, top.Action)
+	e.resAction = top.Action
+	e.le = append(e.le, Raised{Action: top.Action, Obj: e.self, Exc: exc})
+	e.log(trace.Event{Kind: trace.EvRaise, Object: e.self, Action: top.Action, Label: exc})
+	e.multicast(top, Msg{
+		Kind:   KindException,
+		Action: top.Action,
+		Path:   top.Path,
+		From:   e.self,
+		Exc:    exc,
+	}, true /* wantAck */)
+	e.suspend(top.Action)
+	e.maybeReady()
+	return true, nil
+}
+
+// HandleMessage processes one incoming protocol message.
+func (e *Engine) HandleMessage(m Msg) {
+	e.log(trace.Event{Kind: trace.EvRecv, Object: e.self, Peer: m.From,
+		Action: m.Action, Label: m.Kind, Detail: m.Exc})
+	switch m.Kind {
+	case KindException, KindHaveNested:
+		e.handleExceptionOrHaveNested(m)
+	case KindNestedCompleted:
+		e.handleNestedCompleted(m)
+	case KindAck:
+		e.handleAck(m)
+	case KindCommit:
+		e.handleCommit(m)
+	default:
+		e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Label: "unknown-kind", Detail: m.Kind})
+	}
+}
+
+func (e *Engine) handleExceptionOrHaveNested(m Msg) {
+	idx := e.frameIndex(m.Action)
+	if idx < 0 {
+		// Belated: this object is a declared participant of m.Action but has
+		// not entered it yet. Park the message; it is either replayed on
+		// entry or cleaned up when a containing resolution escalates.
+		e.pending = append(e.pending, m)
+		return
+	}
+	frame := e.stack[idx]
+
+	if exc, done := e.committed[m.Action]; done {
+		// Resolution at this action already committed; stragglers still get
+		// their ACKs so late raisers can reach R and consume the Commit.
+		if m.Kind == KindException {
+			e.send(m.From, Msg{Kind: KindAck, Action: m.Action, From: e.self})
+		}
+		e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: m.Action,
+			Label: "post-commit-message", Detail: exc})
+		return
+	}
+
+	if idx < len(e.stack)-1 {
+		if e.waitPolicy {
+			// Figure 1(a): wait for the nested action to complete before
+			// taking part in the containing action's resolution.
+			e.deferred = append(e.deferred, m)
+			e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: m.Action,
+				Label: "deferred-until-nested-completes", Detail: m.String()})
+			return
+		}
+		// We are inside actions nested within m.Action: escalate. Any
+		// resolution in progress at a deeper level is abandoned ("the lower
+		// level resolution should be ignored").
+		e.suspend(m.Action)
+		e.escalateTo(idx, frame)
+	} else if e.resAction != m.Action {
+		// Resolution (newly) runs at our active action.
+		e.resAction = m.Action
+	}
+
+	// Clean up parked messages that belong to actions nested within the
+	// resolution level ("clean up messages related to nested actions").
+	e.dropPendingNestedIn(m.Action)
+
+	switch m.Kind {
+	case KindException:
+		e.le = append(e.le, Raised{Action: m.Action, Obj: m.From, Exc: m.Exc})
+		e.send(m.From, Msg{Kind: KindAck, Action: m.Action, From: e.self})
+	case KindHaveNested:
+		e.lo[m.From] = true
+	}
+
+	if e.state == StateNormal {
+		e.setState(StateSuspended, m.Action)
+	}
+	e.suspend(m.Action)
+	e.maybeReady()
+}
+
+// escalateTo aborts every action nested within frame (at stack index idx) and
+// performs the HaveNested / NestedCompleted exchange.
+func (e *Engine) escalateTo(idx int, frame Frame) {
+	// Abandon any deeper resolution.
+	e.clearResolution()
+	e.resAction = frame.Action
+
+	e.multicast(frame, Msg{
+		Kind:   KindHaveNested,
+		Action: frame.Action,
+		Path:   frame.Path,
+		From:   e.self,
+	}, false /* wantAck */)
+
+	// Drop parked messages for the actions being aborted.
+	e.dropPendingNestedIn(frame.Action)
+
+	// Abort nested actions innermost-first; abortion handlers of the action
+	// directly nested in frame.Action may signal one exception.
+	for i := len(e.stack) - 1; i > idx; i-- {
+		e.log(trace.Event{Kind: trace.EvAbort, Object: e.self, Action: e.stack[i].Action})
+	}
+	sig := ""
+	if e.hooks.AbortNested != nil {
+		sig = e.hooks.AbortNested(frame.Action)
+	}
+	e.stack = e.stack[:idx+1]
+
+	e.multicast(frame, Msg{
+		Kind:   KindNestedCompleted,
+		Action: frame.Action,
+		Path:   frame.Path,
+		From:   e.self,
+		Exc:    sig,
+	}, true /* wantAck */)
+
+	if sig != "" {
+		e.le = append(e.le, Raised{Action: frame.Action, Obj: e.self, Exc: sig})
+		e.setState(StateExceptional, frame.Action)
+	} else {
+		e.setState(StateSuspended, frame.Action)
+	}
+}
+
+func (e *Engine) handleNestedCompleted(m Msg) {
+	if m.Action != e.resAction {
+		// Stale or post-commit: still acknowledge so the sender can finish.
+		e.send(m.From, Msg{Kind: KindAck, Action: m.Action, From: e.self})
+		return
+	}
+	delete(e.lo, m.From)
+	e.send(m.From, Msg{Kind: KindAck, Action: m.Action, From: e.self})
+	if m.Exc != "" {
+		e.le = append(e.le, Raised{Action: m.Action, Obj: m.From, Exc: m.Exc})
+	}
+	e.maybeReady()
+}
+
+func (e *Engine) handleAck(m Msg) {
+	if m.Action != e.resAction {
+		return // stale ACK from an abandoned nested resolution
+	}
+	e.ackGot[m.From]++
+	e.maybeReady()
+}
+
+func (e *Engine) handleCommit(m Msg) {
+	if _, done := e.committed[m.Action]; done {
+		return
+	}
+	if m.Action != e.resAction {
+		// Commit for a resolution we are not (or no longer) part of at this
+		// level; with a correct chooser this cannot happen, but log it.
+		e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: m.Action,
+			Label: "unexpected-commit", Detail: m.Exc})
+		return
+	}
+	switch e.state {
+	case StateReady, StateSuspended:
+		e.finish(m.Action, m.Exc)
+	case StateExceptional:
+		// Not yet R: stash until our ACKs arrive ("wait until all exception
+		// messages are handled").
+		exc := m.Exc
+		e.stashed = &exc
+	default:
+		exc := m.Exc
+		e.stashed = &exc
+	}
+}
+
+// maybeReady applies the R-transition rule and, when this object is the
+// chooser, resolves and commits.
+func (e *Engine) maybeReady() {
+	if e.state != StateExceptional || e.resAction == 0 {
+		return
+	}
+	if len(e.lo) != 0 {
+		return
+	}
+	idx := e.frameIndex(e.resAction)
+	if idx < 0 {
+		return
+	}
+	frame := e.stack[idx]
+	for _, peer := range frame.Members {
+		if peer == e.self {
+			continue
+		}
+		if e.ackGot[peer] < e.ackWanted[peer] {
+			return
+		}
+	}
+	e.setState(StateReady, e.resAction)
+
+	if e.stashed != nil {
+		exc := *e.stashed
+		e.finish(e.resAction, exc)
+		return
+	}
+
+	// Chooser rule: the object with the biggest number among all raisers
+	// (or, with the fault-tolerance extension, one of the k biggest).
+	if !e.isChooser() {
+		return // wait for Commit
+	}
+	names := make([]string, 0, len(e.le))
+	for _, r := range e.le {
+		names = append(names, r.Exc)
+	}
+	resolved, err := frame.Tree.Resolve(names)
+	if err != nil {
+		// Unresolvable sets cannot occur for declared exceptions; fall back
+		// to the universal exception to preserve liveness.
+		resolved = frame.Tree.Root()
+		e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: frame.Action,
+			Label: "resolve-error", Detail: err.Error()})
+	}
+	e.log(trace.Event{Kind: trace.EvCommitChosen, Object: e.self,
+		Action: frame.Action, Label: resolved, Detail: fmt.Sprintf("LE=%v", e.le)})
+	e.multicast(frame, Msg{
+		Kind:   KindCommit,
+		Action: frame.Action,
+		Path:   frame.Path,
+		From:   e.self,
+		Exc:    resolved,
+	}, false /* wantAck */)
+	e.finish(frame.Action, resolved)
+}
+
+// finish completes the resolution: record the committed exception, clear the
+// lists and start the handler.
+func (e *Engine) finish(a ident.ActionID, exc string) {
+	e.committed[a] = exc
+	e.clearResolution()
+	e.setState(StateNormal, a)
+	e.log(trace.Event{Kind: trace.EvHandler, Object: e.self, Action: a, Label: exc})
+	if e.hooks.StartHandler != nil {
+		e.hooks.StartHandler(a, exc)
+	}
+}
+
+// clearResolution empties LE, LO and LP and forgets the resolution level.
+func (e *Engine) clearResolution() {
+	e.le = nil
+	e.lo = make(map[ident.ObjectID]bool)
+	e.ackWanted = make(map[ident.ObjectID]int)
+	e.ackGot = make(map[ident.ObjectID]int)
+	e.stashed = nil
+	e.resAction = 0
+}
+
+// isChooser reports whether this object is among the top chooser-group
+// raisers (by identifier order).
+func (e *Engine) isChooser() bool {
+	raisers := e.raisers() // sorted ascending
+	k := e.chooserGroup
+	if k < 1 {
+		k = 1
+	}
+	if k > len(raisers) {
+		k = len(raisers)
+	}
+	for _, r := range raisers[len(raisers)-k:] {
+		if r == e.self {
+			return true
+		}
+	}
+	return false
+}
+
+// raisers returns the distinct objects that appear as raisers in LE, sorted.
+func (e *Engine) raisers() []ident.ObjectID {
+	set := make(map[ident.ObjectID]bool, len(e.le))
+	for _, r := range e.le {
+		set[r.Obj] = true
+	}
+	out := make([]ident.ObjectID, 0, len(set))
+	for obj := range set {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// dropPendingNestedIn removes parked messages whose action is nested within a.
+func (e *Engine) dropPendingNestedIn(a ident.ActionID) {
+	var rest []Msg
+	for _, m := range e.pending {
+		if m.nestedWithin(a) {
+			e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: m.Action,
+				Label: "cleanup-nested-message", Detail: m.String()})
+			continue
+		}
+		rest = append(rest, m)
+	}
+	e.pending = rest
+}
+
+func (e *Engine) frameIndex(a ident.ActionID) int {
+	for i := range e.stack {
+		if e.stack[i].Action == a {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *Engine) setState(s State, a ident.ActionID) {
+	if e.state == s {
+		return
+	}
+	e.state = s
+	e.log(trace.Event{Kind: trace.EvState, Object: e.self, Action: a, Label: s.String()})
+}
+
+func (e *Engine) suspend(a ident.ActionID) {
+	if e.suspendedAt == a {
+		return
+	}
+	e.suspendedAt = a
+	if e.hooks.Suspend != nil {
+		e.hooks.Suspend(a)
+	}
+}
+
+// multicast sends m to every member of the frame except self, optionally
+// registering that each peer owes us an ACK.
+func (e *Engine) multicast(frame Frame, m Msg, wantAck bool) {
+	for _, peer := range frame.Members {
+		if peer == e.self {
+			continue
+		}
+		if wantAck {
+			e.ackWanted[peer]++
+		}
+		e.send(peer, m)
+	}
+}
+
+func (e *Engine) send(to ident.ObjectID, m Msg) {
+	e.log(trace.Event{Kind: trace.EvSend, Object: e.self, Peer: to,
+		Action: m.Action, Label: m.Kind, Detail: m.Exc})
+	if e.hooks.Send != nil {
+		e.hooks.Send(to, m)
+	}
+}
+
+func (e *Engine) log(ev trace.Event) {
+	if e.hooks.Log != nil {
+		e.hooks.Log(ev)
+	}
+}

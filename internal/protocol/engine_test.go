@@ -1,0 +1,383 @@
+package protocol
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+func TestSingleExceptionSimpleAction(t *testing.T) {
+	b := newBus(t)
+	tree := aircraft()
+	members := []ident.ObjectID{1, 2, 3}
+	for _, o := range members {
+		b.addEngine(o)
+	}
+	f := frameOf(1, []ident.ActionID{1}, tree, members...)
+	b.enterAll(f, members...)
+
+	ok, err := b.engines[1].RaiseLocal("left_engine")
+	if err != nil || !ok {
+		t.Fatalf("raise: %v %v", ok, err)
+	}
+	b.drain()
+
+	// Every participant runs the handler for the raised exception.
+	for _, o := range members {
+		got := b.handled[o]
+		if len(got) != 1 || got[0] != "A1:left_engine" {
+			t.Errorf("%s handled %v, want [A1:left_engine]", o, got)
+		}
+	}
+	// §4.4 case 1: 3(N-1) messages.
+	n := len(members)
+	if got, want := b.log.TotalSends(), 3*(n-1); got != want {
+		t.Errorf("total messages = %d, want %d\n%s", got, want, b.log.CensusString())
+	}
+	if b.log.CountSends(KindException) != n-1 ||
+		b.log.CountSends(KindAck) != n-1 ||
+		b.log.CountSends(KindCommit) != n-1 {
+		t.Errorf("census: %s", b.log.CensusString())
+	}
+}
+
+// TestExample1Trace reproduces §4.3 Example 1: three objects in A1, O1 raises
+// E1 and O2 raises E2 concurrently; O2 (bigger name) resolves.
+func TestExample1Trace(t *testing.T) {
+	b := newBus(t)
+	tree := exception.NewBuilder("universal").
+		Add("E1", "universal").
+		Add("E2", "universal").
+		MustBuild()
+	members := []ident.ObjectID{1, 2, 3}
+	for _, o := range members {
+		b.addEngine(o)
+	}
+	f := frameOf(1, []ident.ActionID{1}, tree, members...)
+	b.enterAll(f, members...)
+
+	// Concurrent raises: both are accepted before any message is delivered.
+	if ok, _ := b.engines[1].RaiseLocal("E1"); !ok {
+		t.Fatal("O1 raise dropped")
+	}
+	if ok, _ := b.engines[2].RaiseLocal("E2"); !ok {
+		t.Fatal("O2 raise dropped")
+	}
+	b.drain()
+
+	// The chooser is O2 and the resolved exception covers E1 and E2.
+	chosen := b.log.FilterKind(trace.EvCommitChosen)
+	if len(chosen) != 1 {
+		t.Fatalf("want exactly one chooser, got %d\n%s", len(chosen), b.log.Dump())
+	}
+	if chosen[0].Object != 2 {
+		t.Errorf("chooser = %s, want O2", chosen[0].Object)
+	}
+	if chosen[0].Label != "universal" {
+		t.Errorf("resolved = %q, want universal", chosen[0].Label)
+	}
+	for _, o := range members {
+		if got := b.handled[o]; len(got) != 1 || got[0] != "A1:universal" {
+			t.Errorf("%s handled %v", o, got)
+		}
+	}
+	// §4.4 case 3 with P=2, Q=0: (N-1)(2P+1) = 2*5 = 10 messages.
+	if got := b.log.TotalSends(); got != 10 {
+		t.Errorf("total = %d, want 10: %s", got, b.log.CensusString())
+	}
+	// 2 Exception multicasts, their ACKs, 1 Commit multicast.
+	if b.log.CountSends(KindException) != 4 ||
+		b.log.CountSends(KindAck) != 4 ||
+		b.log.CountSends(KindCommit) != 2 {
+		t.Errorf("census: %s", b.log.CensusString())
+	}
+}
+
+// TestExample2Trace reproduces §4.3 Example 2 / Figure 4: O1..O4 in A1;
+// O2, O3, O4 in A2; O2 in A3 with O3 belated for A3. O1 raises E1 in A1 and
+// O2 raises E2 in A3 simultaneously. The A3 resolution is eliminated by the
+// A1 resolution; O2's abortion handlers signal E3 when aborting A2; O2
+// resolves {E1, E3}.
+func TestExample2Trace(t *testing.T) {
+	b := newBus(t)
+	tree := exception.NewBuilder("universal").
+		Add("E1", "universal").
+		Add("E2", "universal").
+		Add("E3", "universal").
+		MustBuild()
+	all := []ident.ObjectID{1, 2, 3, 4}
+	for _, o := range all {
+		b.addEngine(o)
+	}
+	a1 := frameOf(1, []ident.ActionID{1}, tree, all...)
+	a2 := frameOf(2, []ident.ActionID{1, 2}, tree, 2, 3, 4)
+	a3 := frameOf(3, []ident.ActionID{1, 2, 3}, tree, 2, 3)
+	b.enterAll(a1, all...)
+	b.enterAll(a2, 2, 3, 4)
+	// Only O2 enters A3; O3 is belated.
+	b.enterAll(a3, 2)
+
+	// O2's abortion handler signals E3 when its chain is aborted down to A1
+	// (the exception signalled by the abortion handlers of A2, the action
+	// directly nested in A1).
+	b.setAbortSignal(2, 1, "E3")
+
+	if ok, _ := b.engines[2].RaiseLocal("E2"); !ok {
+		t.Fatal("O2 raise dropped")
+	}
+	if ok, _ := b.engines[1].RaiseLocal("E1"); !ok {
+		t.Fatal("O1 raise dropped")
+	}
+	b.drain()
+
+	// Chooser must be O2, resolving E1 and E3 (E2's resolution eliminated).
+	chosen := b.log.FilterKind(trace.EvCommitChosen)
+	if len(chosen) != 1 {
+		t.Fatalf("want one chooser, got %d\n%s", len(chosen), b.log.Dump())
+	}
+	if chosen[0].Object != 2 || chosen[0].Action != 1 {
+		t.Errorf("chooser = %s at %s, want O2 at A1", chosen[0].Object, chosen[0].Action)
+	}
+	for _, o := range all {
+		if got := b.handled[o]; len(got) != 1 || got[0] != "A1:universal" {
+			t.Errorf("%s handled %v, want [A1:universal]", o, got)
+		}
+	}
+	// All of O2, O3, O4 aborted down to A1; none handled anything at A3.
+	for _, o := range []ident.ObjectID{2, 3, 4} {
+		if len(b.aborts[o]) != 1 || b.aborts[o][0] != 1 {
+			t.Errorf("%s aborts = %v, want [A1]", o, b.aborts[o])
+		}
+	}
+	// O2's LE contained E1 and E3: verify via the chooser detail.
+	detail := chosen[0].Detail
+	for _, want := range []string{"E1", "E3"} {
+		if !containsStr(detail, want) {
+			t.Errorf("chooser LE %q missing %s", detail, want)
+		}
+	}
+	if containsStr(detail, "E2") {
+		t.Errorf("chooser LE %q must not contain the eliminated E2", detail)
+	}
+	// O3's parked Exception(A3) from O2 must have been cleaned up.
+	cleaned := false
+	for _, ev := range b.log.Events() {
+		if ev.Label == "cleanup-nested-message" && ev.Object == 3 {
+			cleaned = true
+		}
+	}
+	if !cleaned {
+		t.Error("belated O3 did not clean up the nested-action Exception message")
+	}
+}
+
+func TestRaiseDroppedWhenSuspended(t *testing.T) {
+	b := newBus(t)
+	tree := aircraft()
+	members := []ident.ObjectID{1, 2}
+	for _, o := range members {
+		b.addEngine(o)
+	}
+	f := frameOf(1, []ident.ActionID{1}, tree, members...)
+	b.enterAll(f, members...)
+
+	if ok, _ := b.engines[1].RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain() // O2 is now suspended... actually resolution completed
+	// After commit, further raises at the same action are dropped.
+	ok, err := b.engines[2].RaiseLocal("right_engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("raise after committed resolution must be dropped")
+	}
+}
+
+func TestRaiseDroppedMidResolution(t *testing.T) {
+	b := newBus(t)
+	tree := aircraft()
+	members := []ident.ObjectID{1, 2}
+	for _, o := range members {
+		b.addEngine(o)
+	}
+	f := frameOf(1, []ident.ActionID{1}, tree, members...)
+	b.enterAll(f, members...)
+
+	if ok, _ := b.engines[1].RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	// Deliver only O1's Exception to O2, then try to raise in O2: the raise
+	// must be dropped because O2 is suspended.
+	if !b.step() {
+		t.Fatal("no message to deliver")
+	}
+	if b.engines[2].State() != StateSuspended {
+		t.Fatalf("O2 state = %v, want S", b.engines[2].State())
+	}
+	ok, err := b.engines[2].RaiseLocal("right_engine")
+	if err != nil || ok {
+		t.Fatalf("suspended raise: ok=%v err=%v, want dropped", ok, err)
+	}
+	b.drain()
+	if got := b.handled[2]; len(got) != 1 || got[0] != "A1:left_engine" {
+		t.Errorf("O2 handled %v", got)
+	}
+}
+
+func TestRaiseErrorsOutsideAction(t *testing.T) {
+	b := newBus(t)
+	e := b.addEngine(1)
+	if _, err := e.RaiseLocal("x"); !errors.Is(err, ErrNotInAction) {
+		t.Errorf("want ErrNotInAction, got %v", err)
+	}
+}
+
+func TestEnterDuplicateAndLeaveErrors(t *testing.T) {
+	b := newBus(t)
+	tree := aircraft()
+	e := b.addEngine(1)
+	f := frameOf(1, []ident.ActionID{1}, tree, 1)
+	if err := e.EnterAction(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnterAction(f); !errors.Is(err, ErrAlreadyInside) {
+		t.Errorf("duplicate enter: %v", err)
+	}
+	if err := e.LeaveAction(99); !errors.Is(err, ErrNotInAction) {
+		t.Errorf("leave wrong action: %v", err)
+	}
+	if err := e.LeaveAction(1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Depth() != 0 || e.Active() != 0 {
+		t.Error("stack not empty after leave")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	b := newBus(t)
+	tree := aircraft()
+	e := b.addEngine(7)
+	if e.Self() != 7 {
+		t.Error("Self wrong")
+	}
+	if e.State() != StateNormal {
+		t.Error("initial state must be N")
+	}
+	f := frameOf(4, []ident.ActionID{4}, tree, 7)
+	if err := e.EnterAction(f); err != nil {
+		t.Fatal(err)
+	}
+	if e.Active() != 4 || e.Depth() != 1 {
+		t.Error("Active/Depth wrong")
+	}
+	if e.ResolutionAction() != 0 {
+		t.Error("no resolution should be in progress")
+	}
+	if _, ok := e.CommittedAt(4); ok {
+		t.Error("nothing committed yet")
+	}
+	if len(e.LE()) != 0 {
+		t.Error("LE should be empty")
+	}
+}
+
+// TestSingleParticipantResolvesAlone checks the degenerate N=1 case: the
+// raiser is trivially the chooser and no messages are sent.
+func TestSingleParticipantResolvesAlone(t *testing.T) {
+	b := newBus(t)
+	tree := aircraft()
+	e := b.addEngine(1)
+	f := frameOf(1, []ident.ActionID{1}, tree, 1)
+	if err := e.EnterAction(f); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := e.RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain()
+	if got := b.handled[1]; len(got) != 1 || got[0] != "A1:left_engine" {
+		t.Errorf("handled %v", got)
+	}
+	if b.log.TotalSends() != 0 {
+		t.Errorf("messages = %d, want 0", b.log.TotalSends())
+	}
+}
+
+// TestNestedResolutionWithinNestedAction: an exception raised inside a nested
+// action whose participants all entered resolves at that nested level and
+// does not disturb the containing action.
+func TestNestedResolutionWithinNestedAction(t *testing.T) {
+	b := newBus(t)
+	tree := aircraft()
+	all := []ident.ObjectID{1, 2, 3}
+	for _, o := range all {
+		b.addEngine(o)
+	}
+	a1 := frameOf(1, []ident.ActionID{1}, tree, all...)
+	a2 := frameOf(2, []ident.ActionID{1, 2}, tree, 2, 3)
+	b.enterAll(a1, all...)
+	b.enterAll(a2, 2, 3)
+
+	if ok, _ := b.engines[2].RaiseLocal("right_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain()
+
+	if got := b.handled[2]; len(got) != 1 || got[0] != "A2:right_engine" {
+		t.Errorf("O2 handled %v", got)
+	}
+	if got := b.handled[3]; len(got) != 1 || got[0] != "A2:right_engine" {
+		t.Errorf("O3 handled %v", got)
+	}
+	if got := b.handled[1]; len(got) != 0 {
+		t.Errorf("O1 (outside A2) handled %v, want none", got)
+	}
+	// 3(N-1) with N=2: 3 messages.
+	if got := b.log.TotalSends(); got != 3 {
+		t.Errorf("total = %d, want 3: %s", got, b.log.CensusString())
+	}
+}
+
+// TestBelatedEntryReplaysPendingMessages: a belated participant that finally
+// enters the nested action processes the parked Exception and joins the
+// resolution.
+func TestBelatedEntryReplaysPendingMessages(t *testing.T) {
+	b := newBus(t)
+	tree := aircraft()
+	all := []ident.ObjectID{1, 2}
+	for _, o := range all {
+		b.addEngine(o)
+	}
+	a1 := frameOf(1, []ident.ActionID{1}, tree, all...)
+	a2 := frameOf(2, []ident.ActionID{1, 2}, tree, 1, 2)
+	b.enterAll(a1, all...)
+	b.enterAll(a2, 1) // O2 belated for A2
+
+	if ok, _ := b.engines[1].RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain()
+	// Resolution is stalled: O2 has not entered A2, so no handler ran yet.
+	if len(b.handled[1])+len(b.handled[2]) != 0 {
+		t.Fatalf("handlers ran before belated entry: %v %v", b.handled[1], b.handled[2])
+	}
+	// O2 now enters A2; the parked Exception replays and resolution finishes.
+	b.enterAll(a2, 2)
+	b.drain()
+	for _, o := range all {
+		if got := b.handled[o]; len(got) != 1 || got[0] != "A2:left_engine" {
+			t.Errorf("%s handled %v", o, got)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return strings.Contains(haystack, needle)
+}

@@ -1,0 +1,159 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is a bounded model checker for the resolution algorithm: it
+// exhaustively enumerates every delivery schedule the network could produce
+// (all interleavings across ordered object pairs, each pair FIFO) for a
+// scenario, and checks an invariant at quiescence of every schedule. The
+// paper argues the algorithm "works correctly even in complex nested
+// situations"; for small configurations this tool checks that claim against
+// the whole schedule space instead of sampling it.
+
+// PendingPairs returns the number of ordered pairs with queued messages —
+// the branching factor of the next delivery choice.
+func (s *Sim) PendingPairs() int {
+	n := 0
+	for _, key := range s.order {
+		if len(s.queues[key]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// StepChoice delivers the next message of the i-th non-empty pair (0-based,
+// in pair-activation order). It reports whether a message was delivered.
+func (s *Sim) StepChoice(i int) bool {
+	idx := 0
+	for pos, key := range s.order {
+		if len(s.queues[key]) == 0 {
+			continue
+		}
+		if idx == i {
+			m := s.queues[key][0]
+			s.queues[key] = s.queues[key][1:]
+			if len(s.queues[key]) == 0 {
+				s.order = append(s.order[:pos], s.order[pos+1:]...)
+			}
+			if s.filter != nil && !s.filter(key[0], key[1], m) {
+				return true
+			}
+			if e, ok := s.Engines[key[1]]; ok {
+				e.HandleMessage(m)
+			}
+			return true
+		}
+		idx++
+	}
+	return false
+}
+
+// BuildFn constructs a fresh scenario: a Sim with all initial raises issued
+// but no messages delivered yet. It must be deterministic.
+type BuildFn func() (*Sim, error)
+
+// Invariant examines a quiesced Sim and returns an error when violated.
+type Invariant func(s *Sim) error
+
+// ExploreResult summarises an exhaustive exploration.
+type ExploreResult struct {
+	// Schedules is the number of complete delivery schedules checked.
+	Schedules int
+	// Truncated is true when the budget was exhausted before the schedule
+	// space.
+	Truncated bool
+	// MaxDepth is the longest schedule (message count) encountered.
+	MaxDepth int
+}
+
+// ErrExploreBudget signals the schedule budget was too small to finish.
+var ErrExploreBudget = errors.New("protocol: exploration budget exhausted")
+
+// Explore enumerates delivery schedules depth-first up to maxSchedules
+// complete schedules, replaying each prefix from scratch (engines are not
+// snapshotable). It returns the first invariant violation, annotated with
+// the schedule that produced it.
+func Explore(build BuildFn, check Invariant, maxSchedules int) (ExploreResult, error) {
+	var res ExploreResult
+
+	// Iterative DFS over choice prefixes.
+	type frame struct {
+		prefix []int
+	}
+	stack := []frame{{prefix: nil}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		sim, err := build()
+		if err != nil {
+			return res, fmt.Errorf("build scenario: %w", err)
+		}
+		for stepIdx, c := range f.prefix {
+			if !sim.StepChoice(c) {
+				return res, fmt.Errorf("replay diverged at step %d of %v", stepIdx, f.prefix)
+			}
+		}
+		if d := len(f.prefix); d > res.MaxDepth {
+			res.MaxDepth = d
+		}
+		branching := sim.PendingPairs()
+		if branching == 0 {
+			res.Schedules++
+			if err := check(sim); err != nil {
+				return res, fmt.Errorf("schedule %v: %w", f.prefix, err)
+			}
+			if res.Schedules >= maxSchedules {
+				res.Truncated = len(stack) > 0
+				if res.Truncated {
+					return res, nil
+				}
+				return res, nil
+			}
+			continue
+		}
+		// Push children in reverse so schedule 0,0,0,... is explored first.
+		for c := branching - 1; c >= 0; c-- {
+			child := make([]int, len(f.prefix)+1)
+			copy(child, f.prefix)
+			child[len(f.prefix)] = c
+			stack = append(stack, frame{prefix: child})
+		}
+	}
+	return res, nil
+}
+
+// AgreementInvariant returns the standard invariant for a scenario: every
+// listed object ran exactly one handler, all for the same resolved exception
+// at the same action, and the expected message-count formula held (pass a
+// negative want to skip the count check).
+func AgreementInvariant(wantMsgs int) Invariant {
+	return func(s *Sim) error {
+		var want string
+		for obj, handled := range s.Handled {
+			if len(handled) != 1 {
+				return fmt.Errorf("%s ran %d handlers: %v", obj, len(handled), handled)
+			}
+			if want == "" {
+				want = handled[0]
+			} else if handled[0] != want {
+				return fmt.Errorf("disagreement: %s ran %q, others %q", obj, handled[0], want)
+			}
+		}
+		for obj, e := range s.Engines {
+			if len(s.Handled[obj]) == 0 {
+				return fmt.Errorf("%s never ran a handler (state %v)", obj, e.State())
+			}
+		}
+		if wantMsgs >= 0 {
+			if got := s.Log.TotalSends(); got != wantMsgs {
+				return fmt.Errorf("messages = %d, want %d (%s)", got, wantMsgs, s.Log.CensusString())
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,210 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+)
+
+// buildFlat returns a BuildFn for n objects with p concurrent raisers.
+func buildFlat(n, p int) BuildFn {
+	return func() (*Sim, error) {
+		sim := NewSim()
+		tb := exception.NewBuilder("root")
+		for i := 1; i <= n; i++ {
+			tb.Add(fmt.Sprintf("E%d", i), "root")
+		}
+		tree := tb.MustBuild()
+		all := make([]ident.ObjectID, n)
+		for i := range all {
+			all[i] = ident.ObjectID(i + 1)
+			sim.AddEngine(all[i])
+		}
+		if err := sim.EnterAll(Frame{Action: 1, Path: []ident.ActionID{1}, Members: all, Tree: tree}, all...); err != nil {
+			return nil, err
+		}
+		for i := 0; i < p; i++ {
+			if ok, err := sim.Engines[all[i]].RaiseLocal(fmt.Sprintf("E%d", i+1)); err != nil || !ok {
+				return nil, fmt.Errorf("raise %d: %v %v", i, ok, err)
+			}
+		}
+		return sim, nil
+	}
+}
+
+// TestExploreExhaustiveN2P1: every schedule of the simplest resolution.
+func TestExploreExhaustiveN2P1(t *testing.T) {
+	res, err := Explore(buildFlat(2, 1), AgreementInvariant(3), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Error("tiny scenario must fully enumerate")
+	}
+	if res.Schedules < 1 {
+		t.Error("no schedules explored")
+	}
+	t.Logf("N=2 P=1: %d schedules, depth %d", res.Schedules, res.MaxDepth)
+}
+
+// TestExploreExhaustiveN2P2: both objects raise concurrently; all schedules
+// must agree on the covering exception.
+func TestExploreExhaustiveN2P2(t *testing.T) {
+	res, err := Explore(buildFlat(2, 2), AgreementInvariant(5), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Error("scenario must fully enumerate")
+	}
+	t.Logf("N=2 P=2: %d schedules, depth %d", res.Schedules, res.MaxDepth)
+}
+
+// TestExploreExhaustiveN3P1: one raiser, three objects.
+func TestExploreExhaustiveN3P1(t *testing.T) {
+	res, err := Explore(buildFlat(3, 1), AgreementInvariant(6), 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Error("scenario must fully enumerate")
+	}
+	t.Logf("N=3 P=1: %d schedules, depth %d", res.Schedules, res.MaxDepth)
+}
+
+// TestExploreExhaustiveN3P2: the Example 1 shape under every schedule.
+func TestExploreExhaustiveN3P2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration is not short")
+	}
+	res, err := Explore(buildFlat(3, 2), AgreementInvariant(10), 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Error("scenario must fully enumerate")
+	}
+	t.Logf("N=3 P=2: %d schedules, depth %d", res.Schedules, res.MaxDepth)
+}
+
+// TestExploreNestedWithSignal: N=2 where O2 sits in a nested action whose
+// abortion handler signals; every schedule must agree and abort exactly once.
+func TestExploreNestedWithSignal(t *testing.T) {
+	build := func() (*Sim, error) {
+		sim := NewSim()
+		tree := exception.ChainTree(4)
+		all := []ident.ObjectID{1, 2}
+		for _, o := range all {
+			sim.AddEngine(o)
+		}
+		if err := sim.EnterAll(Frame{Action: 1, Path: []ident.ActionID{1}, Members: all, Tree: tree}, all...); err != nil {
+			return nil, err
+		}
+		if err := sim.EnterAll(Frame{Action: 2, Path: []ident.ActionID{1, 2},
+			Members: []ident.ObjectID{2}, Tree: tree}, 2); err != nil {
+			return nil, err
+		}
+		sim.SetAbortSignal(2, 1, "e2")
+		if ok, err := sim.Engines[1].RaiseLocal("e4"); err != nil || !ok {
+			return nil, fmt.Errorf("raise: %v %v", ok, err)
+		}
+		return sim, nil
+	}
+	check := func(s *Sim) error {
+		if err := AgreementInvariant(PredictMessages(2, 1, 1))(s); err != nil {
+			return err
+		}
+		// Resolution must cover both e4 and the abortion-signalled e2: e2.
+		for obj, handled := range s.Handled {
+			if handled[0] != "A1:e2" {
+				return fmt.Errorf("%s handled %v, want A1:e2", obj, handled)
+			}
+		}
+		if len(s.Aborts[2]) != 1 {
+			return fmt.Errorf("O2 aborted %d times", len(s.Aborts[2]))
+		}
+		return nil
+	}
+	res, err := Explore(build, check, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Error("scenario must fully enumerate")
+	}
+	t.Logf("nested+signal: %d schedules, depth %d", res.Schedules, res.MaxDepth)
+}
+
+// TestExploreBelatedNested: the Example 2 shape at N=3 (nested action with a
+// belated member) under a bounded slice of the schedule space.
+func TestExploreBelatedNested(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration is not short")
+	}
+	build := func() (*Sim, error) {
+		sim := NewSim()
+		tree := exception.NewBuilder("u").
+			Add("E1", "u").Add("E2", "u").Add("E3", "u").MustBuild()
+		all := []ident.ObjectID{1, 2, 3}
+		for _, o := range all {
+			sim.AddEngine(o)
+		}
+		if err := sim.EnterAll(Frame{Action: 1, Path: []ident.ActionID{1}, Members: all, Tree: tree}, all...); err != nil {
+			return nil, err
+		}
+		// Nested action with O2 entered and O3 belated.
+		if err := sim.EnterAll(Frame{Action: 2, Path: []ident.ActionID{1, 2},
+			Members: []ident.ObjectID{2, 3}, Tree: tree}, 2); err != nil {
+			return nil, err
+		}
+		sim.SetAbortSignal(2, 1, "E3")
+		if ok, err := sim.Engines[2].RaiseLocal("E2"); err != nil || !ok {
+			return nil, fmt.Errorf("raise E2: %v %v", ok, err)
+		}
+		if ok, err := sim.Engines[1].RaiseLocal("E1"); err != nil || !ok {
+			return nil, fmt.Errorf("raise E1: %v %v", ok, err)
+		}
+		return sim, nil
+	}
+	check := func(s *Sim) error {
+		// Agreement (message count varies: O2's nested Exception to belated
+		// O3 may or may not be cleaned up depending on the schedule).
+		return AgreementInvariant(-1)(s)
+	}
+	res, err := Explore(build, check, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("belated nested: %d schedules (truncated=%v), depth %d",
+		res.Schedules, res.Truncated, res.MaxDepth)
+	if res.Schedules < 1000 {
+		t.Errorf("explored only %d schedules", res.Schedules)
+	}
+}
+
+// TestExploreDetectsViolations: a deliberately broken invariant must be
+// reported with its schedule.
+func TestExploreDetectsViolations(t *testing.T) {
+	impossible := func(s *Sim) error {
+		return fmt.Errorf("always fails")
+	}
+	_, err := Explore(buildFlat(2, 1), impossible, 1000)
+	if err == nil {
+		t.Fatal("violation not reported")
+	}
+}
+
+func TestStepChoiceOutOfRange(t *testing.T) {
+	sim, err := buildFlat(2, 1)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.StepChoice(99) {
+		t.Error("out-of-range choice must not deliver")
+	}
+	if sim.PendingPairs() != 1 {
+		t.Errorf("pending pairs = %d", sim.PendingPairs())
+	}
+}

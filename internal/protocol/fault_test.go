@@ -1,0 +1,124 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// faultScenario builds n objects with p raisers and chooser group k over a
+// Sim with the given delivery filter.
+func faultScenario(t *testing.T, n, p, k int, filter func(from, to ident.ObjectID, m Msg) bool) *Sim {
+	t.Helper()
+	sim := NewSim()
+	sim.SetFilter(filter)
+	tb := exception.NewBuilder("root")
+	for i := 1; i <= n; i++ {
+		tb.Add(fmt.Sprintf("E%d", i), "root")
+	}
+	tree := tb.MustBuild()
+	all := make([]ident.ObjectID, n)
+	for i := range all {
+		all[i] = ident.ObjectID(i + 1)
+		e := sim.AddEngine(all[i])
+		e.SetChooserGroup(k)
+	}
+	if err := sim.EnterAll(Frame{Action: 1, Path: []ident.ActionID{1}, Members: all, Tree: tree}, all...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		if ok, err := sim.Engines[all[i]].RaiseLocal(fmt.Sprintf("E%d", i+1)); err != nil || !ok {
+			t.Fatalf("raise %d: %v %v", i, ok, err)
+		}
+	}
+	return sim
+}
+
+// TestSingleChooserCommitLossStalls shows the failure mode that motivates
+// the §4.4 chooser-group extension: when the single chooser's Commit
+// messages are lost (chooser crashes right after resolving), the other
+// participants never learn the resolved exception.
+func TestSingleChooserCommitLossStalls(t *testing.T) {
+	const n, p = 4, 2
+	chooser := ident.ObjectID(p) // max raiser
+	sim := faultScenario(t, n, p, 1, func(from, _ ident.ObjectID, m Msg) bool {
+		return !(from == chooser && m.Kind == KindCommit)
+	})
+	if err := sim.Drain(100000); err != nil {
+		t.Fatal(err)
+	}
+	// The chooser itself ran its handler; nobody else did.
+	if len(sim.Handled[chooser]) != 1 {
+		t.Errorf("chooser handled %v", sim.Handled[chooser])
+	}
+	for i := 1; i <= n; i++ {
+		obj := ident.ObjectID(i)
+		if obj == chooser {
+			continue
+		}
+		if len(sim.Handled[obj]) != 0 {
+			t.Errorf("%s handled %v despite lost Commit", obj, sim.Handled[obj])
+		}
+	}
+}
+
+// TestChooserGroupSurvivesChooserCrash: with a chooser group of 2, the
+// first chooser crashing at commit time (all its Commit messages lost)
+// still lets the backup chooser complete the resolution for everyone else.
+func TestChooserGroupSurvivesChooserCrash(t *testing.T) {
+	const n, p = 4, 2
+	var crashed ident.ObjectID
+	sim := faultScenario(t, n, p, 2, func(from, _ ident.ObjectID, m Msg) bool {
+		if m.Kind == KindCommit {
+			if crashed == 0 {
+				crashed = from // the first object to commit crashes
+			}
+			if from == crashed {
+				return false
+			}
+		}
+		return true
+	})
+	if err := sim.Drain(100000); err != nil {
+		t.Fatal(err)
+	}
+	if crashed == 0 {
+		t.Fatal("no Commit was ever sent")
+	}
+	chosen := sim.Log.FilterKind(trace.EvCommitChosen)
+	if len(chosen) != 2 {
+		t.Fatalf("expected the backup chooser to commit as well, got %d choosers", len(chosen))
+	}
+	resolved := chosen[0].Label
+	for i := 1; i <= n; i++ {
+		obj := ident.ObjectID(i)
+		got := sim.Handled[obj]
+		if len(got) != 1 || got[0] != "A1:"+resolved {
+			t.Errorf("%s handled %v, want [A1:%s]", obj, got, resolved)
+		}
+	}
+}
+
+// TestLostAckStallsRaiser documents the reliable-channel assumption: if an
+// ACK is lost, the raiser never reaches R. (The group layer's R3Transport
+// exists to heal exactly this on lossy networks.)
+func TestLostAckStallsRaiser(t *testing.T) {
+	const n = 3
+	sim := faultScenario(t, n, 1, 1, func(from, to ident.ObjectID, m Msg) bool {
+		return !(m.Kind == KindAck && from == 3)
+	})
+	if err := sim.Drain(100000); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Engines[1].State(); got != StateExceptional {
+		t.Errorf("raiser state = %v, want X (stalled waiting for the lost ACK)", got)
+	}
+	for i := 1; i <= n; i++ {
+		if len(sim.Handled[ident.ObjectID(i)]) != 0 {
+			t.Errorf("O%d handled despite stalled resolution", i)
+		}
+	}
+}

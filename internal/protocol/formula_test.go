@@ -1,0 +1,316 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// buildCaseScenario constructs the §4.4 measurement scenario: N objects in
+// the outermost action A1; Q of them (never the raisers) additionally sit in
+// a nested action A2; P of them raise concurrently in A1. It returns the bus
+// ready to drain.
+//
+// Raisers are chosen from the non-nested objects, matching the paper's
+// parameterisation where P counts objects whose exceptions are raised (in the
+// resolution-level action) and Q counts objects with nested actions (whose
+// abortion handlers signal nothing, so they contribute no further raises).
+func buildCaseScenario(t testing.TB, n, p, q int, rng *rand.Rand) *bus {
+	if p < 1 || p+q > n {
+		t.Fatalf("invalid scenario n=%d p=%d q=%d", n, p, q)
+	}
+	b := newBus(nil)
+	if tt, ok := t.(*testing.T); ok {
+		b.t = tt
+	}
+	b.rng = rng
+	tree := exception.NewBuilder("root")
+	for i := 1; i <= n; i++ {
+		tree.Add(fmt.Sprintf("E%d", i), "root")
+	}
+	tr := tree.MustBuild()
+
+	all := make([]ident.ObjectID, n)
+	for i := range all {
+		all[i] = ident.ObjectID(i + 1)
+		b.addEngine(all[i])
+	}
+	a1 := frameOf(1, []ident.ActionID{1}, tr, all...)
+	b.enterAll(a1, all...)
+
+	// The first q non-raisers get a nested action each (single-member nested
+	// actions: their abortion involves only themselves, so the only protocol
+	// cost is the HaveNested/NestedCompleted exchange, as in the paper's
+	// case 2 where "all other objects have nested actions").
+	nested := all[p : p+q]
+	for i, o := range nested {
+		na := ident.ActionID(100 + i)
+		f := frameOf(na, []ident.ActionID{1, na}, tr, o)
+		b.enterAll(f, o)
+	}
+
+	// P simultaneous raises: all accepted before any delivery.
+	for i := 0; i < p; i++ {
+		ok, err := b.engines[all[i]].RaiseLocal(fmt.Sprintf("E%d", i+1))
+		if err != nil || !ok {
+			t.Fatalf("raise %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	return b
+}
+
+// checkOutcome verifies agreement and exactly-one-chooser, returning total
+// message count.
+func checkOutcome(t testing.TB, b *bus, n int) int {
+	chosen := b.log.FilterKind(trace.EvCommitChosen)
+	if len(chosen) != 1 {
+		t.Fatalf("choosers = %d, want 1\n%s", len(chosen), b.log.Dump())
+	}
+	want := "A1:" + chosen[0].Label
+	for i := 1; i <= n; i++ {
+		got := b.handled[ident.ObjectID(i)]
+		if len(got) != 1 || got[0] != want {
+			t.Fatalf("O%d handled %v, want [%s]", i, got, want)
+		}
+	}
+	return b.log.TotalSends()
+}
+
+// TestGeneralFormulaSweep checks measured messages == (N-1)(2P+3Q+1) across
+// a parameter grid (§4.4).
+func TestGeneralFormulaSweep(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 9} {
+		for p := 1; p <= n; p++ {
+			for q := 0; q <= n-p; q++ {
+				name := fmt.Sprintf("N=%d/P=%d/Q=%d", n, p, q)
+				t.Run(name, func(t *testing.T) {
+					b := buildCaseScenario(t, n, p, q, nil)
+					b.drain()
+					got := checkOutcome(t, b, n)
+					want := (n - 1) * (2*p + 3*q + 1)
+					if got != want {
+						t.Errorf("messages = %d, want %d [%s]", got, want, b.log.CensusString())
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCase1SingleException: 3(N-1) messages (§4.4 case 1).
+func TestCase1SingleException(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b := buildCaseScenario(t, n, 1, 0, nil)
+		b.drain()
+		got := checkOutcome(t, b, n)
+		if want := 3 * (n - 1); got != want {
+			t.Errorf("N=%d: messages = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestCase2AllOthersNested: 3N(N-1) messages (§4.4 case 2).
+func TestCase2AllOthersNested(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		b := buildCaseScenario(t, n, 1, n-1, nil)
+		b.drain()
+		got := checkOutcome(t, b, n)
+		if want := 3 * n * (n - 1); got != want {
+			t.Errorf("N=%d: messages = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestCase3AllRaise: (N-1)(2N+1) messages (§4.4 case 3).
+func TestCase3AllRaise(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		b := buildCaseScenario(t, n, n, 0, nil)
+		b.drain()
+		got := checkOutcome(t, b, n)
+		if want := (n - 1) * (2*n + 1); got != want {
+			t.Errorf("N=%d: messages = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestFormulaPropertyRandomDelivery re-runs random (N,P,Q) scenarios under
+// random (per-pair-FIFO-preserving) delivery interleavings: the message
+// count formula, single-chooser and agreement properties must hold for every
+// schedule.
+func TestFormulaPropertyRandomDelivery(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		p := 1 + rng.Intn(n)
+		q := 0
+		if n-p > 0 {
+			q = rng.Intn(n - p + 1)
+		}
+		b := buildCaseScenario(t, n, p, q, rng)
+		b.drain()
+		got := checkOutcome(t, b, n)
+		return got == (n-1)*(2*p+3*q+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChooserIsMaxRaiser: the resolving object is always the raiser with the
+// biggest identifier, independent of delivery order.
+func TestChooserIsMaxRaiser(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5
+		p := 3
+		b := buildCaseScenario(t, n, p, 0, rng)
+		b.drain()
+		chosen := b.log.FilterKind(trace.EvCommitChosen)
+		if len(chosen) != 1 {
+			t.Fatalf("seed %d: choosers = %d", seed, len(chosen))
+		}
+		if chosen[0].Object != ident.ObjectID(p) {
+			t.Errorf("seed %d: chooser = %s, want O%d", seed, chosen[0].Object, p)
+		}
+	}
+}
+
+// TestResolvedCoversAllRaised: the committed exception covers every exception
+// that entered any LE list.
+func TestResolvedCoversAllRaised(t *testing.T) {
+	tree := exception.ChainTree(10)
+	b := newBus(t)
+	all := []ident.ObjectID{1, 2, 3, 4}
+	for _, o := range all {
+		b.addEngine(o)
+	}
+	f := frameOf(1, []ident.ActionID{1}, tree, all...)
+	b.enterAll(f, all...)
+	raised := []string{"e7", "e4", "e9", "e5"}
+	for i, o := range all {
+		if ok, _ := b.engines[o].RaiseLocal(raised[i]); !ok {
+			t.Fatalf("raise %d dropped", i)
+		}
+	}
+	b.drain()
+	chosen := b.log.FilterKind(trace.EvCommitChosen)
+	if len(chosen) != 1 {
+		t.Fatalf("choosers = %d", len(chosen))
+	}
+	if chosen[0].Label != "e4" {
+		t.Errorf("resolved = %q, want e4 (least covering e4,e5,e7,e9 in chain)", chosen[0].Label)
+	}
+	for _, exc := range raised {
+		ok, err := tree.Covers(chosen[0].Label, exc)
+		if err != nil || !ok {
+			t.Errorf("resolved %q does not cover %q", chosen[0].Label, exc)
+		}
+	}
+}
+
+// TestNoMessagesWithoutException: entering and leaving actions exchanges no
+// protocol messages ("our algorithm will have no overhead if an exception is
+// not raised").
+func TestNoMessagesWithoutException(t *testing.T) {
+	b := newBus(t)
+	tree := aircraft()
+	all := []ident.ObjectID{1, 2, 3, 4}
+	for _, o := range all {
+		b.addEngine(o)
+	}
+	a1 := frameOf(1, []ident.ActionID{1}, tree, all...)
+	a2 := frameOf(2, []ident.ActionID{1, 2}, tree, 2, 3)
+	b.enterAll(a1, all...)
+	b.enterAll(a2, 2, 3)
+	for _, o := range []ident.ObjectID{2, 3} {
+		if err := b.engines[o].LeaveAction(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range all {
+		if err := b.engines[o].LeaveAction(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.drain()
+	if got := b.log.TotalSends(); got != 0 {
+		t.Errorf("messages without exception = %d, want 0", got)
+	}
+}
+
+// TestDeepNestingEscalation: a chain of nested actions A1..A4; an exception
+// at A1 aborts the whole chain in one AbortNested call per object, and the
+// message count matches the formula with Q = number of nested objects.
+func TestDeepNestingEscalation(t *testing.T) {
+	b := newBus(t)
+	tree := aircraft()
+	all := []ident.ObjectID{1, 2, 3}
+	for _, o := range all {
+		b.addEngine(o)
+	}
+	path := []ident.ActionID{1}
+	b.enterAll(frameOf(1, path, tree, all...), all...)
+	// O2 and O3 descend through A2, A3, A4.
+	for _, a := range []ident.ActionID{2, 3, 4} {
+		path = append(path, a)
+		p := make([]ident.ActionID, len(path))
+		copy(p, path)
+		b.enterAll(frameOf(a, p, tree, 2, 3), 2, 3)
+	}
+	if ok, _ := b.engines[1].RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain()
+	got := checkOutcome(t, b, len(all))
+	// P=1, Q=2, N=3: (N-1)(2+6+1) = 18.
+	if want := 18; got != want {
+		t.Errorf("messages = %d, want %d [%s]", got, want, b.log.CensusString())
+	}
+	// Each nested object aborted exactly once, down to A1, with depth 3.
+	for _, o := range []ident.ObjectID{2, 3} {
+		if len(b.aborts[o]) != 1 || b.aborts[o][0] != 1 {
+			t.Errorf("O%d aborts = %v", o, b.aborts[o])
+		}
+		if b.engines[o].Depth() != 1 {
+			t.Errorf("O%d depth = %d, want 1", o, b.engines[o].Depth())
+		}
+	}
+}
+
+// TestAbortionSignalsJoinResolution: abortion handlers of the directly nested
+// action signal exceptions which join LE and influence the resolved result.
+func TestAbortionSignalsJoinResolution(t *testing.T) {
+	b := newBus(t)
+	tree := exception.ChainTree(6)
+	all := []ident.ObjectID{1, 2, 3}
+	for _, o := range all {
+		b.addEngine(o)
+	}
+	b.enterAll(frameOf(1, []ident.ActionID{1}, tree, all...), all...)
+	b.enterAll(frameOf(2, []ident.ActionID{1, 2}, tree, 2, 3), 2, 3)
+	b.setAbortSignal(2, 1, "e2")
+	b.setAbortSignal(3, 1, "e3")
+
+	if ok, _ := b.engines[1].RaiseLocal("e6"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain()
+	chosen := b.log.FilterKind(trace.EvCommitChosen)
+	if len(chosen) != 1 {
+		t.Fatalf("choosers = %d\n%s", len(chosen), b.log.Dump())
+	}
+	// LE = {e6 (O1), e2 (O2 via NC), e3 (O3 via NC)} -> least cover is e2.
+	if chosen[0].Label != "e2" {
+		t.Errorf("resolved = %q, want e2", chosen[0].Label)
+	}
+	// Chooser is O3: raisers are O1, O2, O3 (signalled exceptions make
+	// objects exceptional).
+	if chosen[0].Object != 3 {
+		t.Errorf("chooser = %s, want O3", chosen[0].Object)
+	}
+}

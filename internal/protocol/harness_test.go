@@ -1,0 +1,83 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// bus adapts the deterministic Sim fabric to the test files: same shared
+// maps, plus t.Fatal-based failure reporting.
+type bus struct {
+	sim     *Sim
+	t       *testing.T
+	engines map[ident.ObjectID]*Engine
+	handled map[ident.ObjectID][]string
+	aborts  map[ident.ObjectID][]ident.ActionID
+	log     *trace.Log
+	rng     *rand.Rand // set before first step to randomise delivery
+}
+
+func newBus(t *testing.T) *bus {
+	sim := NewSim()
+	return &bus{
+		sim:     sim,
+		t:       t,
+		engines: sim.Engines,
+		handled: sim.Handled,
+		aborts:  sim.Aborts,
+		log:     sim.Log,
+	}
+}
+
+func (b *bus) addEngine(obj ident.ObjectID) *Engine { return b.sim.AddEngine(obj) }
+
+func (b *bus) setAbortSignal(obj ident.ObjectID, downTo ident.ActionID, exc string) {
+	b.sim.SetAbortSignal(obj, downTo, exc)
+}
+
+func (b *bus) step() bool {
+	b.syncRand()
+	return b.sim.Step()
+}
+
+func (b *bus) drain() {
+	b.syncRand()
+	if err := b.sim.Drain(1000000); err != nil {
+		if b.t != nil {
+			b.t.Fatalf("%v:\n%s", err, b.log.Dump())
+		}
+		panic(err)
+	}
+}
+
+func (b *bus) syncRand() {
+	if b.rng != nil {
+		b.sim.SetRand(b.rng)
+	}
+}
+
+func (b *bus) enterAll(f Frame, objs ...ident.ObjectID) {
+	if err := b.sim.EnterAll(f, objs...); err != nil {
+		if b.t != nil {
+			b.t.Fatalf("enter %s: %v", f.Action, err)
+		}
+		panic(err)
+	}
+}
+
+func frameOf(a ident.ActionID, path []ident.ActionID, tree *exception.Tree, members ...ident.ObjectID) Frame {
+	return Frame{Action: a, Path: path, Members: members, Tree: tree}
+}
+
+// aircraft is the paper's example tree, abbreviated names for test output.
+func aircraft() *exception.Tree {
+	return exception.NewBuilder("universal").
+		Add("engine_loss", "universal").
+		Add("left_engine", "engine_loss").
+		Add("right_engine", "engine_loss").
+		MustBuild()
+}

@@ -1,0 +1,65 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+)
+
+// TestEngineObservability walks a resolution step by step and checks the
+// inspection API (State, ResolutionAction, LE, CommittedAt) at each stage —
+// the contract monitoring tools rely on.
+func TestEngineObservability(t *testing.T) {
+	tree := aircraft()
+	b := newBus(t)
+	members := []ident.ObjectID{1, 2}
+	for _, o := range members {
+		b.addEngine(o)
+	}
+	b.enterAll(frameOf(1, []ident.ActionID{1}, tree, members...), members...)
+
+	e1, e2 := b.engines[1], b.engines[2]
+	if e1.State() != StateNormal || e1.ResolutionAction() != 0 {
+		t.Fatalf("initial: %v %v", e1.State(), e1.ResolutionAction())
+	}
+
+	if ok, _ := e1.RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	if e1.State() != StateExceptional {
+		t.Errorf("after raise: state %v", e1.State())
+	}
+	if e1.ResolutionAction() != 1 {
+		t.Errorf("after raise: resolution at %v", e1.ResolutionAction())
+	}
+	le := e1.LE()
+	if len(le) != 1 || le[0].Exc != "left_engine" || le[0].Obj != 1 {
+		t.Errorf("LE = %v", le)
+	}
+
+	// Deliver the Exception to O2: it suspends and records the entry.
+	if !b.step() {
+		t.Fatal("nothing to deliver")
+	}
+	if e2.State() != StateSuspended || e2.ResolutionAction() != 1 {
+		t.Errorf("O2: %v at %v", e2.State(), e2.ResolutionAction())
+	}
+	if got := e2.LE(); len(got) != 1 || got[0].Exc != "left_engine" {
+		t.Errorf("O2 LE = %v", got)
+	}
+
+	// Finish the exchange.
+	b.drain()
+	for _, e := range []*Engine{e1, e2} {
+		exc, ok := e.CommittedAt(1)
+		if !ok || exc != "left_engine" {
+			t.Errorf("%s committed %q %v", e.Self(), exc, ok)
+		}
+		if e.State() != StateNormal || e.ResolutionAction() != 0 {
+			t.Errorf("%s post-commit: %v at %v", e.Self(), e.State(), e.ResolutionAction())
+		}
+		if len(e.LE()) != 0 {
+			t.Errorf("%s LE not cleared: %v", e.Self(), e.LE())
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package protocol
+
+// PredictMessages returns the paper's closed-form message count for the new
+// algorithm (§4.4): (N-1)(2P+3Q+1), where n is the number of participating
+// objects of the resolution-level action, p the number of objects that raised
+// exceptions and q the number of objects with nested actions to abort.
+//
+// Special cases quoted in the paper:
+//   - p=1, q=0:   3(N-1)
+//   - p=1, q=N-1: 3N(N-1)
+//   - p=N, q=0:   (N-1)(2N+1)
+func PredictMessages(n, p, q int) int {
+	return (n - 1) * (2*p + 3*q + 1)
+}

@@ -1,0 +1,172 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+)
+
+// TestRandomNestedTopologies generates random well-nested scenarios — a
+// chain of nested actions with shrinking member sets, raisers at arbitrary
+// levels, random abortion signals — delivers messages in random per-pair
+// FIFO order and checks the global safety properties:
+//
+//  1. the run terminates (quiesces);
+//  2. per action, at most one resolution commits, and every participant that
+//     handled it handled the same exception;
+//  3. the outermost action in which an exception was raised resolves with
+//     ALL of its members running that same handler.
+func TestRandomNestedTopologies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sim := NewSim()
+		sim.SetRand(rng)
+
+		n := 2 + rng.Intn(5) // 2..6 objects
+		tb := exception.NewBuilder("root")
+		for i := 1; i <= n; i++ {
+			tb.Add(fmt.Sprintf("E%d", i), "root")
+		}
+		for i := 1; i <= n; i++ {
+			tb.Add(fmt.Sprintf("S%d", i), "root") // abortion-signal names
+		}
+		tree := tb.MustBuild()
+
+		all := make([]ident.ObjectID, n)
+		for i := range all {
+			all[i] = ident.ObjectID(i + 1)
+			sim.AddEngine(all[i])
+		}
+		if err := sim.EnterAll(Frame{Action: 1, Path: []ident.ActionID{1}, Members: all, Tree: tree}, all...); err != nil {
+			t.Logf("seed %d: enter: %v", seed, err)
+			return false
+		}
+
+		// Build a random chain of nested actions with shrinking member sets;
+		// every declared member enters (no belated objects, so the scenario
+		// must terminate).
+		levels := [][]ident.ObjectID{all}
+		paths := [][]ident.ActionID{{1}}
+		depth := rng.Intn(3) // up to 3 nested levels
+		current := all
+		for d := 0; d < depth && len(current) > 1; d++ {
+			// Random non-empty subset of the current members.
+			var next []ident.ObjectID
+			for _, o := range current {
+				if rng.Intn(2) == 0 {
+					next = append(next, o)
+				}
+			}
+			if len(next) == 0 {
+				next = []ident.ObjectID{current[rng.Intn(len(current))]}
+			}
+			action := ident.ActionID(2 + d)
+			path := append(append([]ident.ActionID{}, paths[len(paths)-1]...), action)
+			if err := sim.EnterAll(Frame{Action: action, Path: path, Members: next, Tree: tree}, next...); err != nil {
+				t.Logf("seed %d: nested enter: %v", seed, err)
+				return false
+			}
+			levels = append(levels, next)
+			paths = append(paths, path)
+			current = next
+		}
+
+		// Random abortion signals: any object in a nested level may signal
+		// when aborting down to any shallower level.
+		for li := 1; li < len(levels); li++ {
+			for _, o := range levels[li] {
+				if rng.Intn(3) == 0 {
+					pi := rng.Intn(li)
+					downTo := paths[pi][len(paths[pi])-1]
+					sim.SetAbortSignal(o, downTo, fmt.Sprintf("S%d", o))
+				}
+			}
+		}
+
+		// Random raisers: each object may raise once, in its innermost
+		// entered action. All raises are issued before any delivery
+		// ("concurrent").
+		outermostRaise := -1
+		raised := 0
+		for i, o := range all {
+			if rng.Intn(2) != 0 {
+				continue
+			}
+			ok, err := sim.Engines[o].RaiseLocal(fmt.Sprintf("E%d", i+1))
+			if err != nil || !ok {
+				t.Logf("seed %d: raise at %s: %v %v", seed, o, ok, err)
+				return false
+			}
+			raised++
+			// The level of o's raise is the deepest level containing o.
+			lvl := 0
+			for li := 1; li < len(levels); li++ {
+				for _, m := range levels[li] {
+					if m == o {
+						lvl = li
+					}
+				}
+			}
+			if outermostRaise == -1 || lvl < outermostRaise {
+				outermostRaise = lvl
+			}
+		}
+		if raised == 0 {
+			return true // nothing to resolve; trivially fine
+		}
+
+		if err := sim.Drain(10_000_000); err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, sim.Log.Dump())
+			return false
+		}
+
+		// Property 2: per-action handler consistency.
+		perAction := make(map[string]string) // "A2" -> exc
+		for obj, handled := range sim.Handled {
+			seen := make(map[string]bool)
+			for _, h := range handled {
+				parts := strings.SplitN(h, ":", 2)
+				if seen[parts[0]] {
+					t.Logf("seed %d: %s handled action %s twice: %v", seed, obj, parts[0], handled)
+					return false
+				}
+				seen[parts[0]] = true
+				if prev, ok := perAction[parts[0]]; ok && prev != parts[1] {
+					t.Logf("seed %d: action %s resolved both %q and %q", seed, parts[0], prev, parts[1])
+					return false
+				}
+				perAction[parts[0]] = parts[1]
+			}
+		}
+
+		// Property 3: the outermost raised level resolves for all members.
+		wantAction := paths[outermostRaise][len(paths[outermostRaise])-1].String()
+		exc, ok := perAction[wantAction]
+		if !ok {
+			t.Logf("seed %d: no resolution committed at %s\n%s", seed, wantAction, sim.Log.Dump())
+			return false
+		}
+		for _, o := range levels[outermostRaise] {
+			found := false
+			for _, h := range sim.Handled[o] {
+				if h == wantAction+":"+exc {
+					found = true
+				}
+			}
+			if !found {
+				t.Logf("seed %d: %s missing handler for %s:%s (has %v)",
+					seed, o, wantAction, exc, sim.Handled[o])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package protocol
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// Sim is a deterministic in-memory execution fabric for resolution engines:
+// one FIFO queue per ordered object pair (the algorithm's channel
+// assumption), with messages delivered either in global enqueue order or
+// from a randomly chosen non-empty pair. It exists so that tests, benchmarks
+// and the experiment harness can measure exact message counts without
+// scheduler noise; package core drives the same engines over the simulated
+// network for full-stack runs.
+type Sim struct {
+	// Engines maps each object to its engine.
+	Engines map[ident.ObjectID]*Engine
+	// Log records every engine event; its census is the message count.
+	Log *trace.Log
+	// Handled records handler starts per object as "A<action>:<exc>".
+	Handled map[ident.ObjectID][]string
+	// Aborts records AbortNested targets per object.
+	Aborts map[ident.ObjectID][]ident.ActionID
+
+	queues map[[2]ident.ObjectID][]Msg
+	order  [][2]ident.ObjectID
+	sigs   map[ident.ObjectID]map[ident.ActionID]string
+	rng    *rand.Rand
+	filter func(from, to ident.ObjectID, m Msg) bool
+}
+
+// ErrNoQuiescence is returned by Drain when the step budget is exhausted.
+var ErrNoQuiescence = errors.New("protocol: simulation did not quiesce")
+
+// NewSim creates an empty simulation.
+func NewSim() *Sim {
+	return &Sim{
+		Engines: make(map[ident.ObjectID]*Engine),
+		Log:     trace.NewLog(),
+		Handled: make(map[ident.ObjectID][]string),
+		Aborts:  make(map[ident.ObjectID][]ident.ActionID),
+		queues:  make(map[[2]ident.ObjectID][]Msg),
+		sigs:    make(map[ident.ObjectID]map[ident.ActionID]string),
+	}
+}
+
+// SetRand randomises delivery interleaving (per-pair FIFO preserved).
+func (s *Sim) SetRand(rng *rand.Rand) { s.rng = rng }
+
+// SetFilter installs a delivery filter used for failure injection: a message
+// is silently dropped when the filter returns false. Crashing an object is
+// modelled by dropping everything it sends from some point on.
+func (s *Sim) SetFilter(f func(from, to ident.ObjectID, m Msg) bool) { s.filter = f }
+
+// AddEngine creates the engine for obj.
+func (s *Sim) AddEngine(obj ident.ObjectID) *Engine {
+	e := NewEngine(obj, Hooks{
+		Send: func(to ident.ObjectID, m Msg) {
+			key := [2]ident.ObjectID{obj, to}
+			if len(s.queues[key]) == 0 {
+				s.order = append(s.order, key)
+			}
+			s.queues[key] = append(s.queues[key], m)
+		},
+		AbortNested: func(downTo ident.ActionID) string {
+			s.Aborts[obj] = append(s.Aborts[obj], downTo)
+			if m := s.sigs[obj]; m != nil {
+				return m[downTo]
+			}
+			return ""
+		},
+		StartHandler: func(a ident.ActionID, exc string) {
+			s.Handled[obj] = append(s.Handled[obj], a.String()+":"+exc)
+		},
+		Log: func(ev trace.Event) { s.Log.Record(ev) },
+	})
+	s.Engines[obj] = e
+	return e
+}
+
+// SetAbortSignal makes obj's abortion handlers signal exc when aborting the
+// nested chain down to the given action.
+func (s *Sim) SetAbortSignal(obj ident.ObjectID, downTo ident.ActionID, exc string) {
+	if s.sigs[obj] == nil {
+		s.sigs[obj] = make(map[ident.ActionID]string)
+	}
+	s.sigs[obj][downTo] = exc
+}
+
+// EnterAll pushes the same frame on the named engines.
+func (s *Sim) EnterAll(f Frame, objs ...ident.ObjectID) error {
+	for _, o := range objs {
+		e, ok := s.Engines[o]
+		if !ok {
+			return errors.New("protocol: no engine for " + o.String())
+		}
+		if err := e.EnterAction(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step delivers one pending message; it reports whether one was pending.
+func (s *Sim) Step() bool {
+	for len(s.order) > 0 {
+		i := 0
+		if s.rng != nil {
+			i = s.rng.Intn(len(s.order))
+		}
+		key := s.order[i]
+		q := s.queues[key]
+		if len(q) == 0 {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			continue
+		}
+		m := q[0]
+		s.queues[key] = q[1:]
+		if len(s.queues[key]) == 0 {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+		}
+		if s.filter != nil && !s.filter(key[0], key[1], m) {
+			return true // dropped by failure injection
+		}
+		if e, ok := s.Engines[key[1]]; ok {
+			e.HandleMessage(m)
+		}
+		return true
+	}
+	return false
+}
+
+// Drain delivers messages until quiescence, bounded by maxSteps.
+func (s *Sim) Drain(maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		if !s.Step() {
+			return nil
+		}
+	}
+	return ErrNoQuiescence
+}

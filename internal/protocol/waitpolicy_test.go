@@ -1,0 +1,102 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// TestWaitPolicyDefersUntilNestedCompletes: under Figure 1(a), an Exception
+// for a containing action is deferred while the receiver is inside a nested
+// action and processed when the nested action completes.
+func TestWaitPolicyDefersUntilNestedCompletes(t *testing.T) {
+	tree := aircraft()
+	b := newBus(t)
+	for _, o := range []ident.ObjectID{1, 2} {
+		e := b.addEngine(o)
+		e.SetWaitForNested(true)
+	}
+	a1 := frameOf(1, []ident.ActionID{1}, tree, 1, 2)
+	a2 := frameOf(2, []ident.ActionID{1, 2}, tree, 2)
+	b.enterAll(a1, 1, 2)
+	b.enterAll(a2, 2)
+
+	if ok, _ := b.engines[1].RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain()
+
+	// O2 deferred the Exception: no handler ran, no abortion happened, the
+	// resolution is stalled.
+	if len(b.handled[1])+len(b.handled[2]) != 0 {
+		t.Fatalf("handlers ran while nested action alive: %v %v", b.handled[1], b.handled[2])
+	}
+	if len(b.aborts[2]) != 0 {
+		t.Fatalf("wait policy must not abort, got %v", b.aborts[2])
+	}
+	deferred := false
+	for _, ev := range b.log.Events() {
+		if ev.Label == "deferred-until-nested-completes" {
+			deferred = true
+		}
+	}
+	if !deferred {
+		t.Fatal("no deferral recorded")
+	}
+
+	// The nested action completes naturally; the deferred Exception replays
+	// and the resolution finishes without any abortion.
+	if err := b.engines[2].LeaveAction(2); err != nil {
+		t.Fatal(err)
+	}
+	b.drain()
+	for _, o := range []ident.ObjectID{1, 2} {
+		if got := b.handled[o]; len(got) != 1 || got[0] != "A1:left_engine" {
+			t.Errorf("%s handled %v", o, got)
+		}
+	}
+	if b.log.CountSends(KindHaveNested) != 0 {
+		t.Errorf("wait policy sent HaveNested: %s", b.log.CensusString())
+	}
+	if len(b.aborts[2]) != 0 {
+		t.Errorf("wait policy aborted: %v", b.aborts[2])
+	}
+}
+
+// TestWaitPolicyMessageCount: with the wait strategy, the resolution costs
+// only the case-1 exchange — no HaveNested/NestedCompleted overhead — paid
+// for with unbounded waiting.
+func TestWaitPolicyMessageCount(t *testing.T) {
+	tree := aircraft()
+	b := newBus(t)
+	for _, o := range []ident.ObjectID{1, 2, 3} {
+		e := b.addEngine(o)
+		e.SetWaitForNested(true)
+	}
+	a1 := frameOf(1, []ident.ActionID{1}, tree, 1, 2, 3)
+	b.enterAll(a1, 1, 2, 3)
+	for _, o := range []ident.ObjectID{2, 3} {
+		na := ident.ActionID(int(o) + 10)
+		b.enterAll(frameOf(na, []ident.ActionID{1, na}, tree, o), o)
+	}
+	if ok, _ := b.engines[1].RaiseLocal("left_engine"); !ok {
+		t.Fatal("raise dropped")
+	}
+	b.drain()
+	// Stalled until the nested actions complete.
+	for _, o := range []ident.ObjectID{2, 3} {
+		if err := b.engines[o].LeaveAction(ident.ActionID(int(o) + 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.drain()
+	chosen := b.log.FilterKind(trace.EvCommitChosen)
+	if len(chosen) != 1 {
+		t.Fatalf("choosers = %d", len(chosen))
+	}
+	// 3(N-1) = 6 — the Q-dependent terms vanish under the wait strategy.
+	if got := b.log.TotalSends(); got != 6 {
+		t.Errorf("messages = %d, want 6 (%s)", got, b.log.CensusString())
+	}
+}

@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestRunBelatedAbortCompletes(t *testing.T) {
+	out, err := RunBelated(core.AbortNestedActions, 20*time.Second)
+	if err != nil {
+		t.Fatalf("abort policy: %v", err)
+	}
+	if !out.Completed || out.Resolved != "ofault" {
+		t.Errorf("outcome = %+v", out)
+	}
+}
+
+func TestRunBelatedWaitTimesOut(t *testing.T) {
+	_, err := RunBelated(core.WaitForNestedActions, 200*time.Millisecond)
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("wait policy err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestRunForwardRecovery(t *testing.T) {
+	res, err := RunForwardRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalState != "repaired" || res.Attempts != 1 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestRunBackwardRecovery(t *testing.T) {
+	res, err := RunBackwardRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalState != "alternate" || res.Attempts != 2 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestRunAbortionCostDelaysResolution(t *testing.T) {
+	fast, err := Run(Spec{N: 2, P: 1, Q: 1, Depth: 2, RaiseDelay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(Spec{N: 2, P: 1, Q: 1, Depth: 2,
+		RaiseDelay: 10 * time.Millisecond, AbortionCost: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Outcome.Completed || !slow.Outcome.Completed {
+		t.Fatalf("outcomes: %+v / %+v", fast.Outcome, slow.Outcome)
+	}
+	// Two nested levels at 20ms each: the slow run must be at least ~40ms
+	// slower than the fast one.
+	if delta := slow.Elapsed - fast.Elapsed; delta < 35*time.Millisecond {
+		t.Errorf("abortion cost not reflected: delta = %v", delta)
+	}
+}

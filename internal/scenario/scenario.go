@@ -1,0 +1,306 @@
+// Package scenario generates the measurement workloads of the paper's §4.4
+// analysis and runs them through the full stack (core runtime over the
+// simulated network), reporting protocol-message censuses and latencies.
+//
+// The parameters mirror the paper's: N participating objects of the
+// outermost action, P objects that raise exceptions concurrently, Q objects
+// inside nested actions (which must be aborted), and a nesting depth for
+// latency experiments. Because the full stack is genuinely concurrent, the
+// number of raises that are accepted before the resolution suppresses the
+// rest can be lower than P; Result reports the observed values so the
+// closed-form prediction (N-1)(2P+3Q+1) is checked against what actually
+// happened, not against the request.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+// Spec parameterises one measurement run.
+type Spec struct {
+	// N is the number of participating objects of the outermost action.
+	N int
+	// P is the number of objects that raise exceptions (concurrently, at
+	// body start). At least 1 unless the spec is a no-exception run.
+	P int
+	// Q is the number of objects placed inside nested actions when the
+	// exception hits (each gets its own chain of singleton nested actions).
+	Q int
+	// Depth is the nesting depth for each of the Q nested objects (>= 1;
+	// only the outermost of the chain is counted by the paper's Q).
+	Depth int
+	// RaiseDelay postpones the raises, giving nested objects time to enter
+	// their actions.
+	RaiseDelay time.Duration
+	// AbortionCost is simulated work performed by each abortion handler
+	// (the paper: "the proposed algorithm may suffer some delays because of
+	// the execution of abortion handlers in nested actions").
+	AbortionCost time.Duration
+	// Latency is the one-way network latency (0 = instant).
+	Latency time.Duration
+	// Policy selects the nested-action strategy of the outermost action.
+	Policy core.NestedPolicy
+	// Timeout bounds the run (default 30s).
+	Timeout time.Duration
+	// KeepTrace includes the full event trace in the result (Result.Trace).
+	KeepTrace bool
+}
+
+// Result reports one run.
+type Result struct {
+	Outcome core.Outcome
+	// Census is the protocol-message census by kind.
+	Census map[string]int
+	// Total is the total number of protocol messages.
+	Total int
+	// ObservedP is the number of Exception-multicasting raisers that the
+	// resolution actually saw.
+	ObservedP int
+	// ObservedQ is the number of objects that performed the
+	// HaveNested/NestedCompleted exchange.
+	ObservedQ int
+	// Predicted is (N-1)(2·ObservedP + 3·ObservedQ + 1), the paper's
+	// formula evaluated on the observed parameters.
+	Predicted int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Trace is the rendered event log (only when Spec.KeepTrace).
+	Trace string
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.N < 1 {
+		return errors.New("scenario: N must be >= 1")
+	}
+	if s.P < 0 || s.P > s.N {
+		return errors.New("scenario: P must be in [0, N]")
+	}
+	if s.Q < 0 || s.P+s.Q > s.N {
+		return errors.New("scenario: P+Q must be <= N")
+	}
+	if s.Q > 0 && s.Depth < 1 {
+		return errors.New("scenario: Depth must be >= 1 when Q > 0")
+	}
+	return nil
+}
+
+// protocolKinds are the message kinds counted as protocol overhead.
+var protocolKinds = []string{
+	protocol.KindException,
+	protocol.KindAck,
+	protocol.KindHaveNested,
+	protocol.KindNestedCompleted,
+	protocol.KindCommit,
+}
+
+// Run executes the scenario and returns its measurements.
+func Run(spec Spec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	timeout := spec.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	log := trace.NewLog()
+	sys := core.NewSystem(core.Options{
+		Network: netsim.Config{Latency: netsim.FixedLatency(spec.Latency)},
+		Trace:   log,
+	})
+	defer sys.Close()
+
+	def, nestedSpecs := buildDefinition(spec)
+	start := time.Now()
+	out, err := sys.RunTimeout(def, timeout)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{Outcome: out, Elapsed: elapsed}, err
+	}
+	_ = nestedSpecs
+
+	res := Result{
+		Outcome: out,
+		Census:  make(map[string]int, len(protocolKinds)),
+		Elapsed: elapsed,
+	}
+	for _, kind := range protocolKinds {
+		n := log.CountSends(kind)
+		res.Census[kind] = n
+		res.Total += n
+	}
+	if spec.N > 1 {
+		res.ObservedP = res.Census[protocol.KindException] / (spec.N - 1)
+		res.ObservedQ = res.Census[protocol.KindHaveNested] / (spec.N - 1)
+	}
+	if res.Total > 0 {
+		res.Predicted = protocol.PredictMessages(spec.N, res.ObservedP, res.ObservedQ)
+	}
+	if spec.KeepTrace {
+		res.Trace = log.Dump()
+	}
+	return res, nil
+}
+
+// buildDefinition constructs the CA action for the spec: members O1..ON, a
+// flat exception tree with one exception per object, P raiser bodies, Q
+// nested idlers and N-P-Q plain idlers.
+func buildDefinition(spec Spec) (core.Definition, []*core.ActionSpec) {
+	members := make([]ident.ObjectID, spec.N)
+	for i := range members {
+		members[i] = ident.ObjectID(i + 1)
+	}
+	tb := exception.NewBuilder("omega")
+	for i := 1; i <= spec.N; i++ {
+		tb.Add(fmt.Sprintf("exc%d", i), "omega")
+	}
+	tree := tb.MustBuild()
+
+	noop := core.HandlerSet{Default: func(*core.RecoveryContext, exception.Exception) (string, error) {
+		return "", nil
+	}}
+	handlers := make(map[ident.ObjectID]core.HandlerSet, spec.N)
+	for _, m := range members {
+		handlers[m] = noop
+	}
+
+	bodies := make(map[ident.ObjectID]core.Body, spec.N)
+	var nestedSpecs []*core.ActionSpec
+
+	idle := func(ctx *core.Context) error {
+		ctx.Sleep(time.Hour)
+		return nil
+	}
+
+	for i := 0; i < spec.N; i++ {
+		obj := members[i]
+		switch {
+		case i < spec.P:
+			exc := fmt.Sprintf("exc%d", i+1)
+			delay := spec.RaiseDelay
+			bodies[obj] = func(ctx *core.Context) error {
+				if delay > 0 {
+					ctx.Sleep(delay)
+				}
+				ctx.Raise(exc)
+				return nil
+			}
+		case i < spec.P+spec.Q:
+			// Build this object's private chain of singleton nested actions.
+			chain := make([]*core.ActionSpec, spec.Depth)
+			for d := 0; d < spec.Depth; d++ {
+				as := &core.ActionSpec{
+					Name:    fmt.Sprintf("nested-%s-%d", obj, d),
+					Tree:    tree,
+					Members: []ident.ObjectID{obj},
+					Handlers: map[ident.ObjectID]core.HandlerSet{
+						obj: noop,
+					},
+				}
+				if spec.AbortionCost > 0 {
+					cost := spec.AbortionCost
+					as.Abortion = map[ident.ObjectID]core.AbortionHandler{
+						obj: func(*core.RecoveryContext) string {
+							time.Sleep(cost)
+							return ""
+						},
+					}
+				}
+				chain[d] = as
+			}
+			nestedSpecs = append(nestedSpecs, chain...)
+			bodies[obj] = func(ctx *core.Context) error {
+				var descend func(c *core.Context, d int) error
+				descend = func(c *core.Context, d int) error {
+					if d == len(chain) {
+						c.Sleep(time.Hour)
+						return nil
+					}
+					_, err := c.Enclose(chain[d], func(nc *core.Context) error {
+						return descend(nc, d+1)
+					})
+					return err
+				}
+				return descend(ctx, 0)
+			}
+		default:
+			bodies[obj] = idle
+		}
+	}
+
+	def := core.Definition{
+		Spec: core.ActionSpec{
+			Name:     "scenario",
+			Tree:     tree,
+			Members:  members,
+			Handlers: handlers,
+			Policy:   spec.Policy,
+		},
+		Bodies: bodies,
+	}
+	return def, nestedSpecs
+}
+
+// RunNoException measures a run where nothing goes wrong: the body of every
+// object performs w writes to the shared store and completes. It returns the
+// protocol-message total (expected: 0) and the elapsed time.
+func RunNoException(n, writes int, latency time.Duration) (Result, error) {
+	log := trace.NewLog()
+	sys := core.NewSystem(core.Options{
+		Network: netsim.Config{Latency: netsim.FixedLatency(latency)},
+		Trace:   log,
+	})
+	defer sys.Close()
+
+	members := make([]ident.ObjectID, n)
+	for i := range members {
+		members[i] = ident.ObjectID(i + 1)
+	}
+	tree := exception.NewBuilder("omega").MustBuild()
+	noop := core.HandlerSet{Default: func(*core.RecoveryContext, exception.Exception) (string, error) {
+		return "", nil
+	}}
+	handlers := make(map[ident.ObjectID]core.HandlerSet, n)
+	bodies := make(map[ident.ObjectID]core.Body, n)
+	for _, m := range members {
+		handlers[m] = noop
+		obj := m
+		bodies[m] = func(ctx *core.Context) error {
+			for w := 0; w < writes; w++ {
+				key := fmt.Sprintf("obj-%s-%d", obj, w)
+				if err := ctx.Write(key, w); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	def := core.Definition{
+		Spec: core.ActionSpec{
+			Name: "no-exception", Tree: tree, Members: members, Handlers: handlers,
+		},
+		Bodies: bodies,
+	}
+	start := time.Now()
+	out, err := sys.Run(def)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{Outcome: out, Elapsed: elapsed}, err
+	}
+	res := Result{Outcome: out, Census: make(map[string]int), Elapsed: elapsed}
+	for _, kind := range protocolKinds {
+		c := log.CountSends(kind)
+		res.Census[kind] = c
+		res.Total += c
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name  string
+		give  Spec
+		isErr bool
+	}{
+		{name: "ok", give: Spec{N: 3, P: 1, Q: 1, Depth: 1}},
+		{name: "zero N", give: Spec{N: 0}, isErr: true},
+		{name: "P too big", give: Spec{N: 2, P: 3}, isErr: true},
+		{name: "P+Q too big", give: Spec{N: 3, P: 2, Q: 2, Depth: 1}, isErr: true},
+		{name: "Q without depth", give: Spec{N: 3, P: 1, Q: 1}, isErr: true},
+		{name: "no exception", give: Spec{N: 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.isErr {
+				t.Errorf("Validate(%+v) = %v", tt.give, err)
+			}
+		})
+	}
+}
+
+func TestRunSingleRaiser(t *testing.T) {
+	res, err := Run(Spec{N: 4, P: 1, Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Outcome.Completed || res.Outcome.Resolved == "" {
+		t.Fatalf("outcome = %+v", res.Outcome)
+	}
+	if res.ObservedP != 1 || res.ObservedQ != 0 {
+		t.Errorf("observed P=%d Q=%d, want 1, 0", res.ObservedP, res.ObservedQ)
+	}
+	// §4.4 case 1: exactly 3(N-1) = 9 messages.
+	if res.Total != 9 || res.Predicted != 9 {
+		t.Errorf("total = %d, predicted = %d, want 9 (%v)", res.Total, res.Predicted, res.Census)
+	}
+}
+
+func TestRunMatchesFormulaAcrossGrid(t *testing.T) {
+	for _, spec := range []Spec{
+		{N: 2, P: 1},
+		{N: 4, P: 2},
+		{N: 4, P: 1, Q: 2, Depth: 1, RaiseDelay: 20 * time.Millisecond},
+		{N: 5, P: 1, Q: 3, Depth: 2, RaiseDelay: 20 * time.Millisecond},
+		{N: 6, P: 3, Q: 2, Depth: 1, RaiseDelay: 20 * time.Millisecond},
+	} {
+		spec.Timeout = 20 * time.Second
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("run %+v: %v", spec, err)
+		}
+		if !res.Outcome.Completed {
+			t.Fatalf("outcome for %+v = %+v", spec, res.Outcome)
+		}
+		if res.Total != res.Predicted {
+			t.Errorf("spec %+v: total %d != predicted %d (P=%d Q=%d census=%v)",
+				spec, res.Total, res.Predicted, res.ObservedP, res.ObservedQ, res.Census)
+		}
+		// The observed Q must equal the requested Q: nested objects had
+		// time to enter their actions before the raise.
+		if spec.Q > 0 && res.ObservedQ != spec.Q {
+			t.Errorf("spec %+v: observed Q = %d", spec, res.ObservedQ)
+		}
+		// At least one raise always survives.
+		if res.ObservedP < 1 || res.ObservedP > spec.P {
+			t.Errorf("spec %+v: observed P = %d", spec, res.ObservedP)
+		}
+	}
+}
+
+func TestRunWithNetworkLatency(t *testing.T) {
+	res, err := Run(Spec{N: 3, P: 1, Latency: 2 * time.Millisecond, Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Outcome.Completed {
+		t.Fatalf("outcome = %+v", res.Outcome)
+	}
+	// Resolution needs at least two message rounds (Exception+ACK, Commit).
+	if res.Elapsed < 4*time.Millisecond {
+		t.Errorf("elapsed = %v, implausibly fast for 2ms one-way latency", res.Elapsed)
+	}
+	if res.Total != protocol.PredictMessages(3, 1, 0) {
+		t.Errorf("total = %d", res.Total)
+	}
+}
+
+func TestRunNoExceptionZeroOverhead(t *testing.T) {
+	res, err := RunNoException(5, 3, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Outcome.Completed {
+		t.Fatalf("outcome = %+v", res.Outcome)
+	}
+	if res.Total != 0 {
+		t.Errorf("protocol messages = %d, want 0 (%v)", res.Total, res.Census)
+	}
+}
+
+func TestRunWaitPolicyCompletesWithoutBelated(t *testing.T) {
+	// Without belated participants the wait policy also terminates: nested
+	// actions complete naturally, then resolution runs. Depth 1, nested
+	// bodies idle forever, so use the abort default here but exercise the
+	// policy plumbing with Q=0.
+	res, err := Run(Spec{N: 3, P: 1, Policy: core.WaitForNestedActions, Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Outcome.Completed {
+		t.Fatalf("outcome = %+v", res.Outcome)
+	}
+}

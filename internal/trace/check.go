@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+)
+
+// CheckFIFO verifies the per-pair FIFO delivery property on a recorded
+// event log: for every ordered object pair, the sequence of received
+// messages (kind + detail) must be a prefix-order-respecting subsequence of
+// the sent sequence — i.e. deliveries happen in send order, with at most a
+// suffix still undelivered. This validates both the simulated network's
+// guarantee and the engine's reliance on it, directly from execution traces.
+func CheckFIFO(events []Event) error {
+	type pair struct{ from, to int }
+	type msg struct {
+		kind, detail string
+		action       int
+	}
+	sent := make(map[pair][]msg)
+	delivered := make(map[pair]int)
+
+	for _, e := range events {
+		switch e.Kind {
+		case EvSend:
+			p := pair{from: int(e.Object), to: int(e.Peer)}
+			sent[p] = append(sent[p], msg{kind: e.Label, detail: e.Detail, action: int(e.Action)})
+		case EvRecv:
+			p := pair{from: int(e.Peer), to: int(e.Object)}
+			idx := delivered[p]
+			q := sent[p]
+			if idx >= len(q) {
+				return fmt.Errorf("trace: O%d received %s from O%d with no matching send (event #%d)",
+					e.Object, e.Label, e.Peer, e.Seq)
+			}
+			want := q[idx]
+			if want.kind != e.Label || want.detail != e.Detail || want.action != int(e.Action) {
+				return fmt.Errorf(
+					"trace: FIFO violation O%d->O%d at delivery %d: sent %s/%s(A%d), received %s/%s(A%d) (event #%d)",
+					e.Peer, e.Object, idx,
+					want.kind, want.detail, want.action,
+					e.Label, e.Detail, int(e.Action), e.Seq)
+			}
+			delivered[p]++
+		}
+	}
+	return nil
+}
+
+// CheckHandlersAgree verifies that every EvHandler event for the same action
+// carries the same resolved exception — the agreement property, checkable on
+// any recorded run.
+func CheckHandlersAgree(events []Event) error {
+	perAction := make(map[int]string)
+	for _, e := range events {
+		if e.Kind != EvHandler {
+			continue
+		}
+		a := int(e.Action)
+		if prev, ok := perAction[a]; ok && prev != e.Label {
+			return fmt.Errorf("trace: action A%d handled both %q and %q (event #%d)",
+				a, prev, e.Label, e.Seq)
+		}
+		perAction[a] = e.Label
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckFIFOAccepts(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: EvSend, Object: 1, Peer: 2, Action: 1, Label: "Exception", Detail: "E1"},
+		{Seq: 2, Kind: EvSend, Object: 1, Peer: 2, Action: 1, Label: "Commit", Detail: "E1"},
+		{Seq: 3, Kind: EvRecv, Object: 2, Peer: 1, Action: 1, Label: "Exception", Detail: "E1"},
+		{Seq: 4, Kind: EvRecv, Object: 2, Peer: 1, Action: 1, Label: "Commit", Detail: "E1"},
+	}
+	if err := CheckFIFO(events); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}
+
+func TestCheckFIFOAcceptsInFlightSuffix(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: EvSend, Object: 1, Peer: 2, Label: "A"},
+		{Seq: 2, Kind: EvSend, Object: 1, Peer: 2, Label: "B"},
+		{Seq: 3, Kind: EvRecv, Object: 2, Peer: 1, Label: "A"},
+		// B still in flight: fine.
+	}
+	if err := CheckFIFO(events); err != nil {
+		t.Errorf("in-flight suffix rejected: %v", err)
+	}
+}
+
+func TestCheckFIFORejectsReordering(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: EvSend, Object: 1, Peer: 2, Label: "A"},
+		{Seq: 2, Kind: EvSend, Object: 1, Peer: 2, Label: "B"},
+		{Seq: 3, Kind: EvRecv, Object: 2, Peer: 1, Label: "B"},
+	}
+	err := CheckFIFO(events)
+	if err == nil || !strings.Contains(err.Error(), "FIFO violation") {
+		t.Errorf("reordering not detected: %v", err)
+	}
+}
+
+func TestCheckFIFORejectsPhantom(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: EvRecv, Object: 2, Peer: 1, Label: "A"},
+	}
+	if err := CheckFIFO(events); err == nil {
+		t.Error("phantom delivery not detected")
+	}
+}
+
+func TestCheckHandlersAgree(t *testing.T) {
+	good := []Event{
+		{Seq: 1, Kind: EvHandler, Object: 1, Action: 1, Label: "E"},
+		{Seq: 2, Kind: EvHandler, Object: 2, Action: 1, Label: "E"},
+		{Seq: 3, Kind: EvHandler, Object: 2, Action: 2, Label: "F"},
+	}
+	if err := CheckHandlersAgree(good); err != nil {
+		t.Errorf("agreeing trace rejected: %v", err)
+	}
+	bad := append(good, Event{Seq: 4, Kind: EvHandler, Object: 3, Action: 1, Label: "G"})
+	if err := CheckHandlersAgree(bad); err == nil {
+		t.Error("disagreement not detected")
+	}
+}

@@ -1,0 +1,210 @@
+// Package trace provides an event log and message census used by tests,
+// benchmarks and the experiment harness to observe protocol executions.
+//
+// The paper's evaluation (§4.4) is a message-count analysis; the census in
+// this package is what the reproduction measures against the closed-form
+// predictions such as (N-1)(2P+3Q+1).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ident"
+)
+
+// EventKind classifies a trace event.
+type EventKind int
+
+// Event kinds recorded by the runtime.
+const (
+	// EvSend records a protocol message leaving an object.
+	EvSend EventKind = iota + 1
+	// EvRecv records a protocol message being processed by an object.
+	EvRecv
+	// EvRaise records a local exception raise.
+	EvRaise
+	// EvState records a protocol state transition (N/X/S/R).
+	EvState
+	// EvAbort records execution of an abortion handler.
+	EvAbort
+	// EvHandler records invocation of a resolved exception handler.
+	EvHandler
+	// EvEnter records an object entering an action.
+	EvEnter
+	// EvLeave records an object leaving an action.
+	EvLeave
+	// EvCommitChosen records the chooser resolving and committing.
+	EvCommitChosen
+	// EvNote records free-form runtime notes.
+	EvNote
+)
+
+var eventKindNames = map[EventKind]string{
+	EvSend:         "send",
+	EvRecv:         "recv",
+	EvRaise:        "raise",
+	EvState:        "state",
+	EvAbort:        "abort",
+	EvHandler:      "handler",
+	EvEnter:        "enter",
+	EvLeave:        "leave",
+	EvCommitChosen: "commit-chosen",
+	EvNote:         "note",
+}
+
+// String returns a readable name for the event kind.
+func (k EventKind) String() string {
+	if s, ok := eventKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one recorded occurrence. Seq is a process-wide logical timestamp
+// assigned at record time, giving a total order consistent with real time.
+type Event struct {
+	Seq    int
+	Kind   EventKind
+	Object ident.ObjectID
+	Peer   ident.ObjectID // message peer for send/recv, otherwise zero
+	Action ident.ActionID
+	Label  string // message kind name, exception name, state name, ...
+	Detail string
+}
+
+// String renders the event in a compact single-line form.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%04d %-7s %s", e.Seq, e.Kind, e.Object)
+	if e.Kind == EvSend {
+		fmt.Fprintf(&b, "->%s", e.Peer)
+	}
+	if e.Kind == EvRecv {
+		fmt.Fprintf(&b, "<-%s", e.Peer)
+	}
+	if e.Action != 0 {
+		fmt.Fprintf(&b, " %s", e.Action)
+	}
+	if e.Label != "" {
+		fmt.Fprintf(&b, " %s", e.Label)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// Log is a concurrency-safe append-only event log with a message census.
+// The zero value is not usable; construct with NewLog.
+type Log struct {
+	mu     sync.Mutex
+	seq    int
+	events []Event
+	census map[string]int // message-kind name -> count of sends
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{census: make(map[string]int)}
+}
+
+// Record appends an event, assigning its sequence number, and returns it.
+// Send events additionally increment the census bucket for their Label.
+func (l *Log) Record(e Event) Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	l.events = append(l.events, e)
+	if e.Kind == EvSend {
+		l.census[e.Label]++
+	}
+	return e
+}
+
+// Events returns a copy of all recorded events in order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Census returns a copy of the send census keyed by message-kind name.
+func (l *Log) Census() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int, len(l.census))
+	for k, v := range l.census {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalSends returns the total number of send events recorded.
+func (l *Log) TotalSends() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := 0
+	for _, v := range l.census {
+		total += v
+	}
+	return total
+}
+
+// CountSends returns the number of send events recorded for one kind.
+func (l *Log) CountSends(kind string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.census[kind]
+}
+
+// Reset clears all events and census counters.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq = 0
+	l.events = nil
+	l.census = make(map[string]int)
+}
+
+// FilterKind returns the recorded events of the given kind, in order.
+func (l *Log) FilterKind(kind EventKind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CensusString renders the census as "kind=N" pairs sorted by kind name,
+// suitable for test failure messages and the experiment tables.
+func (l *Log) CensusString() string {
+	census := l.Census()
+	keys := make([]string, 0, len(census))
+	for k := range census {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, census[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Dump renders the whole log, one event per line.
+func (l *Log) Dump() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	l := NewLog()
+	e1 := l.Record(Event{Kind: EvSend, Object: 1, Peer: 2, Action: 1, Label: "Exception"})
+	e2 := l.Record(Event{Kind: EvRecv, Object: 2, Peer: 1, Action: 1, Label: "Exception"})
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Errorf("sequence numbers: %d, %d", e1.Seq, e2.Seq)
+	}
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("len(events) = %d", len(events))
+	}
+	if events[0].Kind != EvSend || events[1].Kind != EvRecv {
+		t.Errorf("unexpected events %v", events)
+	}
+}
+
+func TestCensusCountsOnlySends(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{Kind: EvSend, Label: "Exception"})
+	l.Record(Event{Kind: EvSend, Label: "Exception"})
+	l.Record(Event{Kind: EvSend, Label: "ACK"})
+	l.Record(Event{Kind: EvRecv, Label: "Exception"})
+	l.Record(Event{Kind: EvRaise, Label: "E1"})
+
+	if got := l.CountSends("Exception"); got != 2 {
+		t.Errorf("Exception sends = %d, want 2", got)
+	}
+	if got := l.CountSends("ACK"); got != 1 {
+		t.Errorf("ACK sends = %d, want 1", got)
+	}
+	if got := l.TotalSends(); got != 3 {
+		t.Errorf("total sends = %d, want 3", got)
+	}
+	if s := l.CensusString(); s != "ACK=1 Exception=2" {
+		t.Errorf("CensusString = %q", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{Kind: EvSend, Label: "X"})
+	l.Reset()
+	if l.TotalSends() != 0 || len(l.Events()) != 0 {
+		t.Error("Reset did not clear log")
+	}
+	e := l.Record(Event{Kind: EvSend, Label: "X"})
+	if e.Seq != 1 {
+		t.Errorf("seq after reset = %d, want 1", e.Seq)
+	}
+}
+
+func TestFilterKind(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{Kind: EvRaise, Label: "E1"})
+	l.Record(Event{Kind: EvSend, Label: "Exception"})
+	l.Record(Event{Kind: EvRaise, Label: "E2"})
+	raises := l.FilterKind(EvRaise)
+	if len(raises) != 2 || raises[0].Label != "E1" || raises[1].Label != "E2" {
+		t.Errorf("FilterKind = %v", raises)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Record(Event{Kind: EvSend, Label: "m"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.TotalSends(); got != 800 {
+		t.Errorf("total = %d, want 800", got)
+	}
+	// Sequence numbers must be unique and dense.
+	seen := make(map[int]bool)
+	for _, e := range l.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 3, Kind: EvSend, Object: 1, Peer: 2, Action: 4, Label: "Exception", Detail: "E1"}
+	s := e.String()
+	for _, want := range []string{"#0003", "send", "O1->O2", "A4", "Exception", "(E1)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	r := Event{Seq: 1, Kind: EvRecv, Object: 2, Peer: 1}
+	if !strings.Contains(r.String(), "O2<-O1") {
+		t.Errorf("recv rendering: %q", r.String())
+	}
+	if EventKind(99).String() != "event(99)" {
+		t.Errorf("unknown kind rendering: %q", EventKind(99).String())
+	}
+}
+
+func TestDump(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{Kind: EvNote, Object: 1, Label: "hello"})
+	if !strings.Contains(l.Dump(), "hello") {
+		t.Error("Dump should contain event labels")
+	}
+}

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics feeds random byte soup to Decode: it must return an
+// error or a message, never panic or over-allocate.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode(%v) panicked: %v", b, r)
+			}
+		}()
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeMutatedValidMessages flips bytes of valid encodings: decoding
+// must either fail cleanly or produce some message — never panic.
+func TestDecodeMutatedValidMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base, err := Encode(sampleMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		mutated := append([]byte{}, base...)
+		// Flip 1-3 random bytes.
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			pos := rng.Intn(len(mutated))
+			mutated[pos] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutation %v panicked: %v", mutated, r)
+				}
+			}()
+			_, _ = Decode(mutated)
+		}()
+	}
+}

@@ -1,0 +1,152 @@
+// Package wire serialises protocol messages for transmission between the
+// simulated network nodes. The paper's setting is nodes with disjoint
+// address spaces that "must communicate by the exchange of messages over
+// relatively narrow bandwidth communication channels"; encoding every
+// protocol message to bytes (rather than passing Go pointers through the
+// simulator) keeps the implementation honest about that boundary and gives
+// the benchmarks a realistic per-message cost.
+//
+// The format is a compact hand-rolled binary encoding (version byte, message
+// kind, varint-encoded identifiers, length-prefixed strings). EncodeGob /
+// DecodeGob provide a stdlib-gob alternative used by the codec benchmarks.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/protocol"
+)
+
+// Format identifies the codec version.
+const Format byte = 1
+
+// Codec errors.
+var (
+	ErrShortMessage  = errors.New("wire: short message")
+	ErrBadFormat     = errors.New("wire: unknown format version")
+	ErrBadKind       = errors.New("wire: unknown message kind")
+	ErrTrailingBytes = errors.New("wire: trailing bytes after message")
+)
+
+// kind codes on the wire.
+var kindCodes = map[string]byte{
+	protocol.KindException:       1,
+	protocol.KindHaveNested:      2,
+	protocol.KindNestedCompleted: 3,
+	protocol.KindAck:             4,
+	protocol.KindCommit:          5,
+}
+
+var kindNames = map[byte]string{
+	1: protocol.KindException,
+	2: protocol.KindHaveNested,
+	3: protocol.KindNestedCompleted,
+	4: protocol.KindAck,
+	5: protocol.KindCommit,
+}
+
+// Encode serialises a protocol message.
+func Encode(m protocol.Msg) ([]byte, error) {
+	code, ok := kindCodes[m.Kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrBadKind, m.Kind)
+	}
+	buf := make([]byte, 0, 16+len(m.Exc)+8*len(m.Path))
+	buf = append(buf, Format, code)
+	buf = binary.AppendVarint(buf, int64(m.Action))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Path)))
+	for _, a := range m.Path {
+		buf = binary.AppendVarint(buf, int64(a))
+	}
+	buf = binary.AppendVarint(buf, int64(m.From))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Exc)))
+	buf = append(buf, m.Exc...)
+	return buf, nil
+}
+
+// Decode parses a message encoded by Encode.
+func Decode(b []byte) (protocol.Msg, error) {
+	var m protocol.Msg
+	if len(b) < 2 {
+		return m, ErrShortMessage
+	}
+	if b[0] != Format {
+		return m, fmt.Errorf("%w: %d", ErrBadFormat, b[0])
+	}
+	kind, ok := kindNames[b[1]]
+	if !ok {
+		return m, fmt.Errorf("%w: code %d", ErrBadKind, b[1])
+	}
+	m.Kind = kind
+	r := bytes.NewReader(b[2:])
+
+	action, err := binary.ReadVarint(r)
+	if err != nil {
+		return m, fmt.Errorf("%w: action: %v", ErrShortMessage, err)
+	}
+	m.Action = ident.ActionID(action)
+
+	pathLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return m, fmt.Errorf("%w: path length: %v", ErrShortMessage, err)
+	}
+	if pathLen > uint64(r.Len()) {
+		return m, fmt.Errorf("%w: path length %d exceeds payload", ErrShortMessage, pathLen)
+	}
+	if pathLen > 0 {
+		m.Path = make([]ident.ActionID, pathLen)
+		for i := range m.Path {
+			v, err := binary.ReadVarint(r)
+			if err != nil {
+				return m, fmt.Errorf("%w: path[%d]: %v", ErrShortMessage, i, err)
+			}
+			m.Path[i] = ident.ActionID(v)
+		}
+	}
+
+	from, err := binary.ReadVarint(r)
+	if err != nil {
+		return m, fmt.Errorf("%w: from: %v", ErrShortMessage, err)
+	}
+	m.From = ident.ObjectID(from)
+
+	excLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return m, fmt.Errorf("%w: exc length: %v", ErrShortMessage, err)
+	}
+	if excLen > uint64(r.Len()) {
+		return m, fmt.Errorf("%w: exc length %d exceeds payload", ErrShortMessage, excLen)
+	}
+	if excLen > 0 {
+		excBytes := make([]byte, excLen)
+		if _, err := r.Read(excBytes); err != nil {
+			return m, fmt.Errorf("%w: exc: %v", ErrShortMessage, err)
+		}
+		m.Exc = string(excBytes)
+	}
+	if r.Len() != 0 {
+		return m, ErrTrailingBytes
+	}
+	return m, nil
+}
+
+// EncodeGob serialises a message with encoding/gob (comparison codec).
+func EncodeGob(m protocol.Msg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeGob parses a message encoded by EncodeGob.
+func DecodeGob(b []byte) (protocol.Msg, error) {
+	var m protocol.Msg
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
+	return m, err
+}
