@@ -50,7 +50,7 @@ func newRun(sys *System, def *Definition) *run {
 	r := &run{
 		sys:          sys,
 		def:          def,
-		dir:          group.NewDirectoryWithAllocator(sys.net, nextNode),
+		dir:          group.NewDirectoryWithAllocator(sys.net, nextNode, sys.dirOptions()...),
 		instances:    make(map[*ActionSpec]*instance),
 		byID:         make(map[ident.ActionID]*instance),
 		participants: make(map[ident.ObjectID]*participant),

@@ -10,7 +10,6 @@ import (
 	"repro/internal/ident"
 	"repro/internal/protocol"
 	"repro/internal/trace"
-	"repro/internal/wire"
 )
 
 // Suspension levels. Levels index the participant's action stack (0 =
@@ -103,16 +102,9 @@ func (p *participant) loop() {
 			if !ok {
 				return
 			}
-			switch payload := d.Payload.(type) {
-			case protocol.Msg:
-				p.engine.HandleMessage(payload)
-			case []byte:
-				m, err := wire.Decode(payload)
-				if err != nil {
-					p.run.sys.log.Record(trace.Event{Kind: trace.EvNote, Object: p.obj,
-						Label: "decode-error", Detail: err.Error()})
-					continue
-				}
+			// Wire decoding (when enabled) happens at the transport
+			// boundary, so deliveries always carry native messages.
+			if m, ok := d.Payload.(protocol.Msg); ok {
 				p.engine.HandleMessage(m)
 			}
 		case ev := <-p.events:
@@ -171,17 +163,9 @@ func (p *participant) post(level int, fn func() error) error {
 // --- engine hooks (engine goroutine) ---
 
 func (p *participant) hookSend(to ident.ObjectID, m protocol.Msg) {
-	var payload any = m
-	if p.run.sys.opts.WireEncoding {
-		b, err := wire.Encode(m)
-		if err != nil {
-			p.run.sys.log.Record(trace.Event{Kind: trace.EvNote, Object: p.obj,
-				Label: "encode-error", Detail: err.Error()})
-			return
-		}
-		payload = b
-	}
-	if err := p.transport.Send(to, m.Kind, payload); err != nil {
+	// The directory's codec (wire encoding, when enabled) applies at the
+	// transport boundary; encode failures surface as send errors.
+	if err := p.transport.Send(to, m.Kind, m); err != nil {
 		p.run.sys.log.Record(trace.Event{Kind: trace.EvNote, Object: p.obj,
 			Label: "send-error", Detail: err.Error()})
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ident"
 	"repro/internal/netsim"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // TransportKind selects how participants exchange protocol messages.
@@ -65,13 +66,24 @@ func NewSystem(opts Options) *System {
 		log = trace.NewLog()
 	}
 	net := netsim.New(opts.Network)
-	return &System{
+	s := &System{
 		opts:  opts,
-		net:   net,
-		dir:   group.NewDirectory(net),
 		store: atomicobj.NewStore(),
 		log:   log,
+		net:   net,
 	}
+	s.dir = group.NewDirectory(net, s.dirOptions()...)
+	return s
+}
+
+// dirOptions returns the directory options every membership directory of this
+// system shares. With WireEncoding on, the wire codec is installed at the
+// transport boundary, so every protocol message crosses the fabric as bytes.
+func (s *System) dirOptions() []group.Option {
+	if s.opts.WireEncoding {
+		return []group.Option{group.WithCodec(wire.Codec{})}
+	}
+	return nil
 }
 
 // Store returns the external atomic-object store.

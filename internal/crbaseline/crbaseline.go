@@ -20,10 +20,12 @@
 // "domino effect": O(N) rounds of O(N²) messages — O(N³) in total — versus
 // the new algorithm's single O(N²) exchange.
 //
-// The execution here is a synchronous round simulation: it counts the
-// messages a distributed run would exchange without simulating delivery
-// timing, which is exactly what the complexity comparison (experiment E5)
-// needs, deterministically.
+// The execution here is a synchronous round simulation over the shared
+// deterministic delivery fabric (internal/transport): every broadcast,
+// acknowledgement and resolution-wave message is a real send on the fabric,
+// and the census comes from the fabric's sink — the same counting seam the
+// new algorithm's experiments use — which is exactly what the complexity
+// comparison (experiment E5) needs, deterministically.
 package crbaseline
 
 import (
@@ -32,6 +34,7 @@ import (
 
 	"repro/internal/exception"
 	"repro/internal/ident"
+	"repro/internal/transport"
 )
 
 // Message kind names used in the census.
@@ -98,9 +101,20 @@ func Run(cfg Config, initial map[ident.ObjectID]string) (Result, error) {
 	}
 
 	res := Result{ByKind: make(map[string]int)}
-	byID := make(map[ident.ObjectID]Participant, n)
+
+	// The fabric carries every CR message; its census is the message count.
+	// Each participant acknowledges every Raise broadcast it receives, as
+	// the reconstructed algorithm requires.
+	census := transport.NewCensus()
+	fabric := transport.NewDeterministic(transport.Options{Sink: census})
+	const drainBudget = 1 << 30
 	for _, p := range cfg.Participants {
-		byID[p.ID] = p
+		self := p.ID
+		fabric.Register(self, func(m transport.Message) {
+			if m.Kind == KindRaise {
+				_ = fabric.Send(transport.Message{From: self, To: m.From, Kind: KindAck})
+			}
+		})
 	}
 
 	// known is the set of exceptions everyone has been informed of. In the
@@ -126,9 +140,16 @@ func Run(cfg Config, initial map[ident.ObjectID]string) (Result, error) {
 		known[eff] = true
 		knownOrder = append(knownOrder, eff)
 		res.RaiseSequence = append(res.RaiseSequence, eff)
-		res.ByKind[KindRaise] += n - 1
-		res.ByKind[KindAck] += n - 1
-		return nil
+		// Broadcast the raise; receivers ack on delivery.
+		for _, q := range cfg.Participants {
+			if q.ID == p.ID {
+				continue
+			}
+			if err := fabric.Send(transport.Message{From: p.ID, To: q.ID, Kind: KindRaise, Payload: eff}); err != nil {
+				return err
+			}
+		}
+		return fabric.Drain(drainBudget)
 	}
 
 	// Initial raises.
@@ -157,7 +178,19 @@ func Run(cfg Config, initial map[ident.ObjectID]string) (Result, error) {
 		if err != nil {
 			return res, err
 		}
-		res.ByKind[KindResolve] += n * (n - 1)
+		for _, p := range cfg.Participants {
+			for _, q := range cfg.Participants {
+				if q.ID == p.ID {
+					continue
+				}
+				if err := fabric.Send(transport.Message{From: p.ID, To: q.ID, Kind: KindResolve, Payload: resolved}); err != nil {
+					return res, err
+				}
+			}
+		}
+		if err := fabric.Drain(drainBudget); err != nil {
+			return res, err
+		}
 
 		// After the resolution, each participant checks its reduced tree for
 		// a handler; those without one raise a covering exception, which
@@ -181,9 +214,8 @@ func Run(cfg Config, initial map[ident.ObjectID]string) (Result, error) {
 		}
 	}
 
-	for _, v := range res.ByKind {
-		res.Messages += v
-	}
+	res.ByKind = census.SentByKind()
+	res.Messages = census.TotalSent()
 	return res, nil
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/ident"
 	"repro/internal/netsim"
+	"repro/internal/transport"
 )
 
 // Delivery is a message handed to the application layer.
@@ -53,33 +54,72 @@ var (
 	ErrDuplicate     = errors.New("group: member already registered")
 )
 
+// memberErr translates the fabric's unknown-destination error into the
+// directory's membership error, so callers keep seeing group semantics.
+func memberErr(err error) error {
+	if errors.Is(err, transport.ErrUnknownDestination) {
+		return fmt.Errorf("%w: %v", ErrUnknownMember, err)
+	}
+	return err
+}
+
+// Option configures a Directory.
+type Option func(*Directory)
+
+// WithCodec forces every application payload the group's transports carry
+// through the given encode/decode boundary (the disjoint-address-space
+// enforcement of §2.1). The codec applies to the payload inside the group's
+// envelopes, so it composes with both the raw and the reliable transport.
+func WithCodec(c transport.Codec) Option {
+	return func(d *Directory) { d.codec = c }
+}
+
+// WithAllocator makes node identifiers come from alloc. Use this when
+// several directories share one network (e.g. successive recovery attempts)
+// so their nodes never collide.
+func WithAllocator(alloc func() ident.NodeID) Option {
+	return func(d *Directory) { d.alloc = alloc }
+}
+
 // Directory is the membership service: it assigns each participating object
-// a network node and tracks closed-group views.
+// a network node on the concurrent transport fabric and tracks closed-group
+// views.
 type Directory struct {
 	mu      sync.Mutex
-	net     *netsim.Network
+	fabric  *transport.Concurrent
+	codec   transport.Codec
 	nodes   map[ident.ObjectID]ident.NodeID
 	nextTag ident.NodeID
 	alloc   func() ident.NodeID // optional external node allocator
 }
 
-// NewDirectory creates a membership service over the given network.
-func NewDirectory(net *netsim.Network) *Directory {
-	return &Directory{net: net, nodes: make(map[ident.ObjectID]ident.NodeID)}
+// NewDirectory creates a membership service over the given network, wrapping
+// it in a Concurrent transport fabric.
+func NewDirectory(net *netsim.Network, opts ...Option) *Directory {
+	d := &Directory{nodes: make(map[ident.ObjectID]ident.NodeID)}
+	for _, o := range opts {
+		o(d)
+	}
+	d.fabric = transport.NewConcurrent(net, transport.ConcurrentOptions{
+		Codec: envelopeCodec{inner: d.codec},
+	})
+	return d
 }
 
-// NewDirectoryWithAllocator creates a membership service whose node
-// identifiers come from alloc. Use this when several directories share one
-// network (e.g. successive recovery attempts) so their nodes never collide.
-func NewDirectoryWithAllocator(net *netsim.Network, alloc func() ident.NodeID) *Directory {
-	return &Directory{net: net, nodes: make(map[ident.ObjectID]ident.NodeID), alloc: alloc}
+// NewDirectoryWithAllocator is NewDirectory with an external node allocator.
+func NewDirectoryWithAllocator(net *netsim.Network, alloc func() ident.NodeID, opts ...Option) *Directory {
+	return NewDirectory(net, append([]Option{WithAllocator(alloc)}, opts...)...)
 }
 
-// Register places obj on a fresh node and returns its endpoint.
-func (d *Directory) Register(obj ident.ObjectID) (*netsim.Endpoint, error) {
+// Fabric exposes the directory's concurrent transport (for Isolate/Heal and
+// direct port use).
+func (d *Directory) Fabric() *transport.Concurrent { return d.fabric }
+
+// Register places obj on a fresh node and returns its transport port.
+func (d *Directory) Register(obj ident.ObjectID) (*transport.Port, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, dup := d.nodes[obj]; dup {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrDuplicate, obj)
 	}
 	var node ident.NodeID
@@ -90,7 +130,15 @@ func (d *Directory) Register(obj ident.ObjectID) (*netsim.Endpoint, error) {
 		node = d.nextTag
 	}
 	d.nodes[obj] = node
-	return d.net.Node(node), nil
+	d.mu.Unlock()
+	port, err := d.fabric.Bind(obj, node)
+	if err != nil {
+		d.mu.Lock()
+		delete(d.nodes, obj)
+		d.mu.Unlock()
+		return nil, err
+	}
+	return port, nil
 }
 
 // Lookup returns the node hosting obj.
@@ -117,14 +165,55 @@ func (d *Directory) Members() []ident.ObjectID {
 	return out
 }
 
-// envelope is the wire format shared by both transports.
+// envelope is the wire format of the reliable transport: the application
+// payload plus the sequencing metadata reliability needs. The raw transport
+// sends application payloads bare.
 type envelope struct {
 	From    ident.ObjectID
 	Kind    string
 	Payload any
-	Seq     uint64 // 0 for raw transport
+	Seq     uint64
 	Ack     uint64 // cumulative ack piggyback / explicit ack
 	IsAck   bool
 }
 
 const wireKind = "group.envelope"
+
+// envelopeCodec adapts an application-payload codec to the group's traffic:
+// bare payloads (raw transport) go straight through the inner codec, while
+// reliable-transport envelopes have their inner payload translated so the
+// sequencing metadata stays native. A nil inner codec passes everything
+// through untouched.
+type envelopeCodec struct {
+	inner transport.Codec
+}
+
+func (c envelopeCodec) Encode(v any) (any, error) {
+	if c.inner == nil {
+		return v, nil
+	}
+	if env, ok := v.(envelope); ok {
+		p, err := c.inner.Encode(env.Payload)
+		if err != nil {
+			return nil, err
+		}
+		env.Payload = p
+		return env, nil
+	}
+	return c.inner.Encode(v)
+}
+
+func (c envelopeCodec) Decode(v any) (any, error) {
+	if c.inner == nil {
+		return v, nil
+	}
+	if env, ok := v.(envelope); ok {
+		p, err := c.inner.Decode(env.Payload)
+		if err != nil {
+			return nil, err
+		}
+		env.Payload = p
+		return env, nil
+	}
+	return c.inner.Decode(v)
+}

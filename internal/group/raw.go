@@ -4,17 +4,17 @@ import (
 	"sync"
 
 	"repro/internal/ident"
-	"repro/internal/netsim"
+	"repro/internal/transport"
 )
 
-// RawTransport is the baseline transport: it relies on the network itself
+// RawTransport is the baseline transport: it relies on the fabric itself
 // being reliable and FIFO (the paper's §4.2 assumption, "FIFO message
-// sending/receiving between objects"). Use it with a netsim configuration
-// that has no drop or duplication.
+// sending/receiving between objects"). Use it over a netsim configuration
+// that has no drop or duplication. Payloads travel bare on the port — the
+// directory's codec (if any) applies to them directly.
 type RawTransport struct {
 	self ident.ObjectID
-	dir  *Directory
-	ep   *netsim.Endpoint
+	port *transport.Port
 
 	out  chan Delivery
 	stop chan struct{}
@@ -27,14 +27,13 @@ var _ Transport = (*RawTransport)(nil)
 // NewRawTransport registers obj with the directory and starts its receive
 // loop.
 func NewRawTransport(dir *Directory, obj ident.ObjectID) (*RawTransport, error) {
-	ep, err := dir.Register(obj)
+	port, err := dir.Register(obj)
 	if err != nil {
 		return nil, err
 	}
 	t := &RawTransport{
 		self: obj,
-		dir:  dir,
-		ep:   ep,
+		port: port,
 		out:  make(chan Delivery),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -48,11 +47,7 @@ func (t *RawTransport) Self() ident.ObjectID { return t.self }
 
 // Send transmits one message to a peer.
 func (t *RawTransport) Send(to ident.ObjectID, kind string, payload any) error {
-	node, err := t.dir.Lookup(to)
-	if err != nil {
-		return err
-	}
-	return t.ep.Send(node, wireKind, envelope{From: t.self, Kind: kind, Payload: payload})
+	return memberErr(t.port.Send(to, kind, payload))
 }
 
 // Recv yields deliveries in per-sender FIFO order.
@@ -63,6 +58,7 @@ func (t *RawTransport) Close() {
 	t.once.Do(func() {
 		close(t.stop)
 		<-t.done
+		t.port.Close()
 	})
 }
 
@@ -73,15 +69,11 @@ func (t *RawTransport) loop() {
 		select {
 		case <-t.stop:
 			return
-		case m, ok := <-t.ep.Recv():
+		case m, ok := <-t.port.Recv():
 			if !ok {
 				return
 			}
-			env, ok := m.Payload.(envelope)
-			if !ok {
-				continue
-			}
-			d := Delivery{From: env.From, Kind: env.Kind, Payload: env.Payload}
+			d := Delivery{From: m.From, Kind: m.Kind, Payload: m.Payload}
 			select {
 			case t.out <- d:
 			case <-t.stop:

@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ident"
-	"repro/internal/netsim"
+	"repro/internal/transport"
 )
 
 // R3Transport ("reliable over unreliable") implements exactly-once FIFO
@@ -15,8 +15,7 @@ import (
 // the raw network into the channel the resolution algorithm assumes.
 type R3Transport struct {
 	self ident.ObjectID
-	dir  *Directory
-	ep   *netsim.Endpoint
+	port *transport.Port
 
 	mu    sync.Mutex
 	peers map[ident.ObjectID]*peerState
@@ -66,7 +65,7 @@ const maxRTO = 50 * time.Millisecond
 // NewR3Transport registers obj and starts its protocol loop. retransmit is
 // the retransmission period for unacknowledged messages.
 func NewR3Transport(dir *Directory, obj ident.ObjectID, retransmit time.Duration) (*R3Transport, error) {
-	ep, err := dir.Register(obj)
+	port, err := dir.Register(obj)
 	if err != nil {
 		return nil, err
 	}
@@ -75,8 +74,7 @@ func NewR3Transport(dir *Directory, obj ident.ObjectID, retransmit time.Duration
 	}
 	t := &R3Transport{
 		self:       obj,
-		dir:        dir,
-		ep:         ep,
+		port:       port,
 		peers:      make(map[ident.ObjectID]*peerState),
 		retransmit: retransmit,
 		out:        make(chan Delivery),
@@ -90,11 +88,12 @@ func NewR3Transport(dir *Directory, obj ident.ObjectID, retransmit time.Duration
 // Self returns the owning object's identifier.
 func (t *R3Transport) Self() ident.ObjectID { return t.self }
 
-// Send queues one message for reliable delivery to a peer.
+// Send queues one message for reliable delivery to a peer. The destination
+// is validated before any sender state changes, so a failed send leaves no
+// phantom retransmission entry behind.
 func (t *R3Transport) Send(to ident.ObjectID, kind string, payload any) error {
-	node, err := t.dir.Lookup(to)
-	if err != nil {
-		return err
+	if _, err := t.port.Fabric().Node(to); err != nil {
+		return memberErr(err)
 	}
 	t.mu.Lock()
 	ps := t.peer(to)
@@ -102,7 +101,7 @@ func (t *R3Transport) Send(to ident.ObjectID, kind string, payload any) error {
 	env := envelope{From: t.self, Kind: kind, Payload: payload, Seq: ps.sendSeq}
 	ps.unacked[env.Seq] = &outMsg{env: env, lastSent: time.Now(), rto: t.retransmit}
 	t.mu.Unlock()
-	return t.ep.Send(node, wireKind, env)
+	return memberErr(t.port.Send(to, wireKind, env))
 }
 
 // Recv yields deliveries in per-sender FIFO order with duplicates removed.
@@ -113,6 +112,7 @@ func (t *R3Transport) Close() {
 	t.once.Do(func() {
 		close(t.stop)
 		<-t.done
+		t.port.Close()
 	})
 }
 
@@ -137,7 +137,7 @@ func (t *R3Transport) loop() {
 			return
 		case <-ticker.C:
 			t.resendUnacked()
-		case m, ok := <-t.ep.Recv():
+		case m, ok := <-t.port.Recv():
 			if !ok {
 				return
 			}
@@ -187,9 +187,7 @@ func (t *R3Transport) handleData(env envelope) []Delivery {
 	ackUpTo := ps.recvNext - 1
 	t.mu.Unlock()
 
-	if node, err := t.dir.Lookup(env.From); err == nil {
-		_ = t.ep.Send(node, wireKind, envelope{From: t.self, IsAck: true, Ack: ackUpTo})
-	}
+	_ = t.port.Send(env.From, wireKind, envelope{From: t.self, IsAck: true, Ack: ackUpTo})
 	return ready
 }
 
@@ -232,8 +230,6 @@ func (t *R3Transport) resendUnacked() {
 	}
 	t.mu.Unlock()
 	for _, r := range batch {
-		if node, err := t.dir.Lookup(r.to); err == nil {
-			_ = t.ep.Send(node, wireKind, r.env)
-		}
+		_ = t.port.Send(r.to, wireKind, r.env)
 	}
 }

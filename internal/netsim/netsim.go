@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ident"
@@ -48,18 +49,28 @@ func FixedLatency(d time.Duration) LatencyModel {
 }
 
 // JitterLatency returns a model with delay uniformly distributed in
-// [base, base+jitter). The model owns its RNG and is safe for concurrent use.
+// [base, base+jitter). Draws are lock-free — each advances an atomic counter
+// and hashes it with the seed (SplitMix64) — so latency sampling never
+// serialises concurrent senders on a shared RNG mutex. A fixed seed yields a
+// reproducible draw sequence.
 func JitterLatency(base, jitter time.Duration, seed int64) LatencyModel {
-	var mu sync.Mutex
-	rng := rand.New(rand.NewSource(seed))
+	var n atomic.Uint64
 	return func(ident.NodeID, ident.NodeID) time.Duration {
 		if jitter <= 0 {
 			return base
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		return base + time.Duration(rng.Int63n(int64(jitter)))
+		h := splitmix64(uint64(seed) ^ splitmix64(n.Add(1)))
+		return base + time.Duration(h%uint64(jitter))
 	}
+}
+
+// splitmix64 is the SplitMix64 finaliser: a multiply-xor-shift chain whose
+// outputs are uniformly distributed over uint64 even for sequential inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Config controls a Network.
@@ -220,9 +231,12 @@ func (n *Network) send(m Message) error {
 		return nil
 	}
 
-	lat := n.cfg.Latency(m.From, m.To)
-	var lk *link
-	if lat > 0 {
+	// Route through the pair's serial link whenever one exists, not only
+	// when this particular draw is positive: a zero-delay message taking the
+	// direct path could otherwise overtake earlier messages still waiting
+	// out their latency on the link, breaking per-pair FIFO.
+	lk := n.links[linkKey{from: m.From, to: m.To}]
+	if lk == nil && n.cfg.Latency(m.From, m.To) > 0 {
 		lk = n.linkLocked(m.From, m.To)
 	}
 	n.mu.Unlock()

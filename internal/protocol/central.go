@@ -7,6 +7,7 @@ import (
 	"repro/internal/exception"
 	"repro/internal/ident"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // This file implements the centralised resolution variant the paper's §4.5
@@ -46,7 +47,9 @@ func PredictCentralMessages(n, p int) int {
 }
 
 // CentralSim is a deterministic runner for the centralised variant over one
-// flat action. It mirrors Sim's counting interface.
+// flat action. It mirrors Sim's counting interface, and runs over the same
+// transport.Deterministic fabric (in global-FIFO discipline, the exchange
+// order the centralised variant has always used).
 type CentralSim struct {
 	// Log records sends; its census is the message count.
 	Log *trace.Log
@@ -57,8 +60,8 @@ type CentralSim struct {
 	manager ident.ObjectID
 	members []ident.ObjectID
 
-	objs  map[ident.ObjectID]*centralObject
-	queue []centralMsg
+	objs   map[ident.ObjectID]*centralObject
+	fabric *transport.Deterministic
 
 	// Manager state.
 	probing   bool
@@ -87,16 +90,22 @@ func NewCentralSim(tree *exception.Tree, members []ident.ObjectID) (*CentralSim,
 		return nil, errors.New("protocol: central sim needs members")
 	}
 	cs := &CentralSim{
-		Log:       trace.NewLog(),
-		Handled:   make(map[ident.ObjectID][]string),
-		tree:      tree,
-		manager:   members[0],
-		members:   append([]ident.ObjectID{}, members...),
-		objs:      make(map[ident.ObjectID]*centralObject, len(members)),
+		Log:     trace.NewLog(),
+		Handled: make(map[ident.ObjectID][]string),
+		tree:    tree,
+		manager: members[0],
+		members: append([]ident.ObjectID{}, members...),
+		objs:    make(map[ident.ObjectID]*centralObject, len(members)),
+		fabric: transport.NewDeterministic(transport.Options{
+			Discipline: transport.DisciplineGlobalFIFO,
+		}),
 		statusGot: make(map[ident.ObjectID]bool),
 	}
 	for _, m := range members {
 		cs.objs[m] = &centralObject{id: m}
+		cs.fabric.Register(m, func(tm transport.Message) {
+			cs.deliver(tm.Payload.(centralMsg))
+		})
 	}
 	return cs, nil
 }
@@ -129,33 +138,15 @@ func (cs *CentralSim) Raise(obj ident.ObjectID, exc string) (bool, error) {
 }
 
 // Step delivers one queued message; it reports whether one was pending.
-func (cs *CentralSim) Step() bool {
-	if len(cs.queue) == 0 {
-		return false
-	}
-	m := cs.queue[0]
-	cs.queue = cs.queue[1:]
-	cs.deliver(m)
-	return true
-}
+func (cs *CentralSim) Step() bool { return cs.fabric.Step() }
 
 // Drain delivers queued messages to quiescence.
-func (cs *CentralSim) Drain(maxSteps int) error {
-	for i := 0; i < maxSteps; i++ {
-		if !cs.Step() {
-			return nil
-		}
-	}
-	if len(cs.queue) == 0 {
-		return nil
-	}
-	return ErrNoQuiescence
-}
+func (cs *CentralSim) Drain(maxSteps int) error { return cs.fabric.Drain(maxSteps) }
 
 func (cs *CentralSim) send(m centralMsg) {
 	cs.Log.Record(trace.Event{Kind: trace.EvSend, Object: m.from, Peer: m.to,
 		Label: m.kind, Detail: m.exc})
-	cs.queue = append(cs.queue, m)
+	_ = cs.fabric.Send(transport.Message{From: m.from, To: m.to, Kind: m.kind, Payload: m})
 }
 
 func (cs *CentralSim) deliver(m centralMsg) {

@@ -14,43 +14,14 @@ import (
 // the whole schedule space instead of sampling it.
 
 // PendingPairs returns the number of ordered pairs with queued messages —
-// the branching factor of the next delivery choice.
-func (s *Sim) PendingPairs() int {
-	n := 0
-	for _, key := range s.order {
-		if len(s.queues[key]) > 0 {
-			n++
-		}
-	}
-	return n
-}
+// the branching factor of the next delivery choice. The enumeration
+// mechanics live on the transport fabric, so any scenario built over
+// transport.Deterministic can be model-checked the same way.
+func (s *Sim) PendingPairs() int { return s.fabric.PendingPairs() }
 
 // StepChoice delivers the next message of the i-th non-empty pair (0-based,
 // in pair-activation order). It reports whether a message was delivered.
-func (s *Sim) StepChoice(i int) bool {
-	idx := 0
-	for pos, key := range s.order {
-		if len(s.queues[key]) == 0 {
-			continue
-		}
-		if idx == i {
-			m := s.queues[key][0]
-			s.queues[key] = s.queues[key][1:]
-			if len(s.queues[key]) == 0 {
-				s.order = append(s.order[:pos], s.order[pos+1:]...)
-			}
-			if s.filter != nil && !s.filter(key[0], key[1], m) {
-				return true
-			}
-			if e, ok := s.Engines[key[1]]; ok {
-				e.HandleMessage(m)
-			}
-			return true
-		}
-		idx++
-	}
-	return false
-}
+func (s *Sim) StepChoice(i int) bool { return s.fabric.StepChoice(i) }
 
 // BuildFn constructs a fresh scenario: a Sim with all initial raises issued
 // but no messages delivered yet. It must be deterministic.

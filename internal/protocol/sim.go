@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ident"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Sim is a deterministic in-memory execution fabric for resolution engines:
@@ -15,6 +16,10 @@ import (
 // and the experiment harness can measure exact message counts without
 // scheduler noise; package core drives the same engines over the simulated
 // network for full-stack runs.
+//
+// The queuing, interleaving and fault-injection mechanics live in
+// transport.Deterministic — the shared fabric also behind CentralSim and the
+// model checker; Sim contributes only the engine wiring.
 type Sim struct {
 	// Engines maps each object to its engine.
 	Engines map[ident.ObjectID]*Engine
@@ -25,45 +30,56 @@ type Sim struct {
 	// Aborts records AbortNested targets per object.
 	Aborts map[ident.ObjectID][]ident.ActionID
 
-	queues map[[2]ident.ObjectID][]Msg
-	order  [][2]ident.ObjectID
+	fabric *transport.Deterministic
 	sigs   map[ident.ObjectID]map[ident.ActionID]string
-	rng    *rand.Rand
-	filter func(from, to ident.ObjectID, m Msg) bool
 }
 
 // ErrNoQuiescence is returned by Drain when the step budget is exhausted.
-var ErrNoQuiescence = errors.New("protocol: simulation did not quiesce")
+var ErrNoQuiescence = transport.ErrNoQuiescence
 
-// NewSim creates an empty simulation.
+// NewSim creates an empty simulation over a fresh deterministic fabric.
 func NewSim() *Sim {
 	return &Sim{
 		Engines: make(map[ident.ObjectID]*Engine),
 		Log:     trace.NewLog(),
 		Handled: make(map[ident.ObjectID][]string),
 		Aborts:  make(map[ident.ObjectID][]ident.ActionID),
-		queues:  make(map[[2]ident.ObjectID][]Msg),
+		fabric:  transport.NewDeterministic(transport.Options{}),
 		sigs:    make(map[ident.ObjectID]map[ident.ActionID]string),
 	}
 }
 
+// Fabric exposes the underlying deterministic transport (for sinks, codecs
+// and schedule tooling layered on top of a simulation).
+func (s *Sim) Fabric() *transport.Deterministic { return s.fabric }
+
 // SetRand randomises delivery interleaving (per-pair FIFO preserved).
-func (s *Sim) SetRand(rng *rand.Rand) { s.rng = rng }
+func (s *Sim) SetRand(rng *rand.Rand) {
+	if rng == nil {
+		s.fabric.SetChooser(nil)
+		return
+	}
+	s.fabric.SetChooser(transport.RandChooser(rng))
+}
 
 // SetFilter installs a delivery filter used for failure injection: a message
 // is silently dropped when the filter returns false. Crashing an object is
 // modelled by dropping everything it sends from some point on.
-func (s *Sim) SetFilter(f func(from, to ident.ObjectID, m Msg) bool) { s.filter = f }
+func (s *Sim) SetFilter(f func(from, to ident.ObjectID, m Msg) bool) {
+	if f == nil {
+		s.fabric.SetFilter(nil)
+		return
+	}
+	s.fabric.SetFilter(func(m transport.Message) bool {
+		return f(m.From, m.To, m.Payload.(Msg))
+	})
+}
 
-// AddEngine creates the engine for obj.
+// AddEngine creates the engine for obj and registers it on the fabric.
 func (s *Sim) AddEngine(obj ident.ObjectID) *Engine {
 	e := NewEngine(obj, Hooks{
 		Send: func(to ident.ObjectID, m Msg) {
-			key := [2]ident.ObjectID{obj, to}
-			if len(s.queues[key]) == 0 {
-				s.order = append(s.order, key)
-			}
-			s.queues[key] = append(s.queues[key], m)
+			_ = s.fabric.Send(transport.Message{From: obj, To: to, Kind: m.Kind, Payload: m})
 		},
 		AbortNested: func(downTo ident.ActionID) string {
 			s.Aborts[obj] = append(s.Aborts[obj], downTo)
@@ -78,6 +94,9 @@ func (s *Sim) AddEngine(obj ident.ObjectID) *Engine {
 		Log: func(ev trace.Event) { s.Log.Record(ev) },
 	})
 	s.Engines[obj] = e
+	s.fabric.Register(obj, func(m transport.Message) {
+		e.HandleMessage(m.Payload.(Msg))
+	})
 	return e
 }
 
@@ -105,40 +124,7 @@ func (s *Sim) EnterAll(f Frame, objs ...ident.ObjectID) error {
 }
 
 // Step delivers one pending message; it reports whether one was pending.
-func (s *Sim) Step() bool {
-	for len(s.order) > 0 {
-		i := 0
-		if s.rng != nil {
-			i = s.rng.Intn(len(s.order))
-		}
-		key := s.order[i]
-		q := s.queues[key]
-		if len(q) == 0 {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			continue
-		}
-		m := q[0]
-		s.queues[key] = q[1:]
-		if len(s.queues[key]) == 0 {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-		}
-		if s.filter != nil && !s.filter(key[0], key[1], m) {
-			return true // dropped by failure injection
-		}
-		if e, ok := s.Engines[key[1]]; ok {
-			e.HandleMessage(m)
-		}
-		return true
-	}
-	return false
-}
+func (s *Sim) Step() bool { return s.fabric.Step() }
 
 // Drain delivers messages until quiescence, bounded by maxSteps.
-func (s *Sim) Drain(maxSteps int) error {
-	for i := 0; i < maxSteps; i++ {
-		if !s.Step() {
-			return nil
-		}
-	}
-	return ErrNoQuiescence
-}
+func (s *Sim) Drain(maxSteps int) error { return s.fabric.Drain(maxSteps) }

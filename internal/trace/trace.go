@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ident"
 )
@@ -97,79 +98,116 @@ func (e Event) String() string {
 	return b.String()
 }
 
-// Log is a concurrency-safe append-only event log with a message census.
-// The zero value is not usable; construct with NewLog.
-type Log struct {
+// logShardCount is the number of stripes the log's hot record path is spread
+// over. Sequence numbers are handed out round-robin across stripes, so
+// concurrent recorders almost never contend on the same stripe lock.
+const logShardCount = 16
+
+// logShard is one stripe of the log: its own lock, event slab and census.
+type logShard struct {
 	mu     sync.Mutex
-	seq    int
 	events []Event
 	census map[string]int // message-kind name -> count of sends
+	_      [24]byte       // pad to reduce false sharing between stripes
+}
+
+// Log is a concurrency-safe append-only event log with a message census.
+// The record path is striped: a global atomic counter assigns the sequence
+// number (the total order), and the event lands in the stripe the number
+// selects, so concurrent recorders do not serialise on one mutex. Readers
+// merge the stripes back into sequence order.
+// The zero value is not usable; construct with NewLog.
+type Log struct {
+	seq    atomic.Int64
+	shards [logShardCount]logShard
 }
 
 // NewLog returns an empty log.
 func NewLog() *Log {
-	return &Log{census: make(map[string]int)}
+	l := &Log{}
+	for i := range l.shards {
+		l.shards[i].census = make(map[string]int)
+	}
+	return l
 }
 
 // Record appends an event, assigning its sequence number, and returns it.
 // Send events additionally increment the census bucket for their Label.
 func (l *Log) Record(e Event) Event {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.seq++
-	e.Seq = l.seq
-	l.events = append(l.events, e)
+	e.Seq = int(l.seq.Add(1))
+	s := &l.shards[e.Seq%logShardCount]
+	s.mu.Lock()
+	s.events = append(s.events, e)
 	if e.Kind == EvSend {
-		l.census[e.Label]++
+		s.census[e.Label]++
 	}
+	s.mu.Unlock()
 	return e
 }
 
-// Events returns a copy of all recorded events in order.
+// Events returns a copy of all recorded events in sequence order.
 func (l *Log) Events() []Event {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	var out []Event
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
 
 // Census returns a copy of the send census keyed by message-kind name.
 func (l *Log) Census() map[string]int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make(map[string]int, len(l.census))
-	for k, v := range l.census {
-		out[k] = v
+	out := make(map[string]int)
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for k, v := range s.census {
+			out[k] += v
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // TotalSends returns the total number of send events recorded.
 func (l *Log) TotalSends() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	total := 0
-	for _, v := range l.census {
-		total += v
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for _, v := range s.census {
+			total += v
+		}
+		s.mu.Unlock()
 	}
 	return total
 }
 
 // CountSends returns the number of send events recorded for one kind.
 func (l *Log) CountSends(kind string) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.census[kind]
+	total := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		total += s.census[kind]
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Reset clears all events and census counters.
 func (l *Log) Reset() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.seq = 0
-	l.events = nil
-	l.census = make(map[string]int)
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		s.events = nil
+		s.census = make(map[string]int)
+		s.mu.Unlock()
+	}
+	l.seq.Store(0)
 }
 
 // FilterKind returns the recorded events of the given kind, in order.

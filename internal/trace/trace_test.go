@@ -118,3 +118,57 @@ func TestDump(t *testing.T) {
 		t.Error("Dump should contain event labels")
 	}
 }
+
+// TestConcurrentRecordOrder checks the striped record path: sequence numbers
+// stay dense and unique under concurrency, and Events() merges the stripes
+// back into sequence order.
+func TestConcurrentRecordOrder(t *testing.T) {
+	l := NewLog()
+	const workers = 8
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Record(Event{Kind: EvSend, Label: "Exception"})
+			}
+		}()
+	}
+	wg.Wait()
+
+	events := l.Events()
+	if len(events) != workers*per {
+		t.Fatalf("len(events) = %d, want %d", len(events), workers*per)
+	}
+	for i, e := range events {
+		if e.Seq != i+1 {
+			t.Fatalf("events[%d].Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if got := l.TotalSends(); got != workers*per {
+		t.Errorf("TotalSends = %d, want %d", got, workers*per)
+	}
+}
+
+// BenchmarkRecordParallel measures the hot record path under concurrency —
+// the contention profile the striped design exists for.
+func BenchmarkRecordParallel(b *testing.B) {
+	l := NewLog()
+	b.RunParallel(func(pb *testing.PB) {
+		e := Event{Kind: EvSend, Object: 1, Peer: 2, Label: "Exception"}
+		for pb.Next() {
+			l.Record(e)
+		}
+	})
+}
+
+// BenchmarkRecordSerial is the single-goroutine baseline for comparison.
+func BenchmarkRecordSerial(b *testing.B) {
+	l := NewLog()
+	e := Event{Kind: EvSend, Object: 1, Peer: 2, Label: "Exception"}
+	for i := 0; i < b.N; i++ {
+		l.Record(e)
+	}
+}

@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/netsim"
+)
+
+func TestConcurrentRoundtrip(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	c := NewConcurrent(net, ConcurrentOptions{})
+	defer c.Close()
+
+	pa, err := c.Bind(1, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Bind(2, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Send(2, "ping", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-pb.Recv():
+		if m.From != 1 || m.Kind != "ping" || m.Payload != "hello" {
+			t.Errorf("delivery = %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery timed out")
+	}
+}
+
+func TestConcurrentErrors(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	c := NewConcurrent(net, ConcurrentOptions{})
+	defer c.Close()
+
+	p, err := c.Bind(1, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(42, "k", nil); !errors.Is(err, ErrUnknownDestination) {
+		t.Errorf("send to unbound = %v, want ErrUnknownDestination", err)
+	}
+	if _, err := c.Bind(1, 103); !errors.Is(err, ErrDuplicateBind) {
+		t.Errorf("double bind = %v, want ErrDuplicateBind", err)
+	}
+}
+
+func TestConcurrentPerSenderFIFO(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	c := NewConcurrent(net, ConcurrentOptions{})
+	defer c.Close()
+
+	const senders = 4
+	const per = 50
+	var mu sync.Mutex
+	next := make(map[ident.ObjectID]int)
+	done := make(chan struct{})
+	fifoErr := make(chan string, 1)
+	total := 0
+	_, err := c.BindFunc(9, 109, func(batch []Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, m := range batch {
+			if m.Payload.(int) != next[m.From] {
+				select {
+				case fifoErr <- fmt.Sprintf("%s delivered %v, want %d",
+					m.From, m.Payload, next[m.From]):
+				default:
+				}
+			}
+			next[m.From]++
+			total++
+			if total == senders*per {
+				close(done)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 1; s <= senders; s++ {
+		port, err := c.Bind(ident.ObjectID(s), ident.NodeID(100+s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p *Port) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := p.Send(9, "k", i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(port)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case msg := <-fifoErr:
+		t.Fatal(msg)
+	case <-time.After(5 * time.Second):
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("timed out after %d/%d deliveries", total, senders*per)
+	}
+}
+
+func TestConcurrentBatchedDelivery(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	c := NewConcurrent(net, ConcurrentOptions{Batch: 8})
+	defer c.Close()
+
+	const msgs = 200
+	var mu sync.Mutex
+	var got []int
+	batched := false
+	done := make(chan struct{})
+	_, err := c.BindFunc(9, 109, func(batch []Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(batch) > 8 {
+			t.Errorf("batch of %d exceeds cap 8", len(batch))
+		}
+		if len(batch) > 1 {
+			batched = true
+		}
+		for _, m := range batch {
+			got = append(got, m.Payload.(int))
+		}
+		if len(got) == msgs {
+			close(done)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Bind(1, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < msgs; i++ {
+		if err := p.Send(9, "k", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		t.Fatalf("timed out after %d/%d deliveries", n, msgs)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d; FIFO broken", i, v)
+		}
+	}
+	// Coalescing is opportunistic; with 200 back-to-back sends at zero
+	// latency at least one multi-message batch is effectively certain.
+	if !batched {
+		t.Log("no multi-message batch observed (legal but unexpected)")
+	}
+}
+
+func TestConcurrentIsolateHeal(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	census := NewCensus()
+	c := NewConcurrent(net, ConcurrentOptions{Sink: census})
+	defer c.Close()
+
+	pa, err := c.Bind(1, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Bind(2, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Isolate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Send(2, "k", "lost"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-pb.Recv():
+		t.Fatalf("isolated node received %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := c.Heal(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Send(2, "k", "ok"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-pb.Recv():
+		if m.Payload != "ok" {
+			t.Errorf("after heal got %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery after heal timed out")
+	}
+	if err := c.Isolate(42); !errors.Is(err, ErrUnknownDestination) {
+		t.Errorf("Isolate(unbound) = %v, want ErrUnknownDestination", err)
+	}
+}
+
+func TestConcurrentCodecBoundary(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	c := NewConcurrent(net, ConcurrentOptions{Codec: doubler{}})
+	defer c.Close()
+
+	pa, err := c.Bind(1, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Bind(2, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Send(2, "k", "payload"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-pb.Recv():
+		if m.Payload != "payload" {
+			t.Errorf("payload through codec = %v", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery timed out")
+	}
+}

@@ -1,0 +1,309 @@
+package transport
+
+import "repro/internal/ident"
+
+// Deterministic is the in-memory, single-goroutine fabric: one FIFO queue
+// per ordered object pair, with messages delivered one Step at a time. It is
+// the backend behind protocol.Sim, protocol.CentralSim and the bounded model
+// checker (protocol.Explore), so tests and the experiment harness can
+// measure exact message counts without scheduler noise.
+//
+// Two delivery disciplines are supported:
+//
+//   - DisciplinePairActivation (the default): Step picks among the pairs
+//     with pending messages, in pair-activation order (or via a pluggable
+//     chooser for randomised interleaving). This is the discipline the
+//     decentralised resolution fabric has always used.
+//   - DisciplineGlobalFIFO: Step delivers messages in global enqueue order
+//     (per-pair FIFO holds trivially). This is the discipline of the
+//     centralised-resolution runner.
+//
+// The model checker's hooks — PendingPairs (the branching factor) and
+// StepChoice (deliver the head of the i-th non-empty pair) — live here too,
+// so schedule enumeration works over any scenario built on this backend.
+type Deterministic struct {
+	opts Options
+
+	handlers map[ident.ObjectID]Handler
+	queues   map[pair][]Message
+	order    []pair
+	global   []Message // DisciplineGlobalFIFO only
+
+	chooser func(n int) int
+	filter  func(m Message) bool
+	pairSeq map[pair]uint64
+	closed  bool
+}
+
+// Discipline selects the delivery order of a Deterministic fabric.
+type Discipline int
+
+// Delivery disciplines.
+const (
+	// DisciplinePairActivation delivers from the first (or chooser-picked)
+	// pair with pending messages, in pair-activation order.
+	DisciplinePairActivation Discipline = iota
+	// DisciplineGlobalFIFO delivers messages in global enqueue order.
+	DisciplineGlobalFIFO
+)
+
+// Options configure a Deterministic fabric.
+type Options struct {
+	// Discipline selects the delivery order.
+	Discipline Discipline
+	// Codec, when non-nil, encodes payloads at Send and decodes them at
+	// delivery.
+	Codec Codec
+	// Sink, when non-nil, observes sends, deliveries, drops, duplications.
+	Sink Sink
+	// Faults, when non-nil, decides a drop/duplicate verdict per send.
+	Faults FaultPolicy
+}
+
+// NewDeterministic creates an empty fabric.
+func NewDeterministic(opts Options) *Deterministic {
+	return &Deterministic{
+		opts:     opts,
+		handlers: make(map[ident.ObjectID]Handler),
+		queues:   make(map[pair][]Message),
+		pairSeq:  make(map[pair]uint64),
+	}
+}
+
+var _ Transport = (*Deterministic)(nil)
+
+// Register installs the delivery handler for obj, replacing any previous
+// one. Messages to objects without a handler are consumed silently, exactly
+// as a network delivers to a crashed node.
+func (d *Deterministic) Register(obj ident.ObjectID, h Handler) {
+	d.handlers[obj] = h
+}
+
+// SetChooser installs the delivery-choice function for
+// DisciplinePairActivation: given n pending pairs it returns the index of
+// the pair to deliver from. Nil restores the default (always the first, in
+// activation order). protocol.Sim's SetRand and the Randomized backend are
+// thin wrappers over this hook.
+func (d *Deterministic) SetChooser(choose func(n int) int) { d.chooser = choose }
+
+// SetFilter installs a delivery-time filter used for failure injection: a
+// message is silently dropped (still consuming its Step) when the filter
+// returns false. Crashing an object is modelled by dropping everything it
+// sends from some point on.
+func (d *Deterministic) SetFilter(f func(m Message) bool) { d.filter = f }
+
+// Send accepts a message: the codec encodes its payload, the fault policy
+// decides its fate, and surviving copies join the pair's FIFO queue.
+func (d *Deterministic) Send(m Message) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.opts.Codec != nil {
+		p, err := d.opts.Codec.Encode(m.Payload)
+		if err != nil {
+			return err
+		}
+		m.Payload = p
+	}
+	copies := 1
+	if d.opts.Faults != nil {
+		key := pair{from: m.From, to: m.To}
+		d.pairSeq[key]++
+		switch d.opts.Faults(m.From, m.To, d.pairSeq[key], m) {
+		case Drop:
+			copies = 0
+		case Duplicate:
+			copies = 2
+		}
+	}
+	if d.opts.Sink != nil {
+		d.opts.Sink.Sent(m)
+		if copies == 0 {
+			d.opts.Sink.Dropped(m)
+		} else if copies == 2 {
+			d.opts.Sink.Duplicated(m)
+		}
+	}
+	for i := 0; i < copies; i++ {
+		d.enqueue(m)
+	}
+	return nil
+}
+
+func (d *Deterministic) enqueue(m Message) {
+	if d.opts.Discipline == DisciplineGlobalFIFO {
+		d.global = append(d.global, m)
+		return
+	}
+	key := pair{from: m.From, to: m.To}
+	if len(d.queues[key]) == 0 {
+		d.order = append(d.order, key)
+	}
+	d.queues[key] = append(d.queues[key], m)
+}
+
+// Close marks the fabric closed; pending messages are discarded.
+func (d *Deterministic) Close() error {
+	d.closed = true
+	d.queues = make(map[pair][]Message)
+	d.order = nil
+	d.global = nil
+	return nil
+}
+
+// Pending returns the number of queued messages.
+func (d *Deterministic) Pending() int {
+	if d.opts.Discipline == DisciplineGlobalFIFO {
+		return len(d.global)
+	}
+	n := 0
+	for _, q := range d.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Step delivers one pending message; it reports whether one was pending.
+// Under DisciplinePairActivation the pair is picked by the chooser (default:
+// first in activation order); under DisciplineGlobalFIFO the globally oldest
+// message is delivered.
+func (d *Deterministic) Step() bool {
+	if d.opts.Discipline == DisciplineGlobalFIFO {
+		if len(d.global) == 0 {
+			return false
+		}
+		m := d.global[0]
+		d.global = d.global[1:]
+		d.deliver(m)
+		return true
+	}
+	for len(d.order) > 0 {
+		i := 0
+		if d.chooser != nil {
+			i = d.chooser(len(d.order))
+		}
+		key := d.order[i]
+		q := d.queues[key]
+		if len(q) == 0 {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			continue
+		}
+		m := q[0]
+		d.queues[key] = q[1:]
+		if len(d.queues[key]) == 0 {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+		}
+		d.deliver(m)
+		return true
+	}
+	return false
+}
+
+// deliver applies the delivery-time filter and codec, then invokes the
+// destination handler.
+func (d *Deterministic) deliver(m Message) {
+	if d.filter != nil && !d.filter(m) {
+		if d.opts.Sink != nil {
+			d.opts.Sink.Dropped(m)
+		}
+		return // dropped by failure injection; the step is still consumed
+	}
+	h, ok := d.handlers[m.To]
+	if !ok {
+		return
+	}
+	if d.opts.Codec != nil {
+		p, err := d.opts.Codec.Decode(m.Payload)
+		if err != nil {
+			if d.opts.Sink != nil {
+				d.opts.Sink.Dropped(m)
+			}
+			return
+		}
+		m.Payload = p
+	}
+	if d.opts.Sink != nil {
+		d.opts.Sink.Delivered(m)
+	}
+	h(m)
+}
+
+// Drain delivers messages until quiescence, bounded by maxSteps. It returns
+// ErrNoQuiescence when messages are still pending after the budget.
+func (d *Deterministic) Drain(maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		if !d.Step() {
+			return nil
+		}
+	}
+	if d.Pending() == 0 {
+		return nil
+	}
+	return ErrNoQuiescence
+}
+
+// PendingPairs returns the number of ordered pairs with queued messages —
+// the branching factor of the next delivery choice for the model checker.
+func (d *Deterministic) PendingPairs() int {
+	if d.opts.Discipline == DisciplineGlobalFIFO {
+		seen := make(map[pair]bool)
+		for _, m := range d.global {
+			seen[pair{from: m.From, to: m.To}] = true
+		}
+		return len(seen)
+	}
+	n := 0
+	for _, key := range d.order {
+		if len(d.queues[key]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// StepChoice delivers the next message of the i-th non-empty pair (0-based,
+// in pair-activation order; in first-occurrence order under
+// DisciplineGlobalFIFO). It reports whether a message was delivered.
+func (d *Deterministic) StepChoice(i int) bool {
+	if d.opts.Discipline == DisciplineGlobalFIFO {
+		return d.stepChoiceGlobal(i)
+	}
+	idx := 0
+	for pos, key := range d.order {
+		if len(d.queues[key]) == 0 {
+			continue
+		}
+		if idx == i {
+			m := d.queues[key][0]
+			d.queues[key] = d.queues[key][1:]
+			if len(d.queues[key]) == 0 {
+				d.order = append(d.order[:pos], d.order[pos+1:]...)
+			}
+			d.deliver(m)
+			return true
+		}
+		idx++
+	}
+	return false
+}
+
+// stepChoiceGlobal delivers the oldest message of the i-th distinct pair in
+// first-occurrence order, preserving per-pair FIFO.
+func (d *Deterministic) stepChoiceGlobal(i int) bool {
+	seen := make(map[pair]bool)
+	idx := 0
+	for pos, m := range d.global {
+		key := pair{from: m.From, to: m.To}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if idx == i {
+			d.global = append(d.global[:pos], d.global[pos+1:]...)
+			d.deliver(m)
+			return true
+		}
+		idx++
+	}
+	return false
+}

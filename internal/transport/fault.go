@@ -1,0 +1,57 @@
+package transport
+
+import "repro/internal/ident"
+
+// Verdict is a fault-injection decision for one message.
+type Verdict int
+
+// Fault verdicts.
+const (
+	// Deliver passes the message through unchanged.
+	Deliver Verdict = iota
+	// Drop silently discards the message.
+	Drop
+	// Duplicate delivers the message twice, back to back on its pair (FIFO
+	// order is preserved; the copies are adjacent).
+	Duplicate
+)
+
+// FaultPolicy decides the fate of the seq-th message (1-based) sent on the
+// ordered (from, to) pair. Because the decision depends only on the pair and
+// its private sequence number — never on cross-pair interleaving — the same
+// policy produces the same delivered-message multiset on every backend,
+// which is what the Deterministic/Concurrent parity tests pin down.
+//
+// Policies must be safe for concurrent use; pure functions of their
+// arguments trivially are.
+type FaultPolicy func(from, to ident.ObjectID, seq uint64, m Message) Verdict
+
+// splitmix64 is the SplitMix64 mixing function: a tiny, statistically solid
+// way to derive an independent uniform draw from a counter without shared
+// RNG state (and therefore without a lock).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// SeededFaults returns a deterministic drop/duplicate schedule: the verdict
+// for the k-th message on a pair is a pure function of (seed, from, to, k),
+// with per-message drop probability dropRate and duplication probability
+// dupRate (both in [0,1), evaluated in that order, mirroring
+// netsim.Config's fault model).
+func SeededFaults(seed int64, dropRate, dupRate float64) FaultPolicy {
+	return func(from, to ident.ObjectID, seq uint64, _ Message) Verdict {
+		h := splitmix64(uint64(seed) ^ splitmix64(uint64(from)<<32|uint64(uint32(to))))
+		u := float64(splitmix64(h^seq)>>11) / (1 << 53)
+		switch {
+		case dropRate > 0 && u < dropRate:
+			return Drop
+		case dupRate > 0 && u < dropRate+dupRate:
+			return Duplicate
+		default:
+			return Deliver
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package transport
+
+import "math/rand"
+
+// Randomized is a Deterministic fabric whose delivery choice is drawn from
+// a seeded RNG: per-pair FIFO is preserved while the interleaving across
+// pairs is randomised. It packages the behaviour protocol.Sim.SetRand
+// installs by hand as its own backend, so randomised-schedule tests and the
+// experiment harness can ask for it by name.
+type Randomized struct {
+	*Deterministic
+	rng *rand.Rand
+}
+
+// NewRandomized creates a randomised-interleaving fabric with the given
+// seed.
+func NewRandomized(seed int64, opts Options) *Randomized {
+	r := &Randomized{
+		Deterministic: NewDeterministic(opts),
+		rng:           rand.New(rand.NewSource(seed)),
+	}
+	r.SetChooser(RandChooser(r.rng))
+	return r
+}
+
+// RandChooser adapts a *rand.Rand into a delivery chooser for
+// Deterministic.SetChooser, preserving the historical draw sequence of
+// protocol.Sim.SetRand (one Intn per considered pair set).
+func RandChooser(rng *rand.Rand) func(n int) int {
+	return func(n int) int { return rng.Intn(n) }
+}

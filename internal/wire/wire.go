@@ -135,6 +135,33 @@ func Decode(b []byte) (protocol.Msg, error) {
 	return m, nil
 }
 
+// Codec plugs the binary encoding into the transport layer's codec seam
+// (transport.Codec): protocol messages cross the fabric as bytes and are
+// decoded back at the receiving port, so neither side ever shares a Go
+// pointer with its peer. Values of other types pass through untouched,
+// letting non-protocol traffic (e.g. group control metadata) stay native.
+type Codec struct{}
+
+// Encode implements transport.Codec.
+func (Codec) Encode(v any) (any, error) {
+	if m, ok := v.(protocol.Msg); ok {
+		return Encode(m)
+	}
+	return v, nil
+}
+
+// Decode implements transport.Codec.
+func (Codec) Decode(v any) (any, error) {
+	if b, ok := v.([]byte); ok {
+		m, err := Decode(b)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	return v, nil
+}
+
 // EncodeGob serialises a message with encoding/gob (comparison codec).
 func EncodeGob(m protocol.Msg) ([]byte, error) {
 	var buf bytes.Buffer
