@@ -1,0 +1,253 @@
+// Command protolint runs the repository's protocol-invariant analyzers
+// (internal/analysis) as a go vet tool:
+//
+//	go build -o protolint ./cmd/protolint
+//	go vet -vettool=$PWD/protolint ./...
+//
+// It speaks the go vet driver protocol with only the standard library,
+// mirroring golang.org/x/tools/go/analysis/unitchecker:
+//
+//   - `protolint -V=full` prints a version line whose buildID field is a hash
+//     of the executable, so the go command's vet cache is invalidated when
+//     the tool changes;
+//   - `protolint -flags` prints the tool's analyzer flags as JSON, so go vet
+//     can validate command-line selections like -exhaustive;
+//   - `protolint <flags> <dir>/vet.cfg` typechecks one package from the JSON
+//     config the go command prepared (sources plus export data for every
+//     import), runs the analyzers and reports findings on stderr, exiting 2
+//     when there are any.
+//
+// Individual analyzers can be selected (`-exhaustive -seam`) or excluded
+// (`-locksend=false`); by default the whole suite runs.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	vFlag := fs.String("V", "", "print version and exit (use -V=full for the build ID)")
+	flagsFlag := fs.Bool("flags", false, "print the analyzer flags as JSON and exit")
+	toggles := make(map[string]*bool)
+	for _, a := range analysis.All() {
+		doc, _, _ := strings.Cut(a.Doc, ":")
+		toggles[a.Name] = fs.Bool(a.Name, false, "run the "+a.Name+" analyzer ("+doc+")")
+	}
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *vFlag != "":
+		printVersion(progname, *vFlag)
+		return
+	case *flagsFlag:
+		printFlags()
+		return
+	}
+
+	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <vet.cfg>\n(driven by go vet -vettool=%s; see package documentation)\n", progname, progname)
+		os.Exit(1)
+	}
+
+	diags, err := analyzeConfig(fs.Arg(0), selectAnalyzers(fs, toggles))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+// printVersion implements -V=full: the go command parses the line
+// `<name> version devel ... buildID=<id>` and folds the id into its action
+// hashes, so the id must change whenever the tool's behaviour does. Hashing
+// the executable achieves that.
+func printVersion(progname, mode string) {
+	if mode != "full" {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	id := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x/%02x/%02x/%02x\n",
+		progname, id[:8], id[8:16], id[16:24], id[24:])
+}
+
+// printFlags implements -flags: go vet reads this JSON to learn which
+// analyzer flags the tool accepts.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range analysis.All() {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// selectAnalyzers applies the command-line toggles: naming any analyzer runs
+// only the named ones, while only-negative selections (-locksend=false)
+// exclude from the full suite.
+func selectAnalyzers(fs *flag.FlagSet, toggles map[string]*bool) []*analysis.Analyzer {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) {
+		if _, ok := toggles[f.Name]; ok {
+			set[f.Name] = true
+		}
+	})
+	anyTrue := false
+	for name := range set {
+		if *toggles[name] {
+			anyTrue = true
+		}
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		switch {
+		case anyTrue && *toggles[a.Name]:
+			out = append(out, a)
+		case !anyTrue && !set[a.Name]:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// vetConfig is the JSON the go command writes to <objdir>/vet.cfg, one file
+// per package (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// analyzeConfig loads one vet.cfg, typechecks the package it describes and
+// runs the analyzers over it. The VetxOutput file is written unconditionally
+// (we export no facts, but the go command caches vet results by its
+// presence); VetxOnly packages — dependencies analyzed only for facts — are
+// not analyzed at all.
+func analyzeConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			if compiler == "gccgo" && cfg.Standard[path] {
+				return nil, nil // fall back to the compiler's own search path
+			}
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	if strings.HasPrefix(cfg.GoVersion, "go") {
+		conf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	return analysis.Run(fset, files, pkg, info, analyzers), nil
+}

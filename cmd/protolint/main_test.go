@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+const fixtureSrc = `package protocol
+
+type State int
+
+const (
+	StateNormal State = iota + 1
+	StateExceptional
+	StateSuspended
+	StateReady
+)
+
+func describe(s State) string {
+	switch s {
+	case StateNormal:
+		return "N"
+	}
+	return ""
+}
+`
+
+// TestAnalyzeConfig drives analyzeConfig exactly as go vet does: a vet.cfg
+// naming the package sources, findings on stderr, a vetx output stamp.
+func TestAnalyzeConfig(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "protocol.go")
+	if err := os.WriteFile(src, []byte(fixtureSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "vet.out")
+	cfg := vetConfig{
+		ID:         "repro/internal/protocol",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "repro/internal/protocol",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := analyzeConfig(cfgPath, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, expected 1: %v", len(diags), diags)
+	}
+	if d := diags[0]; d.Analyzer != "exhaustive" || !strings.Contains(d.Message, "missing cases") {
+		t.Errorf("unexpected finding: %v", d)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output was not written: %v", err)
+	}
+
+	// A VetxOnly package (a dependency analyzed only for facts) is stamped
+	// but not analyzed.
+	cfg.VetxOnly = true
+	cfg.VetxOutput = filepath.Join(dir, "vetonly.out")
+	data, err = json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err = analyzeConfig(cfgPath, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("VetxOnly package produced findings: %v", diags)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("VetxOnly output was not written: %v", err)
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	names := func(as []*analysis.Analyzer) string {
+		var out []string
+		for _, a := range as {
+			out = append(out, a.Name)
+		}
+		return strings.Join(out, ",")
+	}
+	run := func(args ...string) string {
+		fs := flag.NewFlagSet("protolint", flag.PanicOnError)
+		toggles := make(map[string]*bool)
+		for _, a := range analysis.All() {
+			toggles[a.Name] = fs.Bool(a.Name, false, "")
+		}
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return names(selectAnalyzers(fs, toggles))
+	}
+
+	if got := run(); got != "exhaustive,msgkind,determinism,seam,locksend" {
+		t.Errorf("default selection = %s", got)
+	}
+	if got := run("-exhaustive", "-seam"); got != "exhaustive,seam" {
+		t.Errorf("positive selection = %s", got)
+	}
+	if got := run("-locksend=false"); got != "exhaustive,msgkind,determinism,seam" {
+		t.Errorf("negative selection = %s", got)
+	}
+}

@@ -1,0 +1,274 @@
+// Package analysis is protolint's home: a family of custom static analyzers
+// that mechanically enforce the repository's protocol invariants — the
+// properties the paper's correctness argument rests on but which, before this
+// package, were only checked dynamically (tests and protocol.Explore).
+//
+// The analyzers are:
+//
+//   - exhaustive:  every switch over a protocol enum (protocol.State,
+//     trace.EventKind, atomicobj.TxnState, transport.Verdict/Discipline,
+//     core.TransportKind/NestedPolicy) and every string switch over the
+//     Kind* message constants covers all members or panics in default.
+//   - msgkind:     message-kind and census-key string literals outside the
+//     kind-defining packages must be declared kind names, so measured
+//     counts keep lining up with the paper's §4.4 tables.
+//   - determinism: packages reachable from protocol.Explore may not read
+//     wall-clock time, draw from the global math/rand source, or emit
+//     messages/trace events while ranging over a map.
+//   - seam:        outside internal/transport and internal/netsim, no raw
+//     message channels or netsim endpoint use — cross-object messaging
+//     goes through transport.Transport.
+//   - locksend:    no channel send or blocking delivery call while holding
+//     a sync.Mutex/RWMutex.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, diagnostics, testdata fixtures) but is built on the standard library
+// only, so the module stays dependency-free. cmd/protolint adapts the suite to
+// the `go vet -vettool` protocol.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//protolint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is mandatory
+// by convention (reviewers should see why the rule does not apply), though the
+// suppressor only matches the analyzer name.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is a one-paragraph description of the rule.
+	Doc string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+	allowed  map[string]map[int]bool // filename -> lines carrying an allow comment for this analyzer
+}
+
+// PkgName returns the package's declared name (not its import path). The
+// analyzers match repository packages by name so that the same rules apply to
+// the real tree and to the self-contained fixtures under testdata/src.
+func (p *Pass) PkgName() string { return p.Pkg.Name() }
+
+// Reportf records a finding unless an allow comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines := p.allowed[position.Filename]; lines != nil {
+		if lines[position.Line] || lines[position.Line-1] {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Some analyzers
+// (determinism, seam, locksend) check only production code: tests may use
+// timers, scratch channels and locks freely without affecting schedule replay.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run applies the given analyzers to one typechecked package and returns the
+// surviving findings sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			analyzer: a,
+			diags:    &diags,
+			allowed:  allowIndex(fset, files, a.Name),
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// All returns the full protolint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ExhaustiveAnalyzer,
+		MsgKindAnalyzer,
+		DeterminismAnalyzer,
+		SeamAnalyzer,
+		LockSendAnalyzer,
+	}
+}
+
+// allowIndex maps filename -> set of lines carrying "//protolint:allow <name>"
+// for the given analyzer.
+func allowIndex(fset *token.FileSet, files []*ast.File, name string) map[string]map[int]bool {
+	idx := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "protolint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "protolint:allow"))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				// The first field may list several analyzers: "a,b".
+				match := false
+				for _, n := range strings.Split(fields[0], ",") {
+					if n == name {
+						match = true
+					}
+				}
+				if !match {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = make(map[int]bool)
+				}
+				idx[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return idx
+}
+
+// namedOf unwraps pointers and reports the (package name, type name) of a
+// named type, or ok=false for anything else.
+func namedOf(t types.Type) (pkg, name string, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Name(), obj.Name(), true
+}
+
+// constObj resolves a case/argument expression to the constant object it
+// names, if any (an identifier or a package-qualified selector).
+func constObj(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	if c, ok := info.Uses[id].(*types.Const); ok {
+		return c
+	}
+	return nil
+}
+
+// callee resolves the object a call expression invokes (function, method or
+// builtin), or nil.
+func callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// receiverType returns the type of the receiver expression of a method call
+// (`x` in `x.M(...)`), or nil when the call is not selector-shaped.
+func receiverType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// isMethodNamed reports whether the call invokes a method with the given name
+// on a value whose (possibly pointed-to) named type is pkg.typeName.
+func isMethodNamed(info *types.Info, call *ast.CallExpr, pkg, typeName, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	rt := receiverType(info, call)
+	if rt == nil {
+		return false
+	}
+	gotPkg, gotName, ok := namedOf(rt)
+	return ok && gotPkg == pkg && gotName == typeName
+}
+
+// pkgFunc reports whether the call invokes a package-level function of the
+// package with the given import path, returning its name.
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	obj := callee(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false // method, not a package-level function
+	}
+	return fn.Name(), true
+}

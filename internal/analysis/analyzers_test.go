@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/antest"
+)
+
+func TestExhaustive(t *testing.T) {
+	antest.Run(t, "testdata", analysis.ExhaustiveAnalyzer,
+		"exhaustive/protocol", "exhaustive/engineuser")
+}
+
+func TestMsgKind(t *testing.T) {
+	antest.Run(t, "testdata", analysis.MsgKindAnalyzer, "msgkind/harness")
+}
+
+func TestDeterminism(t *testing.T) {
+	antest.Run(t, "testdata", analysis.DeterminismAnalyzer,
+		"determinism/protocol", "determinism/clock")
+}
+
+func TestSeam(t *testing.T) {
+	antest.Run(t, "testdata", analysis.SeamAnalyzer,
+		"seam/app", "seam/transport", "seam/netsim")
+}
+
+func TestLockSend(t *testing.T) {
+	antest.Run(t, "testdata", analysis.LockSendAnalyzer, "locksend/fabric")
+}

@@ -1,0 +1,7 @@
+// Package clock is outside the deterministic set: wall-clock reads here are
+// legitimate (run timeouts, latency models, retransmission timers).
+package clock
+
+import "time"
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

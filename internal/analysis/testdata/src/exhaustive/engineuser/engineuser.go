@@ -1,0 +1,34 @@
+// Package engineuser consumes the protocol fixture's enums from outside the
+// defining package: qualified case expressions must be resolved to the same
+// constant universe.
+package engineuser
+
+import "exhaustive/protocol"
+
+func describe(s protocol.State) string {
+	switch s { // want "missing cases StateNormal"
+	case protocol.StateExceptional, protocol.StateSuspended, protocol.StateReady:
+		return "stalled"
+	}
+	return ""
+}
+
+func dispatch(kind string) bool {
+	switch kind { // want "missing cases KindCommit"
+	case protocol.KindException, protocol.KindHaveNested,
+		protocol.KindNestedCompleted, protocol.KindAck:
+		return true
+	default:
+		return false
+	}
+}
+
+func full(s protocol.State) bool {
+	switch s {
+	case protocol.StateNormal, protocol.StateExceptional,
+		protocol.StateSuspended, protocol.StateReady:
+		return true
+	default:
+		panic("impossible state")
+	}
+}

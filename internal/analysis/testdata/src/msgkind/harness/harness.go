@@ -1,0 +1,32 @@
+// Package harness reads censuses with string keys: literals must be declared
+// message-kind names, while named constants and dynamic keys pass.
+package harness
+
+import (
+	"msgkind/trace"
+	"msgkind/transport"
+)
+
+const envelopeKind = "harness.envelope"
+
+func counts(l *trace.Log, c *transport.Census) []int {
+	return []int{
+		l.CountSends("Exception"),
+		l.CountSends("Excepton"), // want "undeclared message kind"
+		l.Census()["HaveNested"],
+		l.Census()["havenested"], // want "undeclared message kind"
+		c.CountSent("ACK"),
+		c.CountSent("Ack"), // want "undeclared message kind"
+		c.SentByKind()["Raise"],
+		c.SentByKind()["Rase"], // want "undeclared message kind"
+		// Named constants pass: they are declared, not typo-prone literals.
+		l.CountSends(envelopeKind),
+	}
+}
+
+func record(l *trace.Log, k string) {
+	l.Record(trace.Event{Kind: trace.EvSend, Label: "Commit"})
+	l.Record(trace.Event{Kind: trace.EvSend, Label: "commit"}) // want "undeclared message kind"
+	l.Record(trace.Event{Label: "free-form note"})             // not a send event
+	l.Record(trace.Event{Kind: trace.EvSend, Label: k})        // dynamic labels pass
+}

@@ -1,0 +1,6 @@
+package harness
+
+import "msgkind/trace"
+
+// Test files are exempt: synthetic kinds fail the test itself if mistyped.
+func testCounts(l *trace.Log) int { return l.CountSends("synthetic.kind") }

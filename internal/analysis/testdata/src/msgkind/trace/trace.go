@@ -1,0 +1,18 @@
+// Package trace is a fixture modelling the repository's trace package census
+// surface: the analyzers match it by package and type name.
+package trace
+
+type EventKind int
+
+const EvSend EventKind = 1
+
+type Event struct {
+	Kind  EventKind
+	Label string
+}
+
+type Log struct{ census map[string]int }
+
+func (l *Log) CountSends(kind string) int { return l.census[kind] }
+func (l *Log) Census() map[string]int     { return l.census }
+func (l *Log) Record(e Event)             {}

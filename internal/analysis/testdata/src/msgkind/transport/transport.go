@@ -1,0 +1,7 @@
+// Package transport is a fixture modelling the repository's transport census.
+package transport
+
+type Census struct{ sent map[string]int }
+
+func (c *Census) CountSent(kind string) int  { return c.sent[kind] }
+func (c *Census) SentByKind() map[string]int { return c.sent }

@@ -1,0 +1,4 @@
+// Package protocol is a fixture declaring the protocol's message type.
+package protocol
+
+type Msg struct{ Kind string }

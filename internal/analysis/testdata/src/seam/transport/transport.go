@@ -1,0 +1,9 @@
+// Package transport is seam-exempt: it owns the seam and may build its
+// internal delivery plumbing out of raw channels.
+package transport
+
+import "seam/protocol"
+
+type port struct{ ch chan protocol.Msg }
+
+func newPort() *port { return &port{ch: make(chan protocol.Msg, 1)} }

@@ -1,0 +1,16 @@
+// Package sync is a minimal stand-in for the standard library's sync package:
+// the locksend analyzer matches Mutex and RWMutex by package and type name.
+package sync
+
+type Mutex struct{}
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) Unlock()       {}
+func (m *Mutex) TryLock() bool { return true }
+
+type RWMutex struct{}
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

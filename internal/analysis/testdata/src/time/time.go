@@ -1,0 +1,12 @@
+// Package time is a minimal stand-in for the standard library's time package:
+// just enough surface for the determinism fixtures to typecheck. The analyzer
+// matches it by import path, exactly as it matches the real one.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+func Now() Time             { return Time{} }
+func Since(t Time) Duration { return 0 }
+func Sleep(d Duration)      {}

@@ -122,7 +122,9 @@ func (s *System) newTransport(dir *group.Directory, obj ident.ObjectID) (group.T
 	switch s.opts.Transport {
 	case TransportReliable:
 		return group.NewR3Transport(dir, obj, s.opts.Retransmit)
-	default:
+	case TransportRaw:
 		return group.NewRawTransport(dir, obj)
+	default:
+		panic("core: unknown transport kind")
 	}
 }

@@ -316,6 +316,8 @@ func (e *Engine) handleExceptionOrHaveNested(m Msg) {
 		e.send(m.From, Msg{Kind: KindAck, Action: m.Action, From: e.self})
 	case KindHaveNested:
 		e.lo[m.From] = true
+	default:
+		panic("protocol: handleExceptionOrHaveNested dispatched on " + m.Kind)
 	}
 
 	if e.state == StateNormal {
@@ -405,12 +407,9 @@ func (e *Engine) handleCommit(m Msg) {
 	switch e.state {
 	case StateReady, StateSuspended:
 		e.finish(m.Action, m.Exc)
-	case StateExceptional:
-		// Not yet R: stash until our ACKs arrive ("wait until all exception
-		// messages are handled").
-		exc := m.Exc
-		e.stashed = &exc
-	default:
+	case StateExceptional, StateNormal:
+		// Not yet R (or not yet informed at all): stash until our ACKs arrive
+		// ("wait until all exception messages are handled").
 		exc := m.Exc
 		e.stashed = &exc
 	}

@@ -47,7 +47,10 @@ var ErrExploreBudget = errors.New("protocol: exploration budget exhausted")
 // Explore enumerates delivery schedules depth-first up to maxSchedules
 // complete schedules, replaying each prefix from scratch (engines are not
 // snapshotable). It returns the first invariant violation, annotated with
-// the schedule that produced it.
+// the schedule that produced it. When the budget runs out with prefixes
+// still unexplored, it returns ErrExploreBudget alongside the partial
+// result (Truncated is set): the invariant held on every schedule seen,
+// but the verdict is not exhaustive.
 func Explore(build BuildFn, check Invariant, maxSchedules int) (ExploreResult, error) {
 	var res ExploreResult
 
@@ -81,7 +84,9 @@ func Explore(build BuildFn, check Invariant, maxSchedules int) (ExploreResult, e
 			if res.Schedules >= maxSchedules {
 				res.Truncated = len(stack) > 0
 				if res.Truncated {
-					return res, nil
+					// Unexplored prefixes remain: the invariant held on every
+					// schedule we saw, but the verdict is not exhaustive.
+					return res, ErrExploreBudget
 				}
 				return res, nil
 			}

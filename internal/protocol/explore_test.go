@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -174,13 +175,34 @@ func TestExploreBelatedNested(t *testing.T) {
 		return AgreementInvariant(-1)(s)
 	}
 	res, err := Explore(build, check, 40_000)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrExploreBudget) {
 		t.Fatal(err)
 	}
 	t.Logf("belated nested: %d schedules (truncated=%v), depth %d",
 		res.Schedules, res.Truncated, res.MaxDepth)
 	if res.Schedules < 1000 {
 		t.Errorf("explored only %d schedules", res.Schedules)
+	}
+}
+
+// TestExploreBudgetExhausted: a scenario with far more schedules than the
+// budget must return ErrExploreBudget with Truncated set, while still
+// reporting how far it got.
+func TestExploreBudgetExhausted(t *testing.T) {
+	// 3 objects, 2 raisers has ~hundreds of thousands of schedules; a budget
+	// of 50 cannot finish.
+	res, err := Explore(buildFlat(3, 2), AgreementInvariant(-1), 50)
+	if !errors.Is(err, ErrExploreBudget) {
+		t.Fatalf("err = %v, expected ErrExploreBudget", err)
+	}
+	if !res.Truncated {
+		t.Error("Truncated must be set when the budget runs out")
+	}
+	if res.Schedules != 50 {
+		t.Errorf("Schedules = %d, expected exactly the budget (50)", res.Schedules)
+	}
+	if res.MaxDepth == 0 {
+		t.Error("MaxDepth must reflect the prefixes actually replayed")
 	}
 }
 

@@ -55,13 +55,20 @@ func (m Msg) String() string {
 		return fmt.Sprintf("ACK(%s, %s)", m.From, m.Action)
 	case KindCommit:
 		return fmt.Sprintf("Commit(%s, %s)", m.Action, m.Exc)
+	case KindException, KindNestedCompleted:
+		return fmt.Sprintf("%s(%s, %s, %s)", m.Kind, m.Action, m.From, m.excOrNull())
 	default:
-		exc := m.Exc
-		if exc == "" {
-			exc = "null"
-		}
-		return fmt.Sprintf("%s(%s, %s, %s)", m.Kind, m.Action, m.From, exc)
+		// Unknown kinds (wire experiments, tests) render in the generic form.
+		return fmt.Sprintf("%s(%s, %s, %s)", m.Kind, m.Action, m.From, m.excOrNull())
 	}
+}
+
+// excOrNull renders the exception slot, using the paper's "null" for empty.
+func (m Msg) excOrNull() string {
+	if m.Exc == "" {
+		return "null"
+	}
+	return m.Exc
 }
 
 // nestedWithin reports whether the message's action is strictly nested within

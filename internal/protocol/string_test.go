@@ -1,0 +1,81 @@
+package protocol
+
+import "testing"
+
+// TestMsgStringGolden pins the rendering of every message kind, including the
+// paper's "null" for an empty exception slot and the generic fallback for
+// unknown kinds.
+func TestMsgStringGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  Msg
+		want string
+	}{
+		{
+			name: "exception",
+			msg:  Msg{Kind: KindException, Action: 1, From: 2, Exc: "E2"},
+			want: "Exception(A1, O2, E2)",
+		},
+		{
+			name: "exception null",
+			msg:  Msg{Kind: KindException, Action: 1, From: 2},
+			want: "Exception(A1, O2, null)",
+		},
+		{
+			name: "have nested",
+			msg:  Msg{Kind: KindHaveNested, Action: 1, From: 3},
+			want: "HaveNested(O3, A1)",
+		},
+		{
+			name: "nested completed",
+			msg:  Msg{Kind: KindNestedCompleted, Action: 2, From: 4, Exc: "E1"},
+			want: "NestedCompleted(A2, O4, E1)",
+		},
+		{
+			name: "nested completed null",
+			msg:  Msg{Kind: KindNestedCompleted, Action: 2, From: 4},
+			want: "NestedCompleted(A2, O4, null)",
+		},
+		{
+			name: "ack",
+			msg:  Msg{Kind: KindAck, Action: 1, From: 2},
+			want: "ACK(O2, A1)",
+		},
+		{
+			name: "commit",
+			msg:  Msg{Kind: KindCommit, Action: 1, Exc: "E1"},
+			want: "Commit(A1, E1)",
+		},
+		{
+			name: "unknown kind fallback",
+			msg:  Msg{Kind: "Bogus", Action: 1, From: 2},
+			want: "Bogus(A1, O2, null)",
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.msg.String(); got != tc.want {
+			t.Errorf("%s: String() = %q, expected %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestStateStringGolden pins the paper's single-letter state names and the
+// numeric fallback for values outside the machine.
+func TestStateStringGolden(t *testing.T) {
+	cases := []struct {
+		state State
+		want  string
+	}{
+		{StateNormal, "N"},
+		{StateExceptional, "X"},
+		{StateSuspended, "S"},
+		{StateReady, "R"},
+		{State(0), "state(0)"},
+		{State(9), "state(9)"},
+	}
+	for _, tc := range cases {
+		if got := tc.state.String(); got != tc.want {
+			t.Errorf("State(%d).String() = %q, expected %q", int(tc.state), got, tc.want)
+		}
+	}
+}

@@ -20,6 +20,7 @@ func CheckFIFO(events []Event) error {
 	delivered := make(map[pair]int)
 
 	for _, e := range events {
+		//protolint:allow exhaustive CheckFIFO filters the send/recv pair and ignores other events by design
 		switch e.Kind {
 		case EvSend:
 			p := pair{from: int(e.Object), to: int(e.Peer)}

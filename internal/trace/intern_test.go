@@ -1,0 +1,46 @@
+package trace
+
+import "testing"
+
+// TestCensusInterning pins the interned-census behaviour: the external API
+// stays string-keyed, kind indices are process-wide (shared across logs), and
+// Reset clears one log's counts without disturbing another's.
+func TestCensusInterning(t *testing.T) {
+	a, b := NewLog(), NewLog()
+	for i := 0; i < 3; i++ {
+		a.Record(Event{Kind: EvSend, Object: 1, Peer: 2, Label: "intern.kindA"})
+	}
+	a.Record(Event{Kind: EvSend, Object: 1, Peer: 2, Label: "intern.kindB"})
+	b.Record(Event{Kind: EvSend, Object: 1, Peer: 2, Label: "intern.kindB"})
+
+	if got := a.CountSends("intern.kindA"); got != 3 {
+		t.Errorf("CountSends(kindA) = %d, expected 3", got)
+	}
+	if got := a.CountSends("intern.kindNever"); got != 0 {
+		t.Errorf("CountSends on a never-recorded kind = %d, expected 0", got)
+	}
+	census := a.Census()
+	if census["intern.kindA"] != 3 || census["intern.kindB"] != 1 {
+		t.Errorf("Census() = %v", census)
+	}
+	if _, ok := census["intern.kindNever"]; ok {
+		t.Errorf("Census() contains a kind this log never recorded: %v", census)
+	}
+	if got := a.TotalSends(); got != 4 {
+		t.Errorf("TotalSends = %d, expected 4", got)
+	}
+
+	a.Reset()
+	if got := a.TotalSends(); got != 0 {
+		t.Errorf("TotalSends after Reset = %d, expected 0", got)
+	}
+	if got := b.CountSends("intern.kindB"); got != 1 {
+		t.Errorf("Reset of one log disturbed another: CountSends = %d, expected 1", got)
+	}
+	// The interner survives resets: recording the same kind again reuses its
+	// index and counts from zero.
+	a.Record(Event{Kind: EvSend, Object: 1, Peer: 2, Label: "intern.kindB"})
+	if got := a.CountSends("intern.kindB"); got != 1 {
+		t.Errorf("CountSends after Reset+Record = %d, expected 1", got)
+	}
+}

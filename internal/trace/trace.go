@@ -98,6 +98,53 @@ func (e Event) String() string {
 	return b.String()
 }
 
+// kindInterner maps message-kind names to small dense indices, process-wide.
+// The kind universe is tiny and closed (the Kind* constants plus whatever a
+// test invents), so after warm-up every Record hits the read-locked fast path
+// and the census becomes an integer-indexed slab instead of a map — the
+// storm benchmarks stop hashing the same handful of strings on every send.
+// External census APIs stay string-keyed; indices never escape this package.
+var kindInterner = struct {
+	mu    sync.RWMutex
+	index map[string]int
+	names []string
+}{index: make(map[string]int)}
+
+// internKind returns the dense index for a kind name, allocating one on
+// first sight.
+func internKind(name string) int {
+	kindInterner.mu.RLock()
+	i, ok := kindInterner.index[name]
+	kindInterner.mu.RUnlock()
+	if ok {
+		return i
+	}
+	kindInterner.mu.Lock()
+	defer kindInterner.mu.Unlock()
+	if i, ok := kindInterner.index[name]; ok {
+		return i
+	}
+	i = len(kindInterner.names)
+	kindInterner.names = append(kindInterner.names, name)
+	kindInterner.index[name] = i
+	return i
+}
+
+// lookupKind returns the index of a kind name without allocating one.
+func lookupKind(name string) (int, bool) {
+	kindInterner.mu.RLock()
+	defer kindInterner.mu.RUnlock()
+	i, ok := kindInterner.index[name]
+	return i, ok
+}
+
+// kindName returns the name for an interned index.
+func kindName(i int) string {
+	kindInterner.mu.RLock()
+	defer kindInterner.mu.RUnlock()
+	return kindInterner.names[i]
+}
+
 // logShardCount is the number of stripes the log's hot record path is spread
 // over. Sequence numbers are handed out round-robin across stripes, so
 // concurrent recorders almost never contend on the same stripe lock.
@@ -107,8 +154,8 @@ const logShardCount = 16
 type logShard struct {
 	mu     sync.Mutex
 	events []Event
-	census map[string]int // message-kind name -> count of sends
-	_      [24]byte       // pad to reduce false sharing between stripes
+	census []int    // send counts indexed by interned kind
+	_      [24]byte // pad to reduce false sharing between stripes
 }
 
 // Log is a concurrency-safe append-only event log with a message census.
@@ -124,22 +171,27 @@ type Log struct {
 
 // NewLog returns an empty log.
 func NewLog() *Log {
-	l := &Log{}
-	for i := range l.shards {
-		l.shards[i].census = make(map[string]int)
-	}
-	return l
+	return &Log{}
 }
 
 // Record appends an event, assigning its sequence number, and returns it.
 // Send events additionally increment the census bucket for their Label.
 func (l *Log) Record(e Event) Event {
 	e.Seq = int(l.seq.Add(1))
+	var kind int
+	if e.Kind == EvSend {
+		// Intern outside the stripe lock: the interner's fast path is a
+		// shared read lock, so stripes do not serialise on it.
+		kind = internKind(e.Label)
+	}
 	s := &l.shards[e.Seq%logShardCount]
 	s.mu.Lock()
 	s.events = append(s.events, e)
 	if e.Kind == EvSend {
-		s.census[e.Label]++
+		for kind >= len(s.census) {
+			s.census = append(s.census, 0)
+		}
+		s.census[kind]++
 	}
 	s.mu.Unlock()
 	return e
@@ -160,12 +212,27 @@ func (l *Log) Events() []Event {
 
 // Census returns a copy of the send census keyed by message-kind name.
 func (l *Log) Census() map[string]int {
-	out := make(map[string]int)
+	merged := l.mergedCensus()
+	out := make(map[string]int, len(merged))
+	for idx, v := range merged {
+		if v != 0 {
+			out[kindName(idx)] = v
+		}
+	}
+	return out
+}
+
+// mergedCensus sums the per-stripe slabs into one index-keyed slab.
+func (l *Log) mergedCensus() []int {
+	var out []int
 	for i := range l.shards {
 		s := &l.shards[i]
 		s.mu.Lock()
-		for k, v := range s.census {
-			out[k] += v
+		if len(s.census) > len(out) {
+			out = append(out, make([]int, len(s.census)-len(out))...)
+		}
+		for idx, v := range s.census {
+			out[idx] += v
 		}
 		s.mu.Unlock()
 	}
@@ -188,23 +255,30 @@ func (l *Log) TotalSends() int {
 
 // CountSends returns the number of send events recorded for one kind.
 func (l *Log) CountSends(kind string) int {
+	idx, ok := lookupKind(kind)
+	if !ok {
+		return 0 // never interned, so never recorded anywhere
+	}
 	total := 0
 	for i := range l.shards {
 		s := &l.shards[i]
 		s.mu.Lock()
-		total += s.census[kind]
+		if idx < len(s.census) {
+			total += s.census[idx]
+		}
 		s.mu.Unlock()
 	}
 	return total
 }
 
-// Reset clears all events and census counters.
+// Reset clears all events and census counters. Interned kind indices are
+// process-wide and survive resets.
 func (l *Log) Reset() {
 	for i := range l.shards {
 		s := &l.shards[i]
 		s.mu.Lock()
 		s.events = nil
-		s.census = make(map[string]int)
+		s.census = nil
 		s.mu.Unlock()
 	}
 	l.seq.Store(0)

@@ -224,8 +224,10 @@ func (c *Concurrent) verdictCopies(m Message) int {
 		return 0
 	case Duplicate:
 		return 2
-	default:
+	case Deliver:
 		return 1
+	default:
+		panic("transport: unknown fault verdict")
 	}
 }
 

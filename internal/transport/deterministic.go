@@ -114,6 +114,8 @@ func (d *Deterministic) Send(m Message) error {
 			copies = 0
 		case Duplicate:
 			copies = 2
+		case Deliver:
+			// copies stays 1.
 		}
 	}
 	if d.opts.Sink != nil {
