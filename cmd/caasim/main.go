@@ -16,13 +16,30 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/procsim"
 	"repro/internal/scenario"
 )
 
+// childEnv marks a re-exec of this binary as one -procs participant.
+const childEnv = "CAASIM_PROCSIM_OBJECT"
+
 func main() {
+	if v := os.Getenv(childEnv); v != "" {
+		obj, err := strconv.Atoi(v)
+		if err == nil {
+			err = procsim.RunChild(ident.ObjectID(obj), os.Stdin, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "caasim participant:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "caasim:", err)
 		os.Exit(1)
@@ -39,7 +56,9 @@ func run(args []string) error {
 		latency    = fs.Duration("latency", 0, "one-way network latency")
 		raiseDelay = fs.Duration("raise-delay", 10*time.Millisecond, "delay before raising (lets nesting form)")
 		policy     = fs.String("policy", "abort", "nested-action policy: abort | wait")
+		tport      = fs.String("transport", "raw", "messaging layer: raw | r3 | tcp (real loopback sockets)")
 		timeout    = fs.Duration("timeout", 30*time.Second, "run timeout")
+		procs      = fs.Bool("procs", false, "run each participant in its own OS process (re-execs this binary; uses -n, -p, -q)")
 		belated    = fs.Bool("belated", false, "run the belated-participant workload (Figure 1) instead")
 		showTrace  = fs.Bool("trace", false, "print the full event trace (paper-style message log)")
 	)
@@ -54,6 +73,21 @@ func run(args []string) error {
 		pol = core.WaitForNestedActions
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	kind := core.TransportRaw
+	switch *tport {
+	case "raw":
+	case "r3":
+		kind = core.TransportReliable
+	case "tcp":
+		kind = core.TransportTCP
+	default:
+		return fmt.Errorf("unknown transport %q", *tport)
+	}
+
+	if *procs {
+		return runProcs(*n, *p, *q, *timeout)
 	}
 
 	if *belated {
@@ -73,15 +107,15 @@ func run(args []string) error {
 	spec := scenario.Spec{
 		N: *n, P: *p, Q: *q, Depth: *depth,
 		RaiseDelay: *raiseDelay, Latency: *latency,
-		Policy: pol, Timeout: *timeout, KeepTrace: *showTrace,
+		Policy: pol, Transport: kind, Timeout: *timeout, KeepTrace: *showTrace,
 	}
 	res, err := scenario.Run(spec)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("scenario: N=%d P=%d Q=%d depth=%d latency=%v policy=%s\n",
-		*n, *p, *q, *depth, *latency, *policy)
+	fmt.Printf("scenario: N=%d P=%d Q=%d depth=%d latency=%v policy=%s transport=%s\n",
+		*n, *p, *q, *depth, *latency, *policy, *tport)
 	fmt.Printf("outcome: completed=%v resolved=%q signalled=%q\n",
 		res.Outcome.Completed, res.Outcome.Resolved, res.Outcome.Signalled)
 	fmt.Printf("elapsed: %v\n", res.Elapsed.Round(time.Microsecond))
@@ -101,6 +135,51 @@ func run(args []string) error {
 	if *showTrace {
 		fmt.Println("\nevent trace:")
 		fmt.Print(res.Trace)
+	}
+	return nil
+}
+
+// runProcs is the -procs mode: the resolution protocol with every
+// participant in its own OS process (protocol messages cross real loopback
+// sockets), checked against the in-process Deterministic fabric.
+func runProcs(n, p, q int, timeout time.Duration) error {
+	sc := procsim.Scenario{
+		N: n, Tree: procsim.TreeFlat,
+		Raisers: make(map[ident.ObjectID]string, p),
+		Nested:  make(map[ident.ObjectID]string, q),
+	}
+	for i := 1; i <= p; i++ {
+		sc.Raisers[ident.ObjectID(i)] = fmt.Sprintf("exc%d", i)
+	}
+	for i := p + 1; i <= p+q; i++ {
+		sc.Nested[ident.ObjectID(i)] = ""
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+
+	want, err := procsim.Reference(sc)
+	if err != nil {
+		return fmt.Errorf("deterministic reference: %w", err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	spawn := procsim.SelfSpawner(exe, nil, os.Environ(), childEnv)
+	out, err := procsim.Coordinate(sc, spawn, timeout)
+	if err != nil {
+		return err
+	}
+	resolved, err := out.Agreed()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multi-process: N=%d P=%d Q=%d, one OS process per object, messages over TCP loopback\n", n, p, q)
+	fmt.Printf("resolved: %q by all %d processes\n", resolved, len(out.Resolved))
+	fmt.Printf("deterministic reference: %q  [match: %v]\n", want, resolved == want)
+	if resolved != want {
+		return errors.New("multi-process run disagrees with the deterministic reference")
 	}
 	return nil
 }

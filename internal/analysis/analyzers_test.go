@@ -18,7 +18,7 @@ func TestMsgKind(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	antest.Run(t, "testdata", analysis.DeterminismAnalyzer,
-		"determinism/protocol", "determinism/clock")
+		"determinism/protocol", "determinism/clock", "determinism/transport")
 }
 
 func TestSeam(t *testing.T) {

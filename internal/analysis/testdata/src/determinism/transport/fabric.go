@@ -1,0 +1,9 @@
+// fabric.go is NOT on the exemption list: the in-process fabrics in the same
+// package stay schedule-replay safe.
+package transport
+
+import "time"
+
+func deliverAt() time.Time {
+	return time.Now() // want `call to time.Now`
+}

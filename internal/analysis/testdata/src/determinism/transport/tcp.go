@@ -1,0 +1,17 @@
+// tcp.go is on the real-I/O exemption list: the socket backend lives in the
+// deterministic transport package for the shared seam types, but Explore
+// never replays it, so its dial/backoff timers may use the wall clock.
+package transport
+
+import "time"
+
+func backoff(d time.Duration, stop chan struct{}) bool {
+	timer := time.NewTimer(d) // exempt file: no finding
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

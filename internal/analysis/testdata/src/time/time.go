@@ -10,3 +10,8 @@ type Duration int64
 func Now() Time             { return Time{} }
 func Since(t Time) Duration { return 0 }
 func Sleep(d Duration)      {}
+
+type Timer struct{ C chan Time }
+
+func NewTimer(d Duration) *Timer { return &Timer{} }
+func (t *Timer) Stop() bool      { return true }

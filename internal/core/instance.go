@@ -26,7 +26,7 @@ var (
 type run struct {
 	sys *System
 	def *Definition
-	dir *group.Directory
+	dir group.Binder
 
 	mu        sync.Mutex
 	instances map[*ActionSpec]*instance
@@ -50,7 +50,7 @@ func newRun(sys *System, def *Definition) *run {
 	r := &run{
 		sys:          sys,
 		def:          def,
-		dir:          group.NewDirectoryWithAllocator(sys.net, nextNode, sys.dirOptions()...),
+		dir:          sys.newDirectory(nextNode),
 		instances:    make(map[*ActionSpec]*instance),
 		byID:         make(map[ident.ActionID]*instance),
 		participants: make(map[ident.ObjectID]*participant),

@@ -23,6 +23,13 @@ const (
 	// TransportReliable layers retransmission/dedup over a possibly lossy
 	// network (the §4.5 group-communication implementation route).
 	TransportReliable
+	// TransportTCP runs each participant on its own real TCP fabric
+	// (loopback listener per object, every protocol message serialised and
+	// crossing an OS socket), with the reliable layer on top so delivery
+	// stays exactly-once across connection failures. The Network options are
+	// ignored; wire encoding is always on — sockets carry bytes, not Go
+	// values.
+	TransportTCP
 )
 
 // Options configure a System.
@@ -115,15 +122,29 @@ func (s *System) allocAction() ident.ActionID {
 	return s.nextAction
 }
 
+// newDirectory creates one run's membership service: a netsim-backed
+// directory for the simulated transports, a socket-backed one for
+// TransportTCP.
+func (s *System) newDirectory(alloc func() ident.NodeID) group.Binder {
+	if s.opts.Transport == TransportTCP {
+		return group.NewTCPDirectory(group.WithTCPCodec(wire.Codec{}))
+	}
+	return group.NewDirectoryWithAllocator(s.net, alloc, s.dirOptions()...)
+}
+
 // newTransport creates the configured transport for one object in the given
 // membership directory (one directory per run, so successive runs can reuse
 // object identifiers).
-func (s *System) newTransport(dir *group.Directory, obj ident.ObjectID) (group.Transport, error) {
+func (s *System) newTransport(dir group.Binder, obj ident.ObjectID) (group.Transport, error) {
 	switch s.opts.Transport {
 	case TransportReliable:
 		return group.NewR3Transport(dir, obj, s.opts.Retransmit)
 	case TransportRaw:
 		return group.NewRawTransport(dir, obj)
+	case TransportTCP:
+		// The base fabric loses in-flight frames across reconnects, so the
+		// reliable layer is not optional here.
+		return group.NewR3Transport(dir, obj, s.opts.Retransmit)
 	default:
 		panic("core: unknown transport kind")
 	}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+)
+
+// tcpScenarioDef is a nested-action resolution workload: two concurrent
+// raisers, one object inside a nested action (which must be aborted and its
+// abortion exception folded into the resolution), one idler. Both the
+// socket-backed run and the in-process reference run execute it.
+func tcpScenarioDef(nested *ActionSpec, handled *sync.Map) Definition {
+	members := []ident.ObjectID{1, 2, 3, 4}
+	hs := HandlerSet{Default: func(rctx *RecoveryContext, resolved exception.Exception) (string, error) {
+		if handled != nil {
+			handled.Store(rctx.Object, resolved.Name)
+		}
+		return "", nil
+	}}
+	return Definition{
+		Spec: ActionSpec{
+			Name: "tcp-nested", Tree: exception.AircraftTree(), Members: members,
+			Handlers: uniformHandlers(members, hs),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error { ctx.Raise("left_engine_exception"); return nil },
+			2: func(ctx *Context) error { ctx.Raise("right_engine_exception"); return nil },
+			3: func(ctx *Context) error {
+				_, err := ctx.Enclose(nested, func(nc *Context) error {
+					nc.Sleep(time.Hour)
+					return nil
+				})
+				return err
+			},
+			4: func(ctx *Context) error { ctx.Sleep(time.Hour); return nil },
+		},
+	}
+}
+
+func tcpScenarioNested() *ActionSpec {
+	return &ActionSpec{
+		Name: "inner", Tree: exception.AircraftTree(), Members: []ident.ObjectID{3},
+		Handlers: map[ident.ObjectID]HandlerSet{3: defaultOnly(noopHandler)},
+	}
+}
+
+// TestRunOverTCPTransport executes the full CA-action stack with every
+// protocol message crossing a real TCP socket (one loopback fabric per
+// participant, wire-encoded frames, R3 reliability on top) and requires the
+// same resolved exception as the in-process reference run of the identical
+// definition — the "four fabrics, one behaviour" invariant at the level the
+// paper cares about.
+func TestRunOverTCPTransport(t *testing.T) {
+	// Reference run: default in-process transport.
+	refSys := NewSystem(Options{})
+	refOut, err := refSys.RunTimeout(tcpScenarioDef(tcpScenarioNested(), nil), 30*time.Second)
+	refSys.Close()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if !refOut.Completed || refOut.Resolved == "" {
+		t.Fatalf("reference outcome = %+v", refOut)
+	}
+
+	sys := NewSystem(Options{
+		Transport:  TransportTCP,
+		Retransmit: time.Millisecond,
+	})
+	defer sys.Close()
+	var handled sync.Map
+	out, err := sys.RunTimeout(tcpScenarioDef(tcpScenarioNested(), &handled), 30*time.Second)
+	if err != nil {
+		t.Fatalf("tcp run: %v\n%s", err, sys.Trace().Dump())
+	}
+	if !out.Completed {
+		t.Fatalf("tcp outcome = %+v", out)
+	}
+	if out.Resolved != refOut.Resolved {
+		t.Errorf("tcp resolved %q, in-process reference resolved %q", out.Resolved, refOut.Resolved)
+	}
+	count := 0
+	handled.Range(func(_, v any) bool {
+		count++
+		if v != out.Resolved {
+			t.Errorf("handler saw %v, outcome %q", v, out.Resolved)
+		}
+		return true
+	})
+	if count != 4 {
+		t.Errorf("handlers ran in %d/4 objects", count)
+	}
+}
+
+// TestRunOverTCPTransportRepeated: successive runs on one system must not
+// collide (each run gets fresh fabrics and listeners) and must agree.
+func TestRunOverTCPTransportRepeated(t *testing.T) {
+	sys := NewSystem(Options{Transport: TransportTCP, Retransmit: time.Millisecond})
+	defer sys.Close()
+	var resolved string
+	for i := 0; i < 3; i++ {
+		out, err := sys.RunTimeout(tcpScenarioDef(tcpScenarioNested(), nil), 30*time.Second)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !out.Completed || out.Resolved == "" {
+			t.Fatalf("run %d outcome = %+v", i, out)
+		}
+		if i == 0 {
+			resolved = out.Resolved
+		} else if out.Resolved != resolved {
+			t.Errorf("run %d resolved %q, run 0 resolved %q", i, out.Resolved, resolved)
+		}
+	}
+}

@@ -48,6 +48,32 @@ type Transport interface {
 	Close()
 }
 
+// Port is the fabric attachment the group transports are built on: the
+// surface shared by every transport backend's port type (*transport.Port
+// over netsim, *transport.TCPPort over sockets). Reachable replaces backend-
+// specific lookups (netsim node resolution, TCP address books) so RawTransport
+// and R3Transport run unchanged over any fabric.
+type Port interface {
+	// Self returns the owning object's identifier.
+	Self() ident.ObjectID
+	// Send transmits one message to the named object.
+	Send(to ident.ObjectID, kind string, payload any) error
+	// Recv yields decoded deliveries in per-sender FIFO order.
+	Recv() <-chan transport.Message
+	// Reachable reports whether the fabric can currently route to the named
+	// object (nil when it can).
+	Reachable(to ident.ObjectID) error
+	// Close releases the attachment.
+	Close()
+}
+
+// Binder is a membership service that can attach an object to its fabric:
+// *Directory binds onto the shared netsim fabric, *TCPDirectory onto
+// per-object TCP fabrics. The transport constructors accept any Binder.
+type Binder interface {
+	Bind(obj ident.ObjectID) (Port, error)
+}
+
 // Errors returned by the directory.
 var (
 	ErrUnknownMember = errors.New("group: unknown member")
@@ -139,6 +165,12 @@ func (d *Directory) Register(obj ident.ObjectID) (*transport.Port, error) {
 		return nil, err
 	}
 	return port, nil
+}
+
+// Bind implements Binder: it registers obj and returns its port behind the
+// portable Port surface.
+func (d *Directory) Bind(obj ident.ObjectID) (Port, error) {
+	return d.Register(obj)
 }
 
 // Lookup returns the node hosting obj.

@@ -4,7 +4,6 @@ import (
 	"sync"
 
 	"repro/internal/ident"
-	"repro/internal/transport"
 )
 
 // RawTransport is the baseline transport: it relies on the fabric itself
@@ -14,7 +13,7 @@ import (
 // directory's codec (if any) applies to them directly.
 type RawTransport struct {
 	self ident.ObjectID
-	port *transport.Port
+	port Port
 
 	out  chan Delivery
 	stop chan struct{}
@@ -24,10 +23,10 @@ type RawTransport struct {
 
 var _ Transport = (*RawTransport)(nil)
 
-// NewRawTransport registers obj with the directory and starts its receive
-// loop.
-func NewRawTransport(dir *Directory, obj ident.ObjectID) (*RawTransport, error) {
-	port, err := dir.Register(obj)
+// NewRawTransport binds obj through the membership service and starts its
+// receive loop. Any Binder works: the netsim Directory or the TCPDirectory.
+func NewRawTransport(dir Binder, obj ident.ObjectID) (*RawTransport, error) {
+	port, err := dir.Bind(obj)
 	if err != nil {
 		return nil, err
 	}

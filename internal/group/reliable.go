@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/ident"
-	"repro/internal/transport"
 )
 
 // R3Transport ("reliable over unreliable") implements exactly-once FIFO
@@ -15,7 +14,7 @@ import (
 // the raw network into the channel the resolution algorithm assumes.
 type R3Transport struct {
 	self ident.ObjectID
-	port *transport.Port
+	port Port
 
 	mu    sync.Mutex
 	peers map[ident.ObjectID]*peerState
@@ -62,10 +61,11 @@ func newPeerState() *peerState {
 // maxRTO caps the per-message retransmission backoff.
 const maxRTO = 50 * time.Millisecond
 
-// NewR3Transport registers obj and starts its protocol loop. retransmit is
-// the retransmission period for unacknowledged messages.
-func NewR3Transport(dir *Directory, obj ident.ObjectID, retransmit time.Duration) (*R3Transport, error) {
-	port, err := dir.Register(obj)
+// NewR3Transport binds obj through the membership service and starts its
+// protocol loop. retransmit is the retransmission period for unacknowledged
+// messages. Any Binder works: the netsim Directory or the TCPDirectory.
+func NewR3Transport(dir Binder, obj ident.ObjectID, retransmit time.Duration) (*R3Transport, error) {
+	port, err := dir.Bind(obj)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +92,7 @@ func (t *R3Transport) Self() ident.ObjectID { return t.self }
 // is validated before any sender state changes, so a failed send leaves no
 // phantom retransmission entry behind.
 func (t *R3Transport) Send(to ident.ObjectID, kind string, payload any) error {
-	if _, err := t.port.Fabric().Node(to); err != nil {
+	if err := t.port.Reachable(to); err != nil {
 		return memberErr(err)
 	}
 	t.mu.Lock()

@@ -1,0 +1,324 @@
+package group
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// TCPDirOption configures a TCPDirectory.
+type TCPDirOption func(*TCPDirectory)
+
+// WithTCPCodec forces every application payload through the given
+// encode/decode boundary before it enters a socket, mirroring WithCodec on
+// the netsim directory. Post-encode payloads must be []byte, string or nil —
+// over real sockets there is no in-process shortcut for richer values.
+func WithTCPCodec(c transport.Codec) TCPDirOption {
+	return func(d *TCPDirectory) { d.codec = c }
+}
+
+// WithDialRewrite interposes on address resolution: whenever the member
+// `from` dials toward `to`, the hook may substitute the address (e.g. a
+// transport.FaultProxy's) for the member's real one. Tests use it to make
+// specific directed links lossy while the rest of the mesh stays clean.
+func WithDialRewrite(f func(from, to ident.ObjectID, addr string) string) TCPDirOption {
+	return func(d *TCPDirectory) { d.rewrite = f }
+}
+
+// TCPDirectory is the membership service over real sockets: each bound
+// member gets its own TCP fabric (own listener, own address space — the
+// paper's §2.1 "disjoint address spaces" made literal even inside one test
+// process), and members find each other through the directory's shared
+// address book at dial time. It implements Binder, so RawTransport and
+// R3Transport — and therefore the whole resolution protocol — run over it
+// unchanged.
+type TCPDirectory struct {
+	codec   transport.Codec
+	rewrite func(from, to ident.ObjectID, addr string) string
+
+	mu      sync.Mutex
+	fabrics map[ident.ObjectID]*transport.TCP
+	book    map[ident.ObjectID]string
+	closed  bool
+}
+
+// NewTCPDirectory creates an empty membership service.
+func NewTCPDirectory(opts ...TCPDirOption) *TCPDirectory {
+	d := &TCPDirectory{
+		fabrics: make(map[ident.ObjectID]*transport.TCP),
+		book:    make(map[ident.ObjectID]string),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Bind implements Binder: the member gets a fresh loopback fabric, joins the
+// address book and is returned a port whose Close tears its fabric down.
+func (d *TCPDirectory) Bind(obj ident.ObjectID) (Port, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if _, dup := d.book[obj]; dup {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, obj)
+	}
+	d.mu.Unlock()
+
+	fab, err := transport.NewTCP(transport.TCPOptions{
+		Codec: tcpCodec{inner: d.codec},
+		Resolve: func(to ident.ObjectID) (string, error) {
+			return d.resolve(obj, to)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	port, err := fab.Bind(obj)
+	if err != nil {
+		_ = fab.Close()
+		return nil, err
+	}
+
+	d.mu.Lock()
+	if d.closed || d.book[obj] != "" {
+		d.mu.Unlock()
+		_ = fab.Close()
+		if d.closed {
+			return nil, transport.ErrClosed
+		}
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, obj)
+	}
+	d.fabrics[obj] = fab
+	d.book[obj] = fab.Addr()
+	d.mu.Unlock()
+	return &tcpDirPort{TCPPort: port, fabric: fab}, nil
+}
+
+// resolve maps a destination member to the address the `from` member should
+// dial, applying the rewrite hook.
+func (d *TCPDirectory) resolve(from, to ident.ObjectID) (string, error) {
+	d.mu.Lock()
+	addr, ok := d.book[to]
+	d.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownMember, to)
+	}
+	if d.rewrite != nil {
+		addr = d.rewrite(from, to, addr)
+	}
+	return addr, nil
+}
+
+// Addr returns the listening address of a member's fabric.
+func (d *TCPDirectory) Addr(obj ident.ObjectID) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	addr, ok := d.book[obj]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownMember, obj)
+	}
+	return addr, nil
+}
+
+// Members returns the sorted identifiers of every bound member — the closed
+// group view.
+func (d *TCPDirectory) Members() []ident.ObjectID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ident.ObjectID, 0, len(d.book))
+	for obj := range d.book {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Close tears down every member fabric still standing (ports closed through
+// their transports have already removed theirs — fabric Close is
+// idempotent).
+func (d *TCPDirectory) Close() {
+	d.mu.Lock()
+	d.closed = true
+	fabrics := make([]*transport.TCP, 0, len(d.fabrics))
+	for _, f := range d.fabrics {
+		fabrics = append(fabrics, f)
+	}
+	d.mu.Unlock()
+	for _, f := range fabrics {
+		_ = f.Close()
+	}
+}
+
+// tcpDirPort is a member's attachment: the fabric is private to the member,
+// so closing the port closes the whole fabric (listener included).
+type tcpDirPort struct {
+	*transport.TCPPort
+	fabric *transport.TCP
+}
+
+func (p *tcpDirPort) Close() { _ = p.fabric.Close() }
+
+// Tagged byte layout the group's socket traffic uses. The codec must turn
+// every payload the transports emit — reliable-layer envelopes and bare
+// application payloads alike — into self-describing bytes, because a socket
+// carries no Go types.
+const (
+	tagEnvelope = 'E'
+	tagBytes    = 'B'
+	tagString   = 'S'
+	tagNil      = 'N'
+)
+
+// tcpCodec serialises group traffic for a socket fabric: envelopes keep
+// their sequencing metadata native to the layout while their application
+// payload goes through the inner codec; bare payloads go through the inner
+// codec directly. It is the socket-world counterpart of envelopeCodec.
+type tcpCodec struct {
+	inner transport.Codec
+}
+
+func (c tcpCodec) Encode(v any) (any, error) {
+	if env, ok := v.(envelope); ok {
+		inner, err := c.encodeTagged(env.Payload)
+		if err != nil {
+			return nil, err
+		}
+		buf := []byte{tagEnvelope, boolByte(env.IsAck)}
+		buf = binary.AppendVarint(buf, int64(env.From))
+		buf = binary.AppendUvarint(buf, env.Seq)
+		buf = binary.AppendUvarint(buf, env.Ack)
+		buf = binary.AppendUvarint(buf, uint64(len(env.Kind)))
+		buf = append(buf, env.Kind...)
+		return append(buf, inner...), nil
+	}
+	return c.encodeTagged(v)
+}
+
+// encodeTagged runs the inner codec and tags the resulting primitive.
+func (c tcpCodec) encodeTagged(v any) ([]byte, error) {
+	if c.inner != nil && v != nil {
+		ev, err := c.inner.Encode(v)
+		if err != nil {
+			return nil, err
+		}
+		v = ev
+	}
+	switch p := v.(type) {
+	case []byte:
+		buf := binary.AppendUvarint([]byte{tagBytes}, uint64(len(p)))
+		return append(buf, p...), nil
+	case string:
+		buf := binary.AppendUvarint([]byte{tagString}, uint64(len(p)))
+		return append(buf, p...), nil
+	case nil:
+		return []byte{tagNil}, nil
+	default:
+		return nil, fmt.Errorf("group: tcp payload must encode to []byte or string, got %T", v)
+	}
+}
+
+func (c tcpCodec) Decode(v any) (any, error) {
+	b, ok := v.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("group: tcp codec expects bytes off the wire, got %T", v)
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("group: empty tcp payload")
+	}
+	if b[0] != tagEnvelope {
+		val, rest, err := c.decodeTagged(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("group: %d trailing bytes after payload", len(rest))
+		}
+		return val, nil
+	}
+	if len(b) < 2 {
+		return nil, fmt.Errorf("group: truncated envelope")
+	}
+	env := envelope{IsAck: b[1] != 0}
+	rest := b[2:]
+	from, n := binary.Varint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("group: bad envelope sender")
+	}
+	env.From = ident.ObjectID(from)
+	rest = rest[n:]
+	if env.Seq, rest, ok = readUvarint(rest); !ok {
+		return nil, fmt.Errorf("group: bad envelope seq")
+	}
+	if env.Ack, rest, ok = readUvarint(rest); !ok {
+		return nil, fmt.Errorf("group: bad envelope ack")
+	}
+	var kindLen uint64
+	if kindLen, rest, ok = readUvarint(rest); !ok || kindLen > uint64(len(rest)) {
+		return nil, fmt.Errorf("group: bad envelope kind")
+	}
+	env.Kind = string(rest[:kindLen])
+	payload, rest, err := c.decodeTagged(rest[kindLen:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("group: %d trailing bytes after envelope", len(rest))
+	}
+	env.Payload = payload
+	return env, nil
+}
+
+// decodeTagged reads one tagged primitive and hands it to the inner codec.
+func (c tcpCodec) decodeTagged(b []byte) (any, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("group: missing payload tag")
+	}
+	tag, rest := b[0], b[1:]
+	if tag == tagNil {
+		return nil, rest, nil
+	}
+	n, rest, ok := readUvarint(rest)
+	if !ok || n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("group: bad payload length")
+	}
+	var v any
+	switch tag {
+	case tagBytes:
+		v = append([]byte(nil), rest[:n]...)
+	case tagString:
+		v = string(rest[:n])
+	default:
+		return nil, nil, fmt.Errorf("group: unknown payload tag %q", tag)
+	}
+	if c.inner != nil {
+		dv, err := c.inner.Decode(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		v = dv
+	}
+	return v, rest[n:], nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return v, b[n:], true
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,155 @@
+package procsim
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ident"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// RunChild is the participant side: it executes one object of the scenario
+// inside the calling process, speaking the coordinator line protocol on
+// in/out. It returns once the coordinator sends EXIT (or the streams close).
+//
+// The engine runs on the calling goroutine — protocol.Engine is not safe for
+// concurrent use — with the TCP port's Recv channel as its only message
+// source, mirroring how the in-process fabrics drive engines from a single
+// delivery loop.
+func RunChild(self ident.ObjectID, in io.Reader, out io.Writer) error {
+	lines := lineReader(in)
+	say := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(out, format+"\n", args...)
+		return err
+	}
+	expect := func(prefix string) (string, error) {
+		line, ok := <-lines
+		if !ok {
+			return "", fmt.Errorf("procsim: %s: coordinator closed stdin awaiting %s", self, prefix)
+		}
+		rest, ok := strings.CutPrefix(line, prefix)
+		if !ok {
+			return "", fmt.Errorf("procsim: %s: want %q, got %q", self, prefix, line)
+		}
+		return strings.TrimSpace(rest), nil
+	}
+
+	spec, err := expect("SCENARIO ")
+	if err != nil {
+		return err
+	}
+	sc, err := ParseScenario(spec)
+	if err != nil {
+		return err
+	}
+	if self < 1 || int(self) > sc.N {
+		return fmt.Errorf("procsim: object %s outside scenario 1..%d", self, sc.N)
+	}
+	tree, err := sc.BuildTree()
+	if err != nil {
+		return err
+	}
+
+	// Every protocol message leaves this address space as wire-encoded bytes
+	// inside a length-prefixed frame; the codec seam restores protocol.Msg on
+	// the far side.
+	fab, err := transport.NewTCP(transport.TCPOptions{Codec: wire.Codec{}})
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+	port, err := fab.Bind(self)
+	if err != nil {
+		return err
+	}
+	if err := say("ADDR %s", fab.Addr()); err != nil {
+		return err
+	}
+
+	peers, err := expect("PEERS ")
+	if err != nil {
+		return err
+	}
+	for _, pair := range strings.Fields(peers) {
+		objStr, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("procsim: %s: bad peer entry %q", self, pair)
+		}
+		obj, err := strconv.Atoi(objStr)
+		if err != nil {
+			return fmt.Errorf("procsim: %s: bad peer id %q", self, objStr)
+		}
+		if ident.ObjectID(obj) != self {
+			fab.SetPeer(ident.ObjectID(obj), addr)
+		}
+	}
+	if err := say("READY"); err != nil {
+		return err
+	}
+	if _, err := expect("GO"); err != nil {
+		return err
+	}
+
+	resolved := ""
+	engine := protocol.NewEngine(self, protocol.Hooks{
+		Send: func(to ident.ObjectID, m protocol.Msg) {
+			// The listeners of every peer are up before GO, so on a healthy
+			// loopback the at-most-once fabric behaves reliably; a send error
+			// here would stall the protocol and surface as the coordinator's
+			// timeout, which is the honest failure mode for a lost frame.
+			_ = port.Send(to, m.Kind, m)
+		},
+		AbortNested: func(ident.ActionID) string { return sc.Nested[self] },
+		StartHandler: func(a ident.ActionID, exc string) {
+			if a == OuterAction {
+				resolved = exc
+			}
+		},
+	})
+	if err := engine.EnterAction(sc.outerFrame(tree)); err != nil {
+		return err
+	}
+	if _, nested := sc.Nested[self]; nested {
+		if err := engine.EnterAction(sc.nestedFrame(tree, self)); err != nil {
+			return err
+		}
+	}
+	if exc, ok := sc.Raisers[self]; ok {
+		if _, err := engine.RaiseLocal(exc); err != nil {
+			return err
+		}
+	}
+
+	// Deliver until the coordinator releases us. Even after committing we
+	// keep pumping: peers still in resolution need our ACKs.
+	announced := false
+	for {
+		if resolved != "" && !announced {
+			announced = true
+			if err := say("RESOLVED %s", resolved); err != nil {
+				return err
+			}
+		}
+		select {
+		case m, ok := <-port.Recv():
+			if !ok {
+				return fmt.Errorf("procsim: %s: fabric closed before EXIT", self)
+			}
+			msg, ok := m.Payload.(protocol.Msg)
+			if !ok {
+				return fmt.Errorf("procsim: %s: non-protocol payload %T", self, m.Payload)
+			}
+			engine.HandleMessage(msg)
+		case line, ok := <-lines:
+			if !ok || line == "EXIT" {
+				_ = say("BYE")
+				return nil
+			}
+			return fmt.Errorf("procsim: %s: unexpected control line %q", self, line)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package procsim
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// Spawn starts the process hosting one object and returns the command. The
+// coordinator wires up stdin/stdout itself; implementations must not touch
+// them. Typically this re-execs the current binary with an environment
+// variable selecting child mode (see SelfSpawner).
+type Spawn func(obj ident.ObjectID) *exec.Cmd
+
+// SelfSpawner returns a Spawn that re-execs binary with the given arguments,
+// adding envVar=<object id> to env so the child can recognise itself.
+func SelfSpawner(binary string, args []string, env []string, envVar string) Spawn {
+	return func(obj ident.ObjectID) *exec.Cmd {
+		cmd := exec.Command(binary, args...)
+		cmd.Env = append(append([]string{}, env...), fmt.Sprintf("%s=%d", envVar, int(obj)))
+		cmd.Stderr = os.Stderr // child failures should be visible somewhere
+		return cmd
+	}
+}
+
+// Outcome is what Coordinate collects from a finished run.
+type Outcome struct {
+	// Resolved maps each object to the exception its process committed at
+	// the outermost action. Coordinate guarantees one entry per object.
+	Resolved map[ident.ObjectID]string
+}
+
+// Agreed returns the single exception every process resolved, or an error if
+// they disagree (which would falsify the algorithm, not the harness).
+func (o Outcome) Agreed() (string, error) {
+	resolved := ""
+	objs := make([]int, 0, len(o.Resolved))
+	for obj := range o.Resolved {
+		objs = append(objs, int(obj))
+	}
+	sort.Ints(objs)
+	for _, obj := range objs {
+		exc := o.Resolved[ident.ObjectID(obj)]
+		if resolved == "" {
+			resolved = exc
+		} else if exc != resolved {
+			return "", fmt.Errorf("procsim: processes disagree: O%d resolved %q, earlier %q", obj, exc, resolved)
+		}
+	}
+	return resolved, nil
+}
+
+// child is the coordinator's handle on one participant process.
+type child struct {
+	obj   ident.ObjectID
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	lines <-chan string
+}
+
+// Coordinate runs the scenario with one OS process per object: spawn all
+// children, exchange the address book, release them together, collect every
+// RESOLVED and shut the fleet down. On timeout or protocol error the children
+// are killed before returning.
+func Coordinate(sc Scenario, spawn Spawn, timeout time.Duration) (Outcome, error) {
+	if err := sc.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.After(timeout)
+
+	children := make([]*child, 0, sc.N)
+	kill := func() {
+		for _, c := range children {
+			_ = c.cmd.Process.Kill()
+			_ = c.cmd.Wait()
+		}
+	}
+	fail := func(err error) (Outcome, error) {
+		kill()
+		return Outcome{}, err
+	}
+
+	for _, obj := range sc.Members() {
+		cmd := spawn(obj)
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("procsim: start %s: %w", obj, err))
+		}
+		children = append(children, &child{obj: obj, cmd: cmd, stdin: stdin, lines: lineReader(stdout)})
+	}
+
+	tell := func(c *child, format string, args ...any) error {
+		_, err := fmt.Fprintf(c.stdin, format+"\n", args...)
+		return err
+	}
+	hear := func(c *child, prefix string) (string, error) {
+		select {
+		case line, ok := <-c.lines:
+			if !ok {
+				return "", fmt.Errorf("procsim: %s exited awaiting %s", c.obj, prefix)
+			}
+			rest, ok := strings.CutPrefix(line, prefix)
+			if !ok {
+				return "", fmt.Errorf("procsim: %s: want %q, got %q", c.obj, prefix, line)
+			}
+			return strings.TrimSpace(rest), nil
+		case <-deadline:
+			return "", fmt.Errorf("procsim: timeout after %v awaiting %s from %s", timeout, prefix, c.obj)
+		}
+	}
+
+	// Address exchange: all listeners are up once every ADDR arrived, so no
+	// child ever dials a peer that is not yet accepting.
+	spec := sc.Marshal()
+	book := make([]string, 0, sc.N)
+	for _, c := range children {
+		if err := tell(c, "SCENARIO %s", spec); err != nil {
+			return fail(err)
+		}
+		addr, err := hear(c, "ADDR ")
+		if err != nil {
+			return fail(err)
+		}
+		book = append(book, fmt.Sprintf("%d=%s", int(c.obj), addr))
+	}
+	peers := strings.Join(book, " ")
+	for _, c := range children {
+		if err := tell(c, "PEERS %s", peers); err != nil {
+			return fail(err)
+		}
+		if _, err := hear(c, "READY"); err != nil {
+			return fail(err)
+		}
+	}
+	for _, c := range children {
+		if err := tell(c, "GO"); err != nil {
+			return fail(err)
+		}
+	}
+
+	out := Outcome{Resolved: make(map[ident.ObjectID]string, sc.N)}
+	for _, c := range children {
+		exc, err := hear(c, "RESOLVED ")
+		if err != nil {
+			return fail(err)
+		}
+		out.Resolved[c.obj] = exc
+	}
+
+	// Everyone committed; only now may the fleet disband (children serve
+	// stragglers' ACKs until EXIT).
+	for _, c := range children {
+		if err := tell(c, "EXIT"); err != nil {
+			return fail(err)
+		}
+	}
+	for _, c := range children {
+		if _, err := hear(c, "BYE"); err != nil {
+			return fail(err)
+		}
+		_ = c.stdin.Close()
+		if err := c.cmd.Wait(); err != nil {
+			return fail(fmt.Errorf("procsim: %s: %w", c.obj, err))
+		}
+	}
+	return out, nil
+}

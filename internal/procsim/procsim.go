@@ -1,0 +1,317 @@
+// Package procsim runs the paper's exception-resolution protocol across real
+// OS processes: each participating object lives in its own process, hosts its
+// own protocol.Engine, and exchanges every protocol message over a
+// transport.TCP fabric (wire-encoded frames on loopback sockets). A
+// coordinator process spawns the participants, distributes the address book,
+// releases them simultaneously and collects the resolution each one commits.
+//
+// The point is the ISSUE's equivalence claim: the distributed run must
+// resolve exactly the exception the in-process Deterministic fabric resolves
+// for the same scenario (Reference). The coordinator/participant split talks
+// a tiny line protocol over the child's stdin/stdout:
+//
+//	parent -> child:  SCENARIO <spec>   PEERS <id>=<addr> ...   GO   EXIT
+//	child  -> parent: ADDR <addr>       READY   RESOLVED <exc>   BYE
+//
+// Children stay alive after committing (serving stragglers' ACKs) until the
+// coordinator has heard RESOLVED from everyone and sends EXIT.
+package procsim
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/protocol"
+)
+
+// Action identifiers shared by every process: the outermost action is
+// OuterAction; the singleton action object o is nested inside is
+// NestedActionBase+o. Fixed by convention so no coordination is needed.
+const (
+	OuterAction      ident.ActionID = 1
+	NestedActionBase ident.ActionID = 100
+)
+
+// Tree names accepted by Scenario.Tree.
+const (
+	// TreeAircraft is the paper's §3.2 running example
+	// (exception.AircraftTree); raiser and signal names must come from it.
+	TreeAircraft = "aircraft"
+	// TreeFlat generates a flat tree: root "omega" covering every distinct
+	// exception the scenario mentions. Any names work; concurrent distinct
+	// exceptions resolve to omega.
+	TreeFlat = "flat"
+)
+
+// Scenario describes one multi-process resolution run. Objects are numbered
+// 1..N. The zero object set raises nothing and the run never terminates, so
+// Validate requires at least one raiser.
+type Scenario struct {
+	// N is the number of participating objects (= processes).
+	N int
+	// Tree names the exception tree (TreeAircraft or TreeFlat).
+	Tree string
+	// Raisers maps an object to the exception it raises at start.
+	Raisers map[ident.ObjectID]string
+	// Nested maps an object to the exception its abortion handlers signal
+	// when its nested action is aborted ("" for none). Every key enters a
+	// singleton nested action before the raises land.
+	Nested map[ident.ObjectID]string
+}
+
+// Validate checks the scenario and its exception names against the tree.
+func (sc Scenario) Validate() error {
+	if sc.N < 2 {
+		return errors.New("procsim: need at least 2 objects")
+	}
+	if len(sc.Raisers) == 0 {
+		return errors.New("procsim: need at least one raiser")
+	}
+	tree, err := sc.BuildTree()
+	if err != nil {
+		return err
+	}
+	check := func(obj ident.ObjectID, exc string, what string) error {
+		if obj < 1 || int(obj) > sc.N {
+			return fmt.Errorf("procsim: %s %s outside 1..%d", what, obj, sc.N)
+		}
+		if exc != "" && !tree.Contains(exc) {
+			return fmt.Errorf("procsim: %s exception %q not in tree %s", what, exc, sc.Tree)
+		}
+		return nil
+	}
+	for obj, exc := range sc.Raisers {
+		if exc == "" {
+			return fmt.Errorf("procsim: raiser %s has no exception", obj)
+		}
+		if err := check(obj, exc, "raiser"); err != nil {
+			return err
+		}
+		if _, ok := sc.Nested[obj]; ok {
+			return fmt.Errorf("procsim: %s cannot both raise and be nested", obj)
+		}
+	}
+	for obj, sig := range sc.Nested {
+		if err := check(obj, sig, "nested"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildTree constructs the scenario's exception tree. Both the coordinator
+// and every child build it independently from the scenario line, so it must
+// be a pure function of the Scenario.
+func (sc Scenario) BuildTree() (*exception.Tree, error) {
+	switch sc.Tree {
+	case TreeAircraft, "":
+		return exception.AircraftTree(), nil
+	case TreeFlat:
+		names := map[string]bool{}
+		for _, exc := range sc.Raisers {
+			names[exc] = true
+		}
+		for _, sig := range sc.Nested {
+			if sig != "" {
+				names[sig] = true
+			}
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		b := exception.NewBuilder("omega")
+		for _, n := range sorted {
+			if n != "omega" {
+				b.Add(n, "omega")
+			}
+		}
+		return b.Build()
+	default:
+		return nil, fmt.Errorf("procsim: unknown tree %q", sc.Tree)
+	}
+}
+
+// Members returns 1..N.
+func (sc Scenario) Members() []ident.ObjectID {
+	out := make([]ident.ObjectID, sc.N)
+	for i := range out {
+		out[i] = ident.ObjectID(i + 1)
+	}
+	return out
+}
+
+// Marshal renders the scenario as the single SCENARIO line the coordinator
+// sends each child, e.g. "n=4 tree=aircraft raise=2:left,4:right nest=3:".
+func (sc Scenario) Marshal() string {
+	tree := sc.Tree
+	if tree == "" {
+		tree = TreeAircraft
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d tree=%s", sc.N, tree)
+	writeSet := func(key string, m map[ident.ObjectID]string) {
+		if len(m) == 0 {
+			return
+		}
+		objs := make([]int, 0, len(m))
+		for o := range m {
+			objs = append(objs, int(o))
+		}
+		sort.Ints(objs)
+		parts := make([]string, len(objs))
+		for i, o := range objs {
+			parts[i] = strconv.Itoa(o) + ":" + m[ident.ObjectID(o)]
+		}
+		b.WriteString(" " + key + "=" + strings.Join(parts, ","))
+	}
+	writeSet("raise", sc.Raisers)
+	writeSet("nest", sc.Nested)
+	return b.String()
+}
+
+// ParseScenario parses Marshal's output.
+func ParseScenario(s string) (Scenario, error) {
+	sc := Scenario{Raisers: map[ident.ObjectID]string{}, Nested: map[ident.ObjectID]string{}}
+	for _, field := range strings.Fields(s) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return sc, fmt.Errorf("procsim: bad scenario field %q", field)
+		}
+		switch key {
+		case "n":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return sc, fmt.Errorf("procsim: bad n %q", val)
+			}
+			sc.N = n
+		case "tree":
+			sc.Tree = val
+		case "raise", "nest":
+			dst := sc.Raisers
+			if key == "nest" {
+				dst = sc.Nested
+			}
+			for _, pair := range strings.Split(val, ",") {
+				objStr, exc, ok := strings.Cut(pair, ":")
+				if !ok {
+					return sc, fmt.Errorf("procsim: bad %s entry %q", key, pair)
+				}
+				obj, err := strconv.Atoi(objStr)
+				if err != nil {
+					return sc, fmt.Errorf("procsim: bad object %q", objStr)
+				}
+				dst[ident.ObjectID(obj)] = exc
+			}
+		default:
+			return sc, fmt.Errorf("procsim: unknown scenario key %q", key)
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return sc, err
+	}
+	return sc, nil
+}
+
+// outerFrame is the frame every object pushes for the outermost action.
+func (sc Scenario) outerFrame(tree *exception.Tree) protocol.Frame {
+	return protocol.Frame{
+		Action:  OuterAction,
+		Path:    []ident.ActionID{OuterAction},
+		Members: sc.Members(),
+		Tree:    tree,
+	}
+}
+
+// nestedFrame is the singleton nested frame for obj.
+func (sc Scenario) nestedFrame(tree *exception.Tree, obj ident.ObjectID) protocol.Frame {
+	a := NestedActionBase + ident.ActionID(obj)
+	return protocol.Frame{
+		Action:  a,
+		Path:    []ident.ActionID{OuterAction, a},
+		Members: []ident.ObjectID{obj},
+		Tree:    tree,
+	}
+}
+
+// Reference executes the scenario on the in-process Deterministic fabric
+// (protocol.Sim) and returns the exception committed at the outermost action.
+// This is the result the multi-process run is measured against.
+func Reference(sc Scenario) (string, error) {
+	if err := sc.Validate(); err != nil {
+		return "", err
+	}
+	tree, err := sc.BuildTree()
+	if err != nil {
+		return "", err
+	}
+	sim := protocol.NewSim()
+	for _, obj := range sc.Members() {
+		sim.AddEngine(obj)
+	}
+	if err := sim.EnterAll(sc.outerFrame(tree), sc.Members()...); err != nil {
+		return "", err
+	}
+	for obj, sig := range sc.Nested {
+		if err := sim.Engines[obj].EnterAction(sc.nestedFrame(tree, obj)); err != nil {
+			return "", err
+		}
+		if sig != "" {
+			sim.SetAbortSignal(obj, OuterAction, sig)
+		}
+	}
+	for _, obj := range raiserOrder(sc.Raisers) {
+		if _, err := sim.Engines[obj].RaiseLocal(sc.Raisers[obj]); err != nil {
+			return "", err
+		}
+	}
+	if err := sim.Drain(100000); err != nil {
+		return "", err
+	}
+	resolved := ""
+	for _, obj := range sc.Members() {
+		exc, ok := sim.Engines[obj].CommittedAt(OuterAction)
+		if !ok {
+			return "", fmt.Errorf("procsim: reference run: %s committed nothing", obj)
+		}
+		if resolved == "" {
+			resolved = exc
+		} else if exc != resolved {
+			return "", fmt.Errorf("procsim: reference run disagreement: %q vs %q", resolved, exc)
+		}
+	}
+	return resolved, nil
+}
+
+// raiserOrder returns the raising objects in ascending order, so every run
+// issues the raises in the same sequence.
+func raiserOrder(raisers map[ident.ObjectID]string) []ident.ObjectID {
+	out := make([]ident.ObjectID, 0, len(raisers))
+	for o := range raisers {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// lineReader turns a stream into a channel of trimmed lines. The channel
+// closes on EOF or error.
+func lineReader(r io.Reader) <-chan string {
+	ch := make(chan string, 4)
+	go func() {
+		defer close(ch)
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			ch <- strings.TrimSpace(sc.Text())
+		}
+	}()
+	return ch
+}

@@ -1,0 +1,178 @@
+package procsim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// childEnv selects child mode on re-exec: the variable holds the object id.
+const childEnv = "PROCSIM_CHILD_OBJECT"
+
+// TestMain turns the test binary into a participant process when childEnv is
+// set, so the end-to-end tests can re-exec themselves as the fleet.
+func TestMain(m *testing.M) {
+	if v := os.Getenv(childEnv); v != "" {
+		obj, err := strconv.Atoi(v)
+		if err == nil {
+			err = RunChild(ident.ObjectID(obj), os.Stdin, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// aircraftScenario is the nested-action demo: two concurrent engine failures
+// plus one object whose nested action must be aborted, its abortion handlers
+// signalling sig (may be empty).
+func aircraftScenario(sig string) Scenario {
+	return Scenario{
+		N:    4,
+		Tree: TreeAircraft,
+		Raisers: map[ident.ObjectID]string{
+			2: "left_engine_exception",
+			4: "right_engine_exception",
+		},
+		Nested: map[ident.ObjectID]string{3: sig},
+	}
+}
+
+func TestScenarioMarshalRoundTrip(t *testing.T) {
+	cases := []Scenario{
+		aircraftScenario(""),
+		aircraftScenario("universal_exception"),
+		{
+			N: 5, Tree: TreeFlat,
+			Raisers: map[ident.ObjectID]string{1: "fa", 3: "fb", 5: "fc"},
+			Nested:  map[ident.ObjectID]string{2: "", 4: "fd"},
+		},
+	}
+	for _, sc := range cases {
+		line := sc.Marshal()
+		got, err := ParseScenario(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if got.Marshal() != line {
+			t.Errorf("round trip %q -> %q", line, got.Marshal())
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{N: 1, Raisers: map[ident.ObjectID]string{1: "left_engine_exception"}},
+		{N: 4}, // no raiser
+		{N: 4, Raisers: map[ident.ObjectID]string{2: "no_such_exception"}},
+		{N: 4, Raisers: map[ident.ObjectID]string{9: "left_engine_exception"}},
+		{N: 4, Raisers: map[ident.ObjectID]string{2: "left_engine_exception"},
+			Nested: map[ident.ObjectID]string{2: ""}}, // raiser and nested
+		{N: 4, Tree: "nope", Raisers: map[ident.ObjectID]string{2: "x"}},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, sc)
+		}
+	}
+	if err := aircraftScenario("universal_exception").Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestReference(t *testing.T) {
+	cases := []struct {
+		sc   Scenario
+		want string
+	}{
+		// left + right engine loss resolve to their LCA.
+		{aircraftScenario(""), "emergency_engine_loss_exception"},
+		// The abortion handlers' signal drags the resolution to the root.
+		{aircraftScenario("universal_exception"), "universal_exception"},
+		// Distinct flat exceptions resolve to omega.
+		{Scenario{N: 3, Tree: TreeFlat,
+			Raisers: map[ident.ObjectID]string{1: "fa", 2: "fb"}}, "omega"},
+		// A single raiser resolves to its own exception.
+		{Scenario{N: 3, Tree: TreeFlat,
+			Raisers: map[ident.ObjectID]string{2: "fa"}}, "fa"},
+	}
+	for _, c := range cases {
+		got, err := Reference(c.sc)
+		if err != nil {
+			t.Fatalf("Reference(%s): %v", c.sc.Marshal(), err)
+		}
+		if got != c.want {
+			t.Errorf("Reference(%s) = %q, want %q", c.sc.Marshal(), got, c.want)
+		}
+	}
+}
+
+// runFleet re-execs this test binary as one process per object and returns
+// the agreed resolution.
+func runFleet(t *testing.T, sc Scenario) string {
+	t.Helper()
+	spawn := SelfSpawner(os.Args[0], []string{"-test.run=^$"}, os.Environ(), childEnv)
+	out, err := Coordinate(sc, spawn, 60*time.Second)
+	if err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	if len(out.Resolved) != sc.N {
+		t.Fatalf("resolved by %d/%d processes: %v", len(out.Resolved), sc.N, out.Resolved)
+	}
+	agreed, err := out.Agreed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agreed
+}
+
+// TestMultiProcessResolutionMatchesDeterministic is the ISSUE's end-to-end
+// criterion: N real OS processes, each hosting one resolution engine over its
+// own TCP fabric, must resolve exactly the exception the in-process
+// Deterministic fabric resolves for the same nested-action scenario.
+func TestMultiProcessResolutionMatchesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process demo skipped in -short mode")
+	}
+	for name, sc := range map[string]Scenario{
+		"nested-abort":   aircraftScenario(""),
+		"nested-signals": aircraftScenario("universal_exception"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			want, err := Reference(sc)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			if got := runFleet(t, sc); got != want {
+				t.Errorf("processes resolved %q, Deterministic fabric resolved %q", got, want)
+			}
+		})
+	}
+}
+
+// TestMultiProcessWiderFleet exercises a larger fleet on the generated flat
+// tree: three raisers and two nested objects across six processes.
+func TestMultiProcessWiderFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process demo skipped in -short mode")
+	}
+	sc := Scenario{
+		N: 6, Tree: TreeFlat,
+		Raisers: map[ident.ObjectID]string{1: "fa", 4: "fb", 6: "fc"},
+		Nested:  map[ident.ObjectID]string{2: "", 5: "fd"},
+	}
+	want, err := Reference(sc)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if got := runFleet(t, sc); got != want {
+		t.Errorf("processes resolved %q, Deterministic fabric resolved %q", got, want)
+	}
+}

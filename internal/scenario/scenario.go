@@ -49,6 +49,14 @@ type Spec struct {
 	Latency time.Duration
 	// Policy selects the nested-action strategy of the outermost action.
 	Policy core.NestedPolicy
+	// Transport selects the messaging layer (default TransportRaw over the
+	// instant simulated network). TransportTCP runs every participant on its
+	// own loopback socket fabric; Latency is then ignored (the loopback
+	// stack's own latency applies).
+	Transport core.TransportKind
+	// Retransmit is the retransmission period for the reliable transports
+	// (TransportReliable, TransportTCP). Zero picks the default.
+	Retransmit time.Duration
 	// Timeout bounds the run (default 30s).
 	Timeout time.Duration
 	// KeepTrace includes the full event trace in the result (Result.Trace).
@@ -114,8 +122,10 @@ func Run(spec Spec) (Result, error) {
 	}
 	log := trace.NewLog()
 	sys := core.NewSystem(core.Options{
-		Network: netsim.Config{Latency: netsim.FixedLatency(spec.Latency)},
-		Trace:   log,
+		Network:    netsim.Config{Latency: netsim.FixedLatency(spec.Latency)},
+		Transport:  spec.Transport,
+		Retransmit: spec.Retransmit,
+		Trace:      log,
 	})
 	defer sys.Close()
 

@@ -8,17 +8,6 @@ import (
 	"repro/internal/netsim"
 )
 
-// pairShardCount is the size of the striped per-pair fault-state table. 64
-// stripes keep high-N runs from serialising on one lock while staying small
-// enough to be cache-friendly.
-const pairShardCount = 64
-
-// pairShard is one stripe of the per-pair send-sequence table.
-type pairShard struct {
-	mu  sync.Mutex
-	seq map[pair]uint64
-}
-
 // ConcurrentOptions configure a Concurrent fabric.
 type ConcurrentOptions struct {
 	// Codec, when non-nil, encodes payloads at Send and decodes them at
@@ -57,7 +46,7 @@ type Concurrent struct {
 	ports  []*Port
 	closed bool
 
-	shards [pairShardCount]pairShard
+	seq seqTable
 }
 
 var _ Transport = (*Concurrent)(nil)
@@ -70,9 +59,7 @@ func NewConcurrent(net *netsim.Network, opts ConcurrentOptions) *Concurrent {
 		nodes: make(map[ident.ObjectID]ident.NodeID),
 		objs:  make(map[ident.NodeID]ident.ObjectID),
 	}
-	for i := range c.shards {
-		c.shards[i].seq = make(map[pair]uint64)
-	}
+	c.seq.init()
 	return c
 }
 
@@ -192,7 +179,7 @@ func (c *Concurrent) Send(m Message) error {
 	}
 	copies := 1
 	if c.opts.Faults != nil {
-		copies = c.verdictCopies(m)
+		copies = c.seq.verdictCopies(c.opts.Faults, m)
 	}
 	if c.opts.Sink != nil {
 		c.opts.Sink.Sent(m)
@@ -208,27 +195,6 @@ func (c *Concurrent) Send(m Message) error {
 		}
 	}
 	return nil
-}
-
-// verdictCopies draws the fault verdict for m using the striped per-pair
-// sequence table.
-func (c *Concurrent) verdictCopies(m Message) int {
-	key := pair{from: m.From, to: m.To}
-	shard := &c.shards[uint64(splitmix64(uint64(key.from)<<32|uint64(uint32(key.to))))%pairShardCount]
-	shard.mu.Lock()
-	shard.seq[key]++
-	seq := shard.seq[key]
-	shard.mu.Unlock()
-	switch c.opts.Faults(m.From, m.To, seq, m) {
-	case Drop:
-		return 0
-	case Duplicate:
-		return 2
-	case Deliver:
-		return 1
-	default:
-		panic("transport: unknown fault verdict")
-	}
 }
 
 // endpointOf returns the netsim endpoint of a bound object.
@@ -264,6 +230,14 @@ func (p *Port) Self() ident.ObjectID { return p.obj }
 
 // Fabric returns the Concurrent transport the port is bound to.
 func (p *Port) Fabric() *Concurrent { return p.c }
+
+// Reachable reports whether the fabric can currently route to the named
+// object (nil when it can). It is the backend-portable replacement for
+// looking the destination node up by hand.
+func (p *Port) Reachable(to ident.ObjectID) error {
+	_, err := p.c.Node(to)
+	return err
+}
 
 // Send transmits one message from this port to the named object.
 func (p *Port) Send(to ident.ObjectID, kind string, payload any) error {

@@ -1,0 +1,423 @@
+// Package conformancetest holds the one contract every delivery fabric must
+// honour to a single, shared test suite. A backend passes by providing a
+// Factory that builds a fresh fabric universe per subtest; the suite then
+// checks the properties the protocol layers above (group, core) assume of
+// any transport:
+//
+//   - every accepted send is delivered exactly once, with fields intact
+//     (BasicDelivery)
+//   - deliveries between one ordered pair arrive in send order (FIFOPerPair)
+//   - the codec hook encodes at Send and decodes at delivery, on every path
+//     (CodecRoundTrip)
+//   - the sink's ledger balances: delivered = sent − dropped + duplicated
+//     (SinkAccounting)
+//   - a seeded fault schedule yields the same delivered multiset as on the
+//     Deterministic reference backend, regardless of interleaving
+//     (FaultScheduleParity)
+//   - Close releases every goroutine the fabric started, promptly, even
+//     with traffic still queued (CloseReleasesGoroutines, plus a leak check
+//     after every other subtest)
+//
+// The suite is what makes "four fabrics, one behaviour" an enforced
+// invariant rather than a design intention: a fifth backend passes the same
+// gate or does not merge.
+package conformancetest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// Options carry the transport-seam hooks a Factory must wire into the
+// backend it builds.
+type Options struct {
+	Codec  transport.Codec
+	Sink   transport.Sink
+	Faults transport.FaultPolicy
+}
+
+// Fabric is the minimal surface the suite drives. Adapters wrap each
+// backend's native API (Register/Drain, Bind over netsim, TCP peers) behind
+// it.
+type Fabric interface {
+	// Register attaches an object with handler delivery. The suite
+	// registers every object before the first Send.
+	Register(obj ident.ObjectID, h transport.Handler)
+	// Send routes one message.
+	Send(m transport.Message) error
+	// Settle blocks until delivery has finished: step backends drain their
+	// queue; asynchronous backends wait until count() reaches want, then a
+	// grace period for stragglers.
+	Settle(count func() int, want int) error
+	// Close shuts the whole universe down (fabric plus any substrate the
+	// adapter owns, e.g. a netsim network).
+	Close()
+}
+
+// Factory builds a fresh fabric universe for one subtest.
+type Factory func(t *testing.T, opts Options) Fabric
+
+// suite objects: a small full mesh is enough to exercise pair state without
+// making the socket backends slow.
+const (
+	objects = 4
+	perPair = 25
+)
+
+// Run executes the conformance suite against one backend.
+func Run(t *testing.T, factory Factory) {
+	t.Run("BasicDelivery", func(t *testing.T) { testBasicDelivery(t, factory) })
+	t.Run("FIFOPerPair", func(t *testing.T) { testFIFOPerPair(t, factory) })
+	t.Run("CodecRoundTrip", func(t *testing.T) { testCodecRoundTrip(t, factory) })
+	t.Run("SinkAccounting", func(t *testing.T) { testSinkAccounting(t, factory) })
+	t.Run("FaultScheduleParity", func(t *testing.T) { testFaultScheduleParity(t, factory) })
+	t.Run("CloseReleasesGoroutines", func(t *testing.T) { testCloseReleasesGoroutines(t, factory) })
+}
+
+// recorder counts and archives deliveries behind one lock; handlers on
+// concurrent backends run from many goroutines.
+type recorder struct {
+	mu   sync.Mutex
+	seen map[string]int
+	msgs []transport.Message
+	n    int
+}
+
+func newRecorder() *recorder { return &recorder{seen: make(map[string]int)} }
+
+func (r *recorder) handler() transport.Handler {
+	return func(m transport.Message) {
+		r.mu.Lock()
+		r.seen[fmt.Sprint(m.Payload)]++
+		r.msgs = append(r.msgs, m)
+		r.n++
+		r.mu.Unlock()
+	}
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// mesh sends perPair numbered messages along every ordered pair, payload
+// "from->to#i".
+func mesh(send func(transport.Message) error) (int, error) {
+	total := 0
+	for i := 0; i < perPair; i++ {
+		for from := 1; from <= objects; from++ {
+			for to := 1; to <= objects; to++ {
+				if from == to {
+					continue
+				}
+				m := transport.Message{
+					From:    ident.ObjectID(from),
+					To:      ident.ObjectID(to),
+					Kind:    "conformance",
+					Payload: fmt.Sprintf("%d->%d#%d", from, to, i),
+				}
+				if err := send(m); err != nil {
+					return total, err
+				}
+				total++
+			}
+		}
+	}
+	return total, nil
+}
+
+func testBasicDelivery(t *testing.T, factory Factory) {
+	defer LeakCheck(t)()
+	rec := newRecorder()
+	fab := factory(t, Options{})
+	defer fab.Close()
+	for o := 1; o <= objects; o++ {
+		fab.Register(ident.ObjectID(o), rec.handler())
+	}
+	total, err := mesh(fab.Send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Settle(rec.count, total); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.n != total {
+		t.Fatalf("delivered %d of %d sends", rec.n, total)
+	}
+	for payload, n := range rec.seen {
+		if n != 1 {
+			t.Errorf("payload %q delivered %d times", payload, n)
+		}
+	}
+	// Field integrity: every archived message's From/To match its payload.
+	for _, m := range rec.msgs {
+		var from, to, i int
+		if _, err := fmt.Sscanf(m.Payload.(string), "%d->%d#%d", &from, &to, &i); err != nil {
+			t.Fatalf("payload %v unparseable: %v", m.Payload, err)
+		}
+		if m.From != ident.ObjectID(from) || m.To != ident.ObjectID(to) || m.Kind != "conformance" {
+			t.Errorf("fields corrupted in flight: %+v", m)
+		}
+	}
+}
+
+func testFIFOPerPair(t *testing.T, factory Factory) {
+	defer LeakCheck(t)()
+	type pairKey struct{ from, to ident.ObjectID }
+	var mu sync.Mutex
+	last := make(map[pairKey]int)
+	violations := 0
+	n := 0
+	handler := func(m transport.Message) {
+		var from, to, i int
+		fmt.Sscanf(m.Payload.(string), "%d->%d#%d", &from, &to, &i)
+		key := pairKey{m.From, m.To}
+		mu.Lock()
+		if prev, ok := last[key]; ok && i != prev+1 {
+			violations++
+		} else if !ok && i != 0 {
+			violations++
+		}
+		last[key] = i
+		n++
+		mu.Unlock()
+	}
+	count := func() int { mu.Lock(); defer mu.Unlock(); return n }
+
+	fab := factory(t, Options{})
+	defer fab.Close()
+	for o := 1; o <= objects; o++ {
+		fab.Register(ident.ObjectID(o), handler)
+	}
+	total, err := mesh(fab.Send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Settle(count, total); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if violations != 0 {
+		t.Errorf("%d FIFO violations across %d deliveries", violations, n)
+	}
+}
+
+// prefixCodec is the suite's codec: Encode turns a string payload into
+// tagged bytes, Decode reverses it. Backends that genuinely serialise (TCP)
+// ship the bytes; in-process backends carry them as a value — either way the
+// handler must observe the original string, proving both hooks run exactly
+// once and in order.
+type prefixCodec struct{}
+
+func (prefixCodec) Encode(v any) (any, error) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, fmt.Errorf("conformance codec: want string, got %T", v)
+	}
+	return append([]byte{0xC0}, s...), nil
+}
+
+func (prefixCodec) Decode(v any) (any, error) {
+	b, ok := v.([]byte)
+	if !ok || len(b) == 0 || b[0] != 0xC0 {
+		return nil, fmt.Errorf("conformance codec: bad wire value %v", v)
+	}
+	return string(b[1:]), nil
+}
+
+func testCodecRoundTrip(t *testing.T, factory Factory) {
+	defer LeakCheck(t)()
+	rec := newRecorder()
+	fab := factory(t, Options{Codec: prefixCodec{}})
+	defer fab.Close()
+	for o := 1; o <= objects; o++ {
+		fab.Register(ident.ObjectID(o), rec.handler())
+	}
+	total, err := mesh(fab.Send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Settle(rec.count, total); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, m := range rec.msgs {
+		if _, ok := m.Payload.(string); !ok {
+			t.Fatalf("payload not decoded back to string: %T %v", m.Payload, m.Payload)
+		}
+	}
+	if rec.n != total {
+		t.Errorf("delivered %d of %d through the codec", rec.n, total)
+	}
+}
+
+// ledger is a counting sink with atomic-ish totals behind a lock.
+type ledger struct {
+	mu                                   sync.Mutex
+	sent, delivered, dropped, duplicated int
+}
+
+func (l *ledger) Sent(transport.Message) {
+	l.mu.Lock()
+	l.sent++
+	l.mu.Unlock()
+}
+func (l *ledger) Delivered(transport.Message) {
+	l.mu.Lock()
+	l.delivered++
+	l.mu.Unlock()
+}
+func (l *ledger) Dropped(transport.Message) {
+	l.mu.Lock()
+	l.dropped++
+	l.mu.Unlock()
+}
+func (l *ledger) Duplicated(transport.Message) {
+	l.mu.Lock()
+	l.duplicated++
+	l.mu.Unlock()
+}
+
+func (l *ledger) totals() (sent, delivered, dropped, duplicated int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent, l.delivered, l.dropped, l.duplicated
+}
+
+func testSinkAccounting(t *testing.T, factory Factory) {
+	defer LeakCheck(t)()
+	led := &ledger{}
+	rec := newRecorder()
+	faults := transport.SeededFaults(7, 0.2, 0.2)
+	fab := factory(t, Options{Sink: led, Faults: faults})
+	defer fab.Close()
+	for o := 1; o <= objects; o++ {
+		fab.Register(ident.ObjectID(o), rec.handler())
+	}
+	total, err := mesh(fab.Send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expected delivery count is the ledger's own balance; wait for the
+	// handlers to reach it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sent, _, dropped, duplicated := led.totals()
+		if sent == total {
+			want := sent - dropped + duplicated
+			if err := fab.Settle(rec.count, want); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sink saw %d of %d sends", sent, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sent, delivered, dropped, duplicated := led.totals()
+	if sent != total {
+		t.Errorf("sink sent = %d, want %d", sent, total)
+	}
+	if want := sent - dropped + duplicated; delivered != want {
+		t.Errorf("ledger unbalanced: delivered %d, want sent(%d) - dropped(%d) + duplicated(%d) = %d",
+			delivered, sent, dropped, duplicated, want)
+	}
+	if rec.count() != delivered {
+		t.Errorf("handlers saw %d deliveries, sink recorded %d", rec.count(), delivered)
+	}
+	if dropped == 0 || duplicated == 0 {
+		t.Errorf("fault schedule degenerate: dropped=%d duplicated=%d", dropped, duplicated)
+	}
+}
+
+func testFaultScheduleParity(t *testing.T, factory Factory) {
+	defer LeakCheck(t)()
+	const seed = 2026
+	faults := func() transport.FaultPolicy { return transport.SeededFaults(seed, 0.25, 0.15) }
+
+	// Deterministic reference: the multiset every backend must reproduce.
+	want := make(map[string]int)
+	det := transport.NewDeterministic(transport.Options{Faults: faults()})
+	for o := 1; o <= objects; o++ {
+		det.Register(ident.ObjectID(o), func(m transport.Message) {
+			want[m.Payload.(string)]++
+		})
+	}
+	total, err := mesh(det.Send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Drain(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	wantCount := 0
+	for _, n := range want {
+		wantCount += n
+	}
+	if wantCount == 0 || wantCount == total {
+		t.Fatal("degenerate fault schedule")
+	}
+
+	rec := newRecorder()
+	fab := factory(t, Options{Faults: faults()})
+	defer fab.Close()
+	for o := 1; o <= objects; o++ {
+		fab.Register(ident.ObjectID(o), rec.handler())
+	}
+	if _, err := mesh(fab.Send); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Settle(rec.count, wantCount); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.n != wantCount {
+		t.Errorf("delivered %d, deterministic reference delivered %d", rec.n, wantCount)
+	}
+	for payload, n := range want {
+		if got := rec.seen[payload]; got != n {
+			t.Errorf("message %q: delivered %d, reference %d", payload, got, n)
+		}
+	}
+	for payload := range rec.seen {
+		if _, ok := want[payload]; !ok {
+			t.Errorf("message %q delivered but dropped on reference", payload)
+		}
+	}
+}
+
+func testCloseReleasesGoroutines(t *testing.T, factory Factory) {
+	defer LeakCheck(t)()
+	rec := newRecorder()
+	fab := factory(t, Options{})
+	for o := 1; o <= objects; o++ {
+		fab.Register(ident.ObjectID(o), rec.handler())
+	}
+	// Close with traffic still in flight: shutdown must not wait for, nor
+	// wedge on, queued messages.
+	if _, err := mesh(fab.Send); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		fab.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close wedged with traffic in flight")
+	}
+}

@@ -1,0 +1,56 @@
+package transport
+
+import "sync"
+
+// pairShardCount is the size of the striped per-pair fault-state table. 64
+// stripes keep high-N runs from serialising on one lock while staying small
+// enough to be cache-friendly.
+const pairShardCount = 64
+
+// pairShard is one stripe of the per-pair send-sequence table.
+type pairShard struct {
+	mu  sync.Mutex
+	seq map[pair]uint64
+}
+
+// seqTable is a lock-striped per-ordered-pair sequence counter: the shared
+// state behind FaultPolicy verdicts on the concurrent backends (Concurrent,
+// TCP and the TCP fault proxy), where sends race across goroutines but each
+// pair's sequence must stay strictly FIFO-consistent.
+type seqTable struct {
+	shards [pairShardCount]pairShard
+}
+
+// init allocates the shard maps. Must be called before next.
+func (t *seqTable) init() {
+	for i := range t.shards {
+		t.shards[i].seq = make(map[pair]uint64)
+	}
+}
+
+// next increments and returns the 1-based sequence number of the ordered
+// pair.
+func (t *seqTable) next(key pair) uint64 {
+	shard := &t.shards[uint64(splitmix64(uint64(key.from)<<32|uint64(uint32(key.to))))%pairShardCount]
+	shard.mu.Lock()
+	shard.seq[key]++
+	seq := shard.seq[key]
+	shard.mu.Unlock()
+	return seq
+}
+
+// verdictCopies draws the fault verdict for m against the policy using the
+// table's per-pair sequence state, returning how many copies to deliver.
+func (t *seqTable) verdictCopies(policy FaultPolicy, m Message) int {
+	key := pair{from: m.From, to: m.To}
+	switch policy(m.From, m.To, t.next(key), m) {
+	case Drop:
+		return 0
+	case Duplicate:
+		return 2
+	case Deliver:
+		return 1
+	default:
+		panic("transport: unknown fault verdict")
+	}
+}

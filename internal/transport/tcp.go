@@ -1,0 +1,629 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/wire/frame"
+)
+
+// TCPOptions configure a TCP fabric.
+type TCPOptions struct {
+	// Listen is the address the fabric's listener binds ("127.0.0.1:0" when
+	// empty: an ephemeral loopback port).
+	Listen string
+	// Codec, when non-nil, encodes payloads at Send and decodes them at
+	// delivery, exactly as on the in-process backends. After encoding, a
+	// payload must be a []byte or string — the fabric genuinely serialises
+	// every message, so install the wire codec (or equivalent) for anything
+	// richer.
+	Codec Codec
+	// Sink, when non-nil, observes sends, deliveries, drops, duplications.
+	// It must be safe for concurrent use.
+	Sink Sink
+	// Faults, when non-nil, decides a drop/duplicate verdict per send, keyed
+	// by lock-striped per-pair sequence numbers so the same seeded schedule
+	// yields the same delivered multiset as on every other backend. For
+	// wire-level fault injection (dropping frames mid-flight, severing
+	// connections) interpose a FaultProxy instead.
+	Faults FaultPolicy
+	// Resolve maps a destination object to a peer fabric's address. It is
+	// consulted at send time for objects not bound locally and not in the
+	// static peer table (SetPeer). Nil means only SetPeer entries route.
+	Resolve func(obj ident.ObjectID) (string, error)
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// RedialMin is the initial reconnect backoff (default 5ms).
+	RedialMin time.Duration
+	// RedialMax caps the exponential reconnect backoff (default 1s).
+	RedialMax time.Duration
+}
+
+func (o *TCPOptions) fillDefaults() {
+	if o.Listen == "" {
+		o.Listen = "127.0.0.1:0"
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.RedialMin <= 0 {
+		o.RedialMin = 5 * time.Millisecond
+	}
+	if o.RedialMax <= 0 {
+		o.RedialMax = time.Second
+	}
+}
+
+// TCP is the fourth delivery fabric: real TCP connections between OS
+// processes (or between listeners inside one process), carrying
+// length-prefixed frames (package wire/frame). It is the paper's §4.2
+// substrate made literal — disjoint address spaces that "must communicate by
+// the exchange of messages" — where the other backends only simulate it.
+//
+// Topology: every fabric owns one listener and hosts any number of locally
+// bound objects; remote objects are reached through a peer table (SetPeer /
+// Resolve) mapping them to their fabric's address. All traffic to one remote
+// address shares a single lazily dialled connection whose frames are written
+// in send-call order, so FIFO-per-ordered-pair holds end to end: the sender
+// sequences frames, TCP preserves stream order, and the receiving fabric
+// dispatches each connection from a single reader goroutine into per-object
+// FIFO inboxes.
+//
+// Reliability: while a connection lives, delivery is reliable and ordered.
+// When a connection breaks, the writer redials with exponential backoff and
+// resumes with the next queued frame — frames in flight during the failure
+// may be lost (and are never duplicated by the fabric itself). Layer
+// group.R3Transport on top for exactly-once delivery across reconnects,
+// exactly as over the lossy simulated network.
+//
+// The codec, sink and fault-policy seams behave identically to the other
+// backends, so the conformance suite holds the four fabrics to one contract.
+type TCP struct {
+	opts TCPOptions
+	ln   net.Listener
+
+	mu     sync.RWMutex
+	local  map[ident.ObjectID]*TCPPort
+	book   map[ident.ObjectID]string
+	peers  map[string]*tcpPeer
+	conns  map[net.Conn]struct{} // accepted connections, for Close
+	closed bool
+
+	seq  seqTable
+	stop chan struct{}
+	wg   sync.WaitGroup // accept loop + per-conn readers
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP creates a fabric and starts its listener.
+func NewTCP(opts TCPOptions) (*TCP, error) {
+	opts.fillDefaults()
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: tcp listen: %w", err)
+	}
+	t := &TCP{
+		opts:  opts,
+		ln:    ln,
+		local: make(map[ident.ObjectID]*TCPPort),
+		book:  make(map[ident.ObjectID]string),
+		peers: make(map[string]*tcpPeer),
+		conns: make(map[net.Conn]struct{}),
+		stop:  make(chan struct{}),
+	}
+	t.seq.init()
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener's address, to be handed to peer fabrics'
+// SetPeer.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetPeer routes messages for obj to the fabric listening on addr.
+// Re-registering an object overwrites its address (the next dial uses it).
+func (t *TCP) SetPeer(obj ident.ObjectID, addr string) {
+	t.mu.Lock()
+	t.book[obj] = addr
+	t.mu.Unlock()
+}
+
+// Bind attaches obj to this fabric with channel delivery: the returned
+// port's Recv channel yields decoded deliveries in per-sender FIFO order.
+func (t *TCP) Bind(obj ident.ObjectID) (*TCPPort, error) {
+	return t.bind(obj, nil)
+}
+
+// BindFunc attaches obj with handler delivery: fn runs on the port's inbox
+// goroutine, one message at a time, in per-sender FIFO order.
+func (t *TCP) BindFunc(obj ident.ObjectID, fn Handler) (*TCPPort, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("transport: BindFunc needs a handler")
+	}
+	return t.bind(obj, fn)
+}
+
+func (t *TCP) bind(obj ident.ObjectID, fn Handler) (*TCPPort, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := t.local[obj]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateBind, obj)
+	}
+	p := &TCPPort{
+		t:    t,
+		obj:  obj,
+		fn:   fn,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if fn == nil {
+		p.out = make(chan Message)
+	}
+	t.local[obj] = p
+	t.wg.Add(1)
+	go p.pump()
+	return p, nil
+}
+
+// Send routes one message through the fabric: the codec encodes the payload,
+// the fault policy decides its fate, and surviving copies are framed onto
+// the destination peer's connection (or looped through the local inbox when
+// the destination is bound to this fabric).
+func (t *TCP) Send(m Message) error {
+	t.mu.RLock()
+	closed := t.closed
+	localPort := t.local[m.To]
+	addr, inBook := t.book[m.To]
+	t.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+
+	if t.opts.Codec != nil {
+		p, err := t.opts.Codec.Encode(m.Payload)
+		if err != nil {
+			return err
+		}
+		m.Payload = p
+	}
+	payload, isString, err := framePayload(m.Payload)
+	if err != nil {
+		return err
+	}
+
+	copies := 1
+	if t.opts.Faults != nil {
+		copies = t.seq.verdictCopies(t.opts.Faults, m)
+	}
+	if t.opts.Sink != nil {
+		t.opts.Sink.Sent(m)
+		if copies == 0 {
+			t.opts.Sink.Dropped(m)
+		} else if copies == 2 {
+			t.opts.Sink.Duplicated(m)
+		}
+	}
+	if copies == 0 {
+		return nil
+	}
+
+	if localPort != nil {
+		for i := 0; i < copies; i++ {
+			localPort.enqueue(delivery{from: m.From, kind: m.Kind, payload: payload, isString: isString})
+		}
+		return nil
+	}
+
+	if !inBook {
+		if t.opts.Resolve == nil {
+			return fmt.Errorf("%w: %s", ErrUnknownDestination, m.To)
+		}
+		addr, err = t.opts.Resolve(m.To)
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrUnknownDestination, m.To, err)
+		}
+	}
+	peer, err := t.peerFor(addr)
+	if err != nil {
+		return err
+	}
+	f := frame.Frame{From: m.From, To: m.To, Kind: m.Kind, Payload: payload, StringPayload: isString}
+	buf, err := frame.Encode(f)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < copies; i++ {
+		peer.enqueue(buf)
+	}
+	return nil
+}
+
+// Reachable reports whether the fabric can currently route to obj.
+func (t *TCP) Reachable(obj ident.ObjectID) error {
+	t.mu.RLock()
+	_, local := t.local[obj]
+	_, booked := t.book[obj]
+	t.mu.RUnlock()
+	if local || booked {
+		return nil
+	}
+	if t.opts.Resolve != nil {
+		if _, err := t.opts.Resolve(obj); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrUnknownDestination, obj)
+}
+
+// framePayload converts a post-codec payload to its frame bytes.
+func framePayload(v any) ([]byte, bool, error) {
+	switch p := v.(type) {
+	case []byte:
+		return p, false, nil
+	case string:
+		return []byte(p), true, nil
+	case nil:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("transport: tcp payload must be []byte or string after encoding, got %T", v)
+	}
+}
+
+// peerFor returns (creating and starting on demand) the outbound peer for
+// one remote address.
+func (t *TCP) peerFor(addr string) (*tcpPeer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if p, ok := t.peers[addr]; ok {
+		return p, nil
+	}
+	p := &tcpPeer{t: t, addr: addr}
+	p.cond = sync.NewCond(&p.mu)
+	t.peers[addr] = p
+	t.wg.Add(1)
+	go p.writeLoop()
+	return p, nil
+}
+
+// Close shuts the fabric down: the listener stops, outbound writers and
+// inbound readers exit, ports close their channels. Close blocks until every
+// fabric goroutine has exited. Frames still queued for remote peers are
+// discarded.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.stop)
+	peers := make([]*tcpPeer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	ports := make([]*TCPPort, 0, len(t.local))
+	for _, p := range t.local {
+		ports = append(ports, p)
+	}
+	t.mu.Unlock()
+
+	_ = t.ln.Close()
+	for _, p := range peers {
+		p.close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	for _, p := range ports {
+		p.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// acceptLoop accepts inbound connections and hands each to a reader.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readConn(conn)
+	}
+}
+
+// readConn deframes one inbound connection and dispatches each frame to its
+// destination port's inbox. A malformed frame poisons the stream (framing
+// offers no resynchronisation point), so the connection is dropped; the
+// sender redials and continues.
+func (t *TCP) readConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		f, err := frame.Read(br)
+		if err != nil {
+			return
+		}
+		t.mu.RLock()
+		port := t.local[f.To]
+		t.mu.RUnlock()
+		if port == nil {
+			if t.opts.Sink != nil {
+				t.opts.Sink.Dropped(Message{From: f.From, To: f.To, Kind: f.Kind, Payload: f.Payload})
+			}
+			continue
+		}
+		port.enqueue(delivery{from: f.From, kind: f.Kind, payload: f.Payload, isString: f.StringPayload})
+	}
+}
+
+// tcpPeer owns the single outbound connection to one remote fabric: an
+// unbounded FIFO frame queue (sends never block on the network) drained by a
+// writer goroutine that dials lazily and redials with exponential backoff.
+type tcpPeer struct {
+	t    *TCP
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	conn   net.Conn
+	closed bool
+}
+
+// enqueue appends one encoded frame to the outbound queue.
+func (p *tcpPeer) enqueue(buf []byte) {
+	p.mu.Lock()
+	if !p.closed {
+		p.queue = append(p.queue, buf)
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// close wakes the writer up and closes any live connection so a blocked
+// Write returns promptly.
+func (p *tcpPeer) close() {
+	p.mu.Lock()
+	p.closed = true
+	if p.conn != nil {
+		_ = p.conn.Close()
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// writeLoop drains the queue onto the connection, dialling on demand. A
+// frame is popped only after it was written in full; a frame whose write
+// fails is dropped (it may have partially reached the peer — resending on
+// the fresh connection could duplicate it) and the writer reconnects for the
+// next one.
+func (p *tcpPeer) writeLoop() {
+	defer p.t.wg.Done()
+	backoff := p.t.opts.RedialMin
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			if p.conn != nil {
+				_ = p.conn.Close()
+				p.conn = nil
+			}
+			p.mu.Unlock()
+			return
+		}
+		buf := p.queue[0]
+		conn := p.conn
+		p.mu.Unlock()
+
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", p.addr, p.t.opts.DialTimeout)
+			if err != nil {
+				if !p.sleep(backoff) {
+					return
+				}
+				if backoff *= 2; backoff > p.t.opts.RedialMax {
+					backoff = p.t.opts.RedialMax
+				}
+				continue
+			}
+			backoff = p.t.opts.RedialMin
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				_ = c.Close()
+				return
+			}
+			p.conn = c
+			conn = c
+			p.mu.Unlock()
+		}
+
+		_, err := conn.Write(buf)
+		p.mu.Lock()
+		if err != nil {
+			_ = conn.Close()
+			if p.conn == conn {
+				p.conn = nil
+			}
+		}
+		// Pop the frame either way: written, or lost to the broken
+		// connection (see the function comment).
+		if len(p.queue) > 0 {
+			p.queue = p.queue[1:]
+		}
+		p.mu.Unlock()
+	}
+}
+
+// sleep waits d or until the fabric closes; it reports whether the writer
+// should keep running.
+func (p *tcpPeer) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-p.t.stop:
+		return false
+	}
+}
+
+// delivery is one inbound message queued on a port: the frame fields plus
+// the payload's original Go type.
+type delivery struct {
+	from     ident.ObjectID
+	kind     string
+	payload  []byte
+	isString bool
+}
+
+// TCPPort is one object's attachment to a TCP fabric.
+type TCPPort struct {
+	t   *TCP
+	obj ident.ObjectID
+	fn  Handler
+	out chan Message
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delivery
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// Self returns the owning object's identifier.
+func (p *TCPPort) Self() ident.ObjectID { return p.obj }
+
+// Fabric returns the TCP transport the port is bound to.
+func (p *TCPPort) Fabric() *TCP { return p.t }
+
+// Send transmits one message from this port to the named object.
+func (p *TCPPort) Send(to ident.ObjectID, kind string, payload any) error {
+	return p.t.Send(Message{From: p.obj, To: to, Kind: kind, Payload: payload})
+}
+
+// Reachable reports whether the fabric can currently route to the named
+// object.
+func (p *TCPPort) Reachable(to ident.ObjectID) error { return p.t.Reachable(to) }
+
+// Recv returns the delivery channel (nil for ports bound with BindFunc).
+// The channel closes when the port or the fabric shuts down.
+func (p *TCPPort) Recv() <-chan Message { return p.out }
+
+// Close stops the port's inbox goroutine and closes its Recv channel.
+// Messages already queued but not yet handed to the consumer are discarded.
+func (p *TCPPort) Close() {
+	p.once.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		close(p.stop)
+		<-p.done
+	})
+}
+
+// enqueue appends one inbound delivery to the port's FIFO inbox.
+func (p *TCPPort) enqueue(d delivery) {
+	p.mu.Lock()
+	if !p.closed {
+		p.queue = append(p.queue, d)
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// pump drains the inbox: restore the payload's type, run the codec, observe
+// the delivery, hand the message to the handler or channel.
+func (p *TCPPort) pump() {
+	defer p.t.wg.Done()
+	defer close(p.done)
+	if p.out != nil {
+		defer close(p.out)
+	}
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		d := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		var payload any
+		switch {
+		case d.isString:
+			payload = string(d.payload)
+		case d.payload == nil:
+			payload = nil
+		default:
+			payload = d.payload
+		}
+		m := Message{From: d.from, To: p.obj, Kind: d.kind, Payload: payload}
+		if p.t.opts.Codec != nil {
+			decoded, err := p.t.opts.Codec.Decode(m.Payload)
+			if err != nil {
+				if p.t.opts.Sink != nil {
+					p.t.opts.Sink.Dropped(m)
+				}
+				continue
+			}
+			m.Payload = decoded
+		}
+		if p.t.opts.Sink != nil {
+			p.t.opts.Sink.Delivered(m)
+		}
+		if p.fn != nil {
+			p.fn(m)
+			continue
+		}
+		select {
+		case p.out <- m:
+		case <-p.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package frame defines the length-prefixed wire framing the TCP transport
+// backend speaks on its net.Conn streams. A frame is one transport-layer
+// message: the (from, to) object pair, the message kind and an opaque payload
+// that has already been through the transport's codec seam (package wire's
+// protocol-message codec, for protocol traffic).
+//
+// The package is deliberately a leaf — it depends only on ident — so the
+// transport layer can frame and deframe without importing the
+// protocol-message codec (which itself sits above the transport layer).
+//
+// Stream layout:
+//
+//	[4-byte big-endian body length][body]
+//
+// Body layout (all integers varint/uvarint encoded):
+//
+//	version byte | flags byte | From | To | len(Kind) Kind | len(Payload) Payload
+//
+// Flags bit 0 records whether the payload was a Go string (rather than a
+// byte slice) at the sending transport boundary, so the receiving side can
+// restore the exact payload type even with no codec installed.
+//
+// Decoding is defensive: truncated length prefixes, short bodies, oversized
+// frames and trailing garbage all return errors, never panic, and never
+// allocate more than MaxFrameSize bytes.
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/ident"
+)
+
+// Version identifies the framing format.
+const Version byte = 1
+
+// MaxFrameSize bounds the body length a frame may declare. A peer announcing
+// a bigger frame is malformed (or malicious); readers reject it before
+// allocating.
+const MaxFrameSize = 1 << 20
+
+// headerSize is the byte length of the frame length prefix.
+const headerSize = 4
+
+// Framing errors.
+var (
+	// ErrFrameTooLarge is returned when a length prefix exceeds MaxFrameSize
+	// or an encoded frame would.
+	ErrFrameTooLarge = errors.New("frame: frame exceeds size limit")
+	// ErrShortFrame is returned when a stream ends inside a frame.
+	ErrShortFrame = errors.New("frame: truncated frame")
+	// ErrBadVersion is returned when a frame declares an unknown version.
+	ErrBadVersion = errors.New("frame: unknown framing version")
+	// ErrTrailingBytes is returned when a frame body has bytes after the
+	// payload.
+	ErrTrailingBytes = errors.New("frame: trailing bytes after payload")
+	// ErrEmptyFrame is returned when a length prefix declares a zero-length
+	// body.
+	ErrEmptyFrame = errors.New("frame: empty frame body")
+)
+
+// flag bits.
+const flagStringPayload byte = 1 << 0
+
+// Frame is one transport message in its on-the-wire shape.
+type Frame struct {
+	From ident.ObjectID
+	To   ident.ObjectID
+	Kind string
+	// Payload is the message payload after the transport codec ran.
+	Payload []byte
+	// StringPayload records that the payload was a string (not a byte
+	// slice) before framing.
+	StringPayload bool
+}
+
+// Append serialises f (length prefix included) onto dst and returns the
+// extended slice.
+func Append(dst []byte, f Frame) ([]byte, error) {
+	if len(f.Kind)+len(f.Payload)+headerSize+32 > MaxFrameSize {
+		return dst, fmt.Errorf("%w: kind %d + payload %d bytes", ErrFrameTooLarge, len(f.Kind), len(f.Payload))
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	var flags byte
+	if f.StringPayload {
+		flags |= flagStringPayload
+	}
+	dst = append(dst, Version, flags)
+	dst = binary.AppendVarint(dst, int64(f.From))
+	dst = binary.AppendVarint(dst, int64(f.To))
+	dst = binary.AppendUvarint(dst, uint64(len(f.Kind)))
+	dst = append(dst, f.Kind...)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Payload)))
+	dst = append(dst, f.Payload...)
+	body := len(dst) - start - headerSize
+	if body > MaxFrameSize {
+		return dst[:start], fmt.Errorf("%w: body %d bytes", ErrFrameTooLarge, body)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(body))
+	return dst, nil
+}
+
+// Encode serialises f into a fresh buffer, length prefix included.
+func Encode(f Frame) ([]byte, error) {
+	return Append(make([]byte, 0, headerSize+16+len(f.Kind)+len(f.Payload)), f)
+}
+
+// Write frames f onto w in one Write call (so concurrent writers that
+// serialise per connection never interleave partial frames).
+func Write(w io.Writer, f Frame) error {
+	buf, err := Encode(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Read reads one frame from r. io.EOF is returned verbatim only on a clean
+// boundary (no bytes of the next frame read); a stream ending mid-frame
+// yields ErrShortFrame.
+func Read(r io.Reader) (Frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: length prefix: %v", ErrShortFrame, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Frame{}, ErrEmptyFrame
+	}
+	if n > MaxFrameSize {
+		return Frame{}, fmt.Errorf("%w: declared %d bytes", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("%w: body: %v", ErrShortFrame, err)
+	}
+	return Decode(body)
+}
+
+// Decode parses one frame body (without the length prefix).
+func Decode(b []byte) (Frame, error) {
+	var f Frame
+	if len(b) < 2 {
+		return f, fmt.Errorf("%w: body %d bytes", ErrShortFrame, len(b))
+	}
+	if b[0] != Version {
+		return f, fmt.Errorf("%w: %d", ErrBadVersion, b[0])
+	}
+	f.StringPayload = b[1]&flagStringPayload != 0
+	r := bytes.NewReader(b[2:])
+
+	from, err := binary.ReadVarint(r)
+	if err != nil {
+		return f, fmt.Errorf("%w: from: %v", ErrShortFrame, err)
+	}
+	f.From = ident.ObjectID(from)
+	to, err := binary.ReadVarint(r)
+	if err != nil {
+		return f, fmt.Errorf("%w: to: %v", ErrShortFrame, err)
+	}
+	f.To = ident.ObjectID(to)
+
+	kindLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return f, fmt.Errorf("%w: kind length: %v", ErrShortFrame, err)
+	}
+	if kindLen > uint64(r.Len()) {
+		return f, fmt.Errorf("%w: kind length %d exceeds body", ErrShortFrame, kindLen)
+	}
+	if kindLen > 0 {
+		kind := make([]byte, kindLen)
+		if _, err := io.ReadFull(r, kind); err != nil {
+			return f, fmt.Errorf("%w: kind: %v", ErrShortFrame, err)
+		}
+		f.Kind = string(kind)
+	}
+
+	payloadLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return f, fmt.Errorf("%w: payload length: %v", ErrShortFrame, err)
+	}
+	if payloadLen > uint64(r.Len()) {
+		return f, fmt.Errorf("%w: payload length %d exceeds body", ErrShortFrame, payloadLen)
+	}
+	if payloadLen > 0 {
+		f.Payload = make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return f, fmt.Errorf("%w: payload: %v", ErrShortFrame, err)
+		}
+	}
+	if r.Len() != 0 {
+		return f, fmt.Errorf("%w: %d bytes", ErrTrailingBytes, r.Len())
+	}
+	return f, nil
+}

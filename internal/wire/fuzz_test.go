@@ -1,9 +1,14 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/binary"
+	"io"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/wire/frame"
 )
 
 // TestDecodeNeverPanics feeds random byte soup to Decode: it must return an
@@ -46,5 +51,133 @@ func TestDecodeMutatedValidMessages(t *testing.T) {
 			}()
 			_, _ = Decode(mutated)
 		}()
+	}
+}
+
+// sampleFrame is a representative frame carrying a wire-encoded protocol
+// message, the payload shape the TCP backend actually ships.
+func sampleFrame(t *testing.T) frame.Frame {
+	t.Helper()
+	payload, err := Encode(sampleMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame.Frame{From: 2, To: 5, Kind: sampleMsg().Kind, Payload: payload}
+}
+
+// TestFrameReadNeverPanics feeds random byte soup to the frame reader. Every
+// outcome must be an error or a frame — never a panic, and never an
+// allocation beyond the frame size limit (enforced structurally: declared
+// lengths above MaxFrameSize are rejected before allocating).
+func TestFrameReadNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("frame.Read(%v) panicked: %v", b, r)
+			}
+		}()
+		r := bytes.NewReader(b)
+		for {
+			if _, err := frame.Read(r); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrameReadTruncatedPrefixes cuts a valid frame stream at every byte
+// offset: a mid-frame cut must return ErrShortFrame (or clean io.EOF at a
+// boundary), never a panic or a bogus frame.
+func TestFrameReadTruncatedPrefixes(t *testing.T) {
+	full, err := frame.Encode(sampleFrame(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		_, err := frame.Read(bytes.NewReader(full[:cut]))
+		if cut == 0 {
+			if err != io.EOF {
+				t.Errorf("cut 0: err = %v, want io.EOF", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("truncated stream of %d/%d bytes produced a frame", cut, len(full))
+		}
+	}
+}
+
+// TestFrameReadOversizedDeclarations fabricates length prefixes beyond the
+// frame size limit: the reader must reject them without reading (or
+// allocating) the declared body.
+func TestFrameReadOversizedDeclarations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		n := frame.MaxFrameSize + 1 + rng.Intn(1<<28)
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(n))
+		if _, err := frame.Read(bytes.NewReader(hdr[:])); err == nil {
+			t.Fatalf("declared body of %d bytes accepted", n)
+		}
+	}
+}
+
+// TestFrameReadMutatedBodies flips bytes of valid frame streams: decoding
+// must fail cleanly or produce some frame — never panic.
+func TestFrameReadMutatedBodies(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	base, err := frame.Encode(sampleFrame(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		mutated := append([]byte{}, base...)
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			pos := rng.Intn(len(mutated))
+			mutated[pos] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutation %v panicked: %v", mutated, r)
+				}
+			}()
+			r := bytes.NewReader(mutated)
+			for {
+				if _, err := frame.Read(r); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestFrameProtocolRoundTrip pins the composition the TCP backend relies on:
+// protocol message -> wire bytes -> frame -> wire bytes -> protocol message
+// is the identity.
+func TestFrameProtocolRoundTrip(t *testing.T) {
+	want := sampleMsg()
+	payload, err := Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := frame.Write(&buf, frame.Frame{From: 1, To: 2, Kind: want.Kind, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := frame.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != want.Kind || got.Action != want.Action || got.From != want.From || got.Exc != want.Exc {
+		t.Errorf("round trip mismatch: got %+v, want %+v", got, want)
 	}
 }
