@@ -1,0 +1,94 @@
+// Command bench runs the repository's hot-path benchmark suite and writes a
+// machine-readable BENCH_*.json report: ns/op, B/op, allocs/op and the exact
+// protocol-message count per scenario (see internal/bench for the schema).
+//
+// Usage:
+//
+//	bench -out BENCH_4.json -label baseline          # fresh file, one run
+//	bench -out BENCH_4.json -label optimised -append # add a second run
+//	bench -smoke                                     # 1 iteration each (CI)
+//	bench -filter storm -time 1s                     # subset, longer target
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		out    = fs.String("out", "", "write/append the JSON report here (empty = stdout summary only)")
+		label  = fs.String("label", "dev", "label for this run (e.g. baseline, optimised)")
+		appnd  = fs.Bool("append", false, "append to an existing -out file instead of overwriting")
+		smoke  = fs.Bool("smoke", false, "run each scenario exactly once (CI smoke mode)")
+		filter = fs.String("filter", "", "only run scenarios whose name contains this substring")
+		target = fs.Duration("time", 300*time.Millisecond, "wall-clock budget per scenario")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scenarios := bench.Default()
+	if *filter != "" {
+		kept := scenarios[:0]
+		for _, s := range scenarios {
+			if strings.Contains(s.Name, *filter) {
+				kept = append(kept, s)
+			}
+		}
+		scenarios = kept
+		if len(scenarios) == 0 {
+			return fmt.Errorf("no scenario matches -filter %q", *filter)
+		}
+	}
+
+	fmt.Printf("%-28s %10s %14s %12s %12s %8s\n",
+		"scenario", "iters", "ns/op", "B/op", "allocs/op", "msgs")
+	ms, err := bench.MeasureAll(scenarios, bench.Options{Target: *target, Smoke: *smoke},
+		func(m bench.Measurement) {
+			fmt.Printf("%-28s %10d %14.0f %12.0f %12.1f %8d\n",
+				m.Name, m.Iterations, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.Msgs)
+		})
+	if err != nil {
+		return err
+	}
+
+	if *out == "" {
+		return nil
+	}
+	doc := bench.File{}
+	if *appnd {
+		doc, err = bench.ReadFile(*out)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	doc.Runs = append(doc.Runs, bench.Run{
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Scenarios: ms,
+	})
+	if err := bench.WriteFile(*out, doc); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d run(s))\n", *out, len(doc.Runs))
+	return nil
+}

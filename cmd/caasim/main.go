@@ -57,6 +57,7 @@ func run(args []string) error {
 		raiseDelay = fs.Duration("raise-delay", 10*time.Millisecond, "delay before raising (lets nesting form)")
 		policy     = fs.String("policy", "abort", "nested-action policy: abort | wait")
 		tport      = fs.String("transport", "raw", "messaging layer: raw | r3 | tcp (real loopback sockets)")
+		batch      = fs.Int("batch", 0, "delivery batch: drain up to this many queued messages per engine wakeup (0 = per-message)")
 		timeout    = fs.Duration("timeout", 30*time.Second, "run timeout")
 		procs      = fs.Bool("procs", false, "run each participant in its own OS process (re-execs this binary; uses -n, -p, -q)")
 		belated    = fs.Bool("belated", false, "run the belated-participant workload (Figure 1) instead")
@@ -107,15 +108,16 @@ func run(args []string) error {
 	spec := scenario.Spec{
 		N: *n, P: *p, Q: *q, Depth: *depth,
 		RaiseDelay: *raiseDelay, Latency: *latency,
-		Policy: pol, Transport: kind, Timeout: *timeout, KeepTrace: *showTrace,
+		Policy: pol, Transport: kind, Batch: *batch,
+		Timeout: *timeout, KeepTrace: *showTrace,
 	}
 	res, err := scenario.Run(spec)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("scenario: N=%d P=%d Q=%d depth=%d latency=%v policy=%s transport=%s\n",
-		*n, *p, *q, *depth, *latency, *policy, *tport)
+	fmt.Printf("scenario: N=%d P=%d Q=%d depth=%d latency=%v policy=%s transport=%s batch=%d\n",
+		*n, *p, *q, *depth, *latency, *policy, *tport, *batch)
 	fmt.Printf("outcome: completed=%v resolved=%q signalled=%q\n",
 		res.Outcome.Completed, res.Outcome.Resolved, res.Outcome.Signalled)
 	fmt.Printf("elapsed: %v\n", res.Elapsed.Round(time.Microsecond))

@@ -1,0 +1,171 @@
+// Package bench is the machine-readable benchmark harness behind cmd/bench.
+// It runs the repository's hot-path workloads — protocol-level storms,
+// nesting-depth sweeps, the New-vs-Campbell–Randell comparison and full-stack
+// batched-delivery runs — and reports ns/op, B/op, allocs/op and the exact
+// protocol-message count per scenario, so every PR leaves a perf trajectory
+// (BENCH_*.json) that benchstat or a plain diff can compare.
+//
+// Unlike `go test -bench`, the harness is a plain library: cmd/bench can run
+// it with a programmatic time target, append labelled runs (baseline vs
+// optimised) to one JSON file, and smoke-run everything in CI with a single
+// iteration.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Schema identifies the BENCH_*.json layout.
+const Schema = "caa-bench/1"
+
+// Scenario is one named workload. Run executes a single iteration and
+// returns the number of protocol messages it moved (0 when not applicable).
+type Scenario struct {
+	Name string
+	Run  func() (msgs int, err error)
+}
+
+// Measurement is the recorded result of one scenario.
+type Measurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Msgs is the exact protocol-message count of one iteration (stable for
+	// the deterministic scenarios, last-observed for the concurrent ones).
+	Msgs int `json:"msgs"`
+}
+
+// Run is one labelled execution of the suite.
+type Run struct {
+	Label     string        `json:"label"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Date      string        `json:"date"`
+	Scenarios []Measurement `json:"scenarios"`
+}
+
+// File is the on-disk BENCH_*.json document: a sequence of labelled runs so
+// baseline and optimised results live side by side.
+type File struct {
+	Schema string `json:"schema"`
+	Runs   []Run  `json:"runs"`
+}
+
+// Options configure a suite execution.
+type Options struct {
+	// Target is the wall-clock budget per scenario (default 300ms). The
+	// iteration count is calibrated from a warm-up run to fit it.
+	Target time.Duration
+	// Smoke forces exactly one measured iteration per scenario (CI mode).
+	Smoke bool
+	// MaxIterations caps the calibrated count (default 10000).
+	MaxIterations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Target <= 0 {
+		o.Target = 300 * time.Millisecond
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 10000
+	}
+	return o
+}
+
+// Measure runs one scenario: a warm-up iteration calibrates the measured
+// iteration count, then the measured loop records wall clock and allocator
+// deltas via runtime.ReadMemStats.
+func Measure(s Scenario, opts Options) (Measurement, error) {
+	opts = opts.withDefaults()
+
+	// Warm-up: primes caches and yields the per-iteration time estimate.
+	warmStart := time.Now()
+	msgs, err := s.Run()
+	warmElapsed := time.Since(warmStart)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench %s: %w", s.Name, err)
+	}
+
+	iters := 1
+	if !opts.Smoke && warmElapsed > 0 {
+		iters = int(opts.Target / warmElapsed)
+		if iters < 1 {
+			iters = 1
+		}
+		if iters > opts.MaxIterations {
+			iters = opts.MaxIterations
+		}
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if msgs, err = s.Run(); err != nil {
+			return Measurement{}, fmt.Errorf("bench %s: %w", s.Name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	n := float64(iters)
+	return Measurement{
+		Name:        s.Name,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		Msgs:        msgs,
+	}, nil
+}
+
+// MeasureAll measures every scenario in order. report, when non-nil, receives
+// each measurement as it lands (progress output).
+func MeasureAll(scenarios []Scenario, opts Options, report func(Measurement)) ([]Measurement, error) {
+	out := make([]Measurement, 0, len(scenarios))
+	for _, s := range scenarios {
+		m, err := Measure(s, opts)
+		if err != nil {
+			return out, err
+		}
+		if report != nil {
+			report(m)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ReadFile loads an existing BENCH_*.json document.
+func ReadFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return f, fmt.Errorf("bench: %s has schema %q, want %q", path, f.Schema, Schema)
+	}
+	return f, nil
+}
+
+// WriteFile writes the document with a stable, diff-friendly layout.
+func WriteFile(path string, f File) error {
+	f.Schema = Schema
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/crbaseline"
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+)
+
+// Default returns the standard suite: the storm N-sweep (§4.4 case 3, all N
+// raise), the nesting-depth sweep, the New-vs-Campbell–Randell comparison
+// (E5's domino scenario) and full-stack concurrent runs with and without
+// batched delivery.
+func Default() []Scenario {
+	var out []Scenario
+	for _, n := range []int{8, 16, 32, 64} {
+		n := n
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("protocol/storm/N=%d", n),
+			Run:  func() (int, error) { return protocolCase(n, n, 0, 1) },
+		})
+	}
+	for _, d := range []int{1, 2, 4, 8} {
+		d := d
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("protocol/nesting/depth=%d", d),
+			Run:  func() (int, error) { return protocolCase(4, 1, 2, d) },
+		})
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		n := n
+		out = append(out,
+			Scenario{
+				Name: fmt.Sprintf("newvscr/new/N=%d", n),
+				Run:  func() (int, error) { return protocolCase(n, 1, 0, 1) },
+			},
+			Scenario{
+				Name: fmt.Sprintf("newvscr/cr/N=%d", n),
+				Run:  func() (int, error) { return crCase(n) },
+			},
+		)
+	}
+	for _, batch := range []int{0, 8} {
+		batch := batch
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("stack/p1/N=16/batch=%d", batch),
+			Run:  func() (int, error) { return stackCase(16, 1, batch) },
+		})
+	}
+	for _, batch := range []int{0, 8} {
+		batch := batch
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("stack/storm/N=8/batch=%d", batch),
+			Run:  func() (int, error) { return stackCase(8, 8, batch) },
+		})
+	}
+	return out
+}
+
+// protocolCase drains one deterministic (n, p, q) resolution on the protocol
+// fabric and returns the exact message total. Each of the q nested objects
+// sits depth singleton actions deep (depth 1 matches the §4.4
+// parameterisation; deeper chains exercise the abortion walk).
+func protocolCase(n, p, q, depth int) (int, error) {
+	sim := protocol.NewSim()
+	tb := exception.NewBuilder("root")
+	for i := 1; i <= n; i++ {
+		tb.Add(fmt.Sprintf("E%d", i), "root")
+	}
+	tree := tb.MustBuild()
+	all := make([]ident.ObjectID, n)
+	for i := range all {
+		all[i] = ident.ObjectID(i + 1)
+		sim.AddEngine(all[i])
+	}
+	if err := sim.EnterAll(protocol.Frame{
+		Action: 1, Path: []ident.ActionID{1}, Members: all, Tree: tree,
+	}, all...); err != nil {
+		return 0, err
+	}
+	for i := 0; i < q; i++ {
+		obj := all[p+i]
+		path := []ident.ActionID{1}
+		for d := 0; d < depth; d++ {
+			na := ident.ActionID(100 + i*depth + d)
+			path = append(path, na)
+			if err := sim.EnterAll(protocol.Frame{
+				Action: na, Path: append([]ident.ActionID(nil), path...),
+				Members: []ident.ObjectID{obj}, Tree: tree,
+			}, obj); err != nil {
+				return 0, err
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		if _, err := sim.Engines[all[i]].RaiseLocal(fmt.Sprintf("E%d", i+1)); err != nil {
+			return 0, err
+		}
+	}
+	if err := sim.Drain(100_000_000); err != nil {
+		return 0, err
+	}
+	return sim.Log.TotalSends(), nil
+}
+
+// crCase runs the Campbell–Randell baseline on E5's domino scenario (chain
+// tree of depth 2N, alternating reduced trees).
+func crCase(n int) (int, error) {
+	cfg, err := crbaseline.DominoChainConfig(2*n, n)
+	if err != nil {
+		return 0, err
+	}
+	res, err := crbaseline.Run(cfg, map[ident.ObjectID]string{
+		ident.ObjectID(n): fmt.Sprintf("e%d", 2*n),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Messages, nil
+}
+
+// stackCase runs the full concurrent stack (core runtime over netsim) for
+// (n, p) with the given delivery batch and returns the observed protocol
+// message total. With p == 1 the count is deterministic, 3(N-1); with p == n
+// scheduling races can suppress raises, so the count is last-observed.
+func stackCase(n, p, batch int) (int, error) {
+	res, err := scenario.Run(scenario.Spec{N: n, P: p, Batch: batch})
+	if err != nil {
+		return 0, err
+	}
+	if !res.Outcome.Completed {
+		return 0, fmt.Errorf("stack run N=%d P=%d batch=%d did not complete", n, p, batch)
+	}
+	return res.Total, nil
+}

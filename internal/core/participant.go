@@ -91,9 +91,13 @@ func newParticipant(r *run, obj ident.ObjectID) (*participant, error) {
 }
 
 // loop is the engine goroutine: it serialises protocol messages and local
-// events onto the engine state machine.
+// events onto the engine state machine. With Options.Batch > 0, each wakeup
+// greedily drains up to Batch already-queued deliveries before the next
+// blocking wait, amortising the select/scheduler round trip under storm load;
+// the cap keeps local events from starving while messages keep flowing.
 func (p *participant) loop() {
 	defer close(p.loopDone)
+	batch := p.run.sys.opts.Batch
 	for {
 		select {
 		case <-p.quit:
@@ -102,14 +106,31 @@ func (p *participant) loop() {
 			if !ok {
 				return
 			}
-			// Wire decoding (when enabled) happens at the transport
-			// boundary, so deliveries always carry native messages.
-			if m, ok := d.Payload.(protocol.Msg); ok {
-				p.engine.HandleMessage(m)
+			p.handleDelivery(d)
+			for n := 1; n < batch; n++ {
+				select {
+				case d, ok := <-p.transport.Recv():
+					if !ok {
+						return
+					}
+					p.handleDelivery(d)
+					continue
+				default:
+				}
+				break
 			}
 		case ev := <-p.events:
 			ev.reply <- ev.fn()
 		}
+	}
+}
+
+// handleDelivery feeds one transport delivery to the engine. Wire decoding
+// (when enabled) happens at the transport boundary, so deliveries always
+// carry native messages.
+func (p *participant) handleDelivery(d group.Delivery) {
+	if m, ok := d.Payload.(protocol.Msg); ok {
+		p.engine.HandleMessage(m)
 	}
 }
 

@@ -47,6 +47,13 @@ type Options struct {
 	// it on arrival, enforcing the disjoint-address-space boundary the
 	// paper assumes (§2.1). Off by default for speed.
 	WireEncoding bool
+	// Batch, when > 0, enables batched delivery on the hot path: each
+	// participant's engine loop drains up to Batch queued protocol messages
+	// per wakeup instead of one, and the concurrent fabric underneath
+	// coalesces its pump wakeups the same way. FIFO-per-pair order is
+	// preserved, so runs commit the same resolutions as unbatched ones;
+	// only scheduling granularity changes. Zero keeps per-message delivery.
+	Batch int
 	// Trace receives all runtime events; nil allocates a private log.
 	Trace *trace.Log
 }
@@ -87,10 +94,14 @@ func NewSystem(opts Options) *System {
 // system shares. With WireEncoding on, the wire codec is installed at the
 // transport boundary, so every protocol message crosses the fabric as bytes.
 func (s *System) dirOptions() []group.Option {
+	var opts []group.Option
 	if s.opts.WireEncoding {
-		return []group.Option{group.WithCodec(wire.Codec{})}
+		opts = append(opts, group.WithCodec(wire.Codec{}))
 	}
-	return nil
+	if s.opts.Batch > 0 {
+		opts = append(opts, group.WithBatch(s.opts.Batch))
+	}
+	return opts
 }
 
 // Store returns the external atomic-object store.

@@ -48,24 +48,26 @@ func tcpScenarioNested() *ActionSpec {
 	}
 }
 
+// tcpValidResolutions is the set of correct outcomes for tcpScenarioDef: the
+// workload has two concurrent raisers, so the surviving raise set is
+// scheduling-dependent on every backend — one raise yields that exception,
+// both yield their least common ancestor. Any member of this set is a
+// correct resolution; which one a particular run lands on is not a
+// transport property. (The strict cross-backend claim — identical committed
+// resolutions — is proved by transport/conformancetest's
+// RunResolutionEquivalence, which pins the raise set before any delivery.)
+var tcpValidResolutions = map[string]bool{
+	"left_engine_exception":           true,
+	"right_engine_exception":          true,
+	"emergency_engine_loss_exception": true, // LCA of the two raises
+}
+
 // TestRunOverTCPTransport executes the full CA-action stack with every
 // protocol message crossing a real TCP socket (one loopback fabric per
-// participant, wire-encoded frames, R3 reliability on top) and requires the
-// same resolved exception as the in-process reference run of the identical
-// definition — the "four fabrics, one behaviour" invariant at the level the
-// paper cares about.
+// participant, wire-encoded frames, R3 reliability on top) and requires a
+// correct resolution with all participants agreeing on it — the behaviour
+// the paper cares about, at socket level.
 func TestRunOverTCPTransport(t *testing.T) {
-	// Reference run: default in-process transport.
-	refSys := NewSystem(Options{})
-	refOut, err := refSys.RunTimeout(tcpScenarioDef(tcpScenarioNested(), nil), 30*time.Second)
-	refSys.Close()
-	if err != nil {
-		t.Fatalf("reference run: %v", err)
-	}
-	if !refOut.Completed || refOut.Resolved == "" {
-		t.Fatalf("reference outcome = %+v", refOut)
-	}
-
 	sys := NewSystem(Options{
 		Transport:  TransportTCP,
 		Retransmit: time.Millisecond,
@@ -79,8 +81,8 @@ func TestRunOverTCPTransport(t *testing.T) {
 	if !out.Completed {
 		t.Fatalf("tcp outcome = %+v", out)
 	}
-	if out.Resolved != refOut.Resolved {
-		t.Errorf("tcp resolved %q, in-process reference resolved %q", out.Resolved, refOut.Resolved)
+	if !tcpValidResolutions[out.Resolved] {
+		t.Errorf("tcp resolved %q, want one of the raised exceptions or their ancestor", out.Resolved)
 	}
 	count := 0
 	handled.Range(func(_, v any) bool {
@@ -96,23 +98,18 @@ func TestRunOverTCPTransport(t *testing.T) {
 }
 
 // TestRunOverTCPTransportRepeated: successive runs on one system must not
-// collide (each run gets fresh fabrics and listeners) and must agree.
+// collide (each run gets fresh fabrics and listeners) and must each reach a
+// correct resolution.
 func TestRunOverTCPTransportRepeated(t *testing.T) {
 	sys := NewSystem(Options{Transport: TransportTCP, Retransmit: time.Millisecond})
 	defer sys.Close()
-	var resolved string
 	for i := 0; i < 3; i++ {
 		out, err := sys.RunTimeout(tcpScenarioDef(tcpScenarioNested(), nil), 30*time.Second)
 		if err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
-		if !out.Completed || out.Resolved == "" {
+		if !out.Completed || !tcpValidResolutions[out.Resolved] {
 			t.Fatalf("run %d outcome = %+v", i, out)
-		}
-		if i == 0 {
-			resolved = out.Resolved
-		} else if out.Resolved != resolved {
-			t.Errorf("run %d resolved %q, run 0 resolved %q", i, out.Resolved, resolved)
 		}
 	}
 }

@@ -107,6 +107,14 @@ func WithAllocator(alloc func() ident.NodeID) Option {
 	return func(d *Directory) { d.alloc = alloc }
 }
 
+// WithBatch sets the fabric's delivery batch: handler-bound ports coalesce up
+// to n already-queued messages per pump wakeup instead of waking per message.
+// Zero or negative keeps per-message delivery. FIFO order is preserved either
+// way, so the resolution protocol commits the same outcome.
+func WithBatch(n int) Option {
+	return func(d *Directory) { d.batch = n }
+}
+
 // Directory is the membership service: it assigns each participating object
 // a network node on the concurrent transport fabric and tracks closed-group
 // views.
@@ -114,6 +122,7 @@ type Directory struct {
 	mu      sync.Mutex
 	fabric  *transport.Concurrent
 	codec   transport.Codec
+	batch   int
 	nodes   map[ident.ObjectID]ident.NodeID
 	nextTag ident.NodeID
 	alloc   func() ident.NodeID // optional external node allocator
@@ -128,6 +137,7 @@ func NewDirectory(net *netsim.Network, opts ...Option) *Directory {
 	}
 	d.fabric = transport.NewConcurrent(net, transport.ConcurrentOptions{
 		Codec: envelopeCodec{inner: d.codec},
+		Batch: d.batch,
 	})
 	return d
 }

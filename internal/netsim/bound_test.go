@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// TestBoundedInboxStormNoDeadlock is the backpressure satellite: with every
+// inbox capped at a single message (Bound=1), a storm of concurrent senders
+// into one receiver must neither deadlock nor lose a message, and per-sender
+// FIFO order must survive the blocking.
+func TestBoundedInboxStormNoDeadlock(t *testing.T) {
+	const (
+		senders = 8
+		perSend = 50
+	)
+	net := New(Config{Bound: 1})
+	defer net.Close()
+
+	dst := net.Node(1)
+	total := senders * perSend
+	recvDone := make(chan map[ident.NodeID][]int, 1)
+	go func() {
+		seqs := make(map[ident.NodeID][]int)
+		for i := 0; i < total; i++ {
+			m := <-dst.Recv()
+			seqs[m.From] = append(seqs[m.From], m.Payload.(int))
+		}
+		recvDone <- seqs
+	}()
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		src := net.Node(ident.NodeID(10 + s))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSend; i++ {
+				if err := src.Send(1, "storm", i); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	seqs := <-recvDone
+	for from, got := range seqs {
+		for i, seq := range got {
+			if seq != i {
+				t.Fatalf("sender %s: message %d has seq %d (FIFO broken)", from, i, seq)
+			}
+		}
+	}
+	if n := len(seqs); n != senders {
+		t.Fatalf("messages from %d senders, want %d", n, senders)
+	}
+}
+
+// TestBoundedInboxBlocksSender checks the blocking semantics directly: with
+// Bound=1 and no reader, a second send must park until the first message is
+// consumed.
+func TestBoundedInboxBlocksSender(t *testing.T) {
+	net := New(Config{Bound: 1})
+	defer net.Close()
+
+	dst := net.Node(1)
+	src := net.Node(2)
+	// First message: fills the pump's hand-off slot. Second: fills the
+	// queue up to the bound. (The pump immediately moves the head message
+	// out of the queue to offer it on Recv, so the bound gates the third.)
+	for i := 0; i < 2; i++ {
+		if err := src.Send(1, "fill", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		if err := src.Send(1, "blocked", 2); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // give the send a chance to park
+	select {
+	case <-blocked:
+		t.Fatal("third send returned while the bounded inbox was full")
+	default:
+	}
+	// Draining one message must release the blocked sender.
+	<-dst.Recv()
+	<-blocked
+	for i := 1; i <= 2; i++ {
+		if m := <-dst.Recv(); m.Payload.(int) != i {
+			t.Fatalf("drain %d: got payload %v", i, m.Payload)
+		}
+	}
+}
+
+// TestBoundedInboxCloseReleasesBlockedSender checks that network shutdown
+// wakes senders parked on a full inbox instead of leaking their goroutines.
+func TestBoundedInboxCloseReleasesBlockedSender(t *testing.T) {
+	net := New(Config{Bound: 1})
+	dst := net.Node(1)
+	src := net.Node(2)
+	_ = dst
+	for i := 0; i < 2; i++ {
+		if err := src.Send(1, "fill", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	released := make(chan struct{})
+	go func() {
+		defer close(released)
+		// Either outcome is fine — discarded by close (nil) or ErrClosed —
+		// as long as the call returns.
+		_ = src.Send(1, "parked", 2)
+	}()
+	net.Close()
+	<-released
+}

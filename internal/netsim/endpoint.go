@@ -6,17 +6,21 @@ import (
 	"repro/internal/ident"
 )
 
-// Endpoint is a node's attachment to the network. Its inbox is an unbounded
-// FIFO queue: Send never blocks on a slow receiver, which mirrors a real
-// network stack's buffering and prevents protocol-level deadlocks from
-// backpressure.
+// Endpoint is a node's attachment to the network. Its inbox is a FIFO queue:
+// unbounded by default (Send never blocks on a slow receiver, which mirrors
+// a real network stack's buffering and prevents protocol-level deadlocks
+// from backpressure), or capped at Config.Bound messages with sender
+// blocking to model narrow channels.
 type Endpoint struct {
 	id  ident.NodeID
 	net *Network
 
 	mu     sync.Mutex
-	cond   *sync.Cond
+	cond   *sync.Cond // inbox became non-empty, or closed
+	space  *sync.Cond // inbox dropped below the bound, or closed
+	bound  int        // 0 = unbounded
 	queue  []Message
+	head   int // index of the oldest queued message
 	closed bool
 
 	out  chan Message
@@ -25,12 +29,14 @@ type Endpoint struct {
 
 func newEndpoint(id ident.NodeID, net *Network) *Endpoint {
 	ep := &Endpoint{
-		id:   id,
-		net:  net,
-		out:  make(chan Message),
-		done: make(chan struct{}),
+		id:    id,
+		net:   net,
+		bound: net.cfg.Bound,
+		out:   make(chan Message),
+		done:  make(chan struct{}),
 	}
 	ep.cond = sync.NewCond(&ep.mu)
+	ep.space = sync.NewCond(&ep.mu)
 	net.wg.Add(1)
 	go ep.pump()
 	return ep
@@ -49,19 +55,32 @@ func (e *Endpoint) Send(to ident.NodeID, kind string, payload any) error {
 // still queued at that point are discarded.
 func (e *Endpoint) Recv() <-chan Message { return e.out }
 
-// enqueue appends a delivered message to the inbox queue.
+// enqueue appends a delivered message to the inbox queue. With a bounded
+// inbox it blocks the calling goroutine (the sender on the zero-latency
+// path, the pair's link goroutine otherwise) until space frees up; a message
+// still blocked when the network closes is discarded, exactly like one
+// queued at close time.
 func (e *Endpoint) enqueue(m Message) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	for e.bound > 0 && len(e.queue)-e.head >= e.bound && !e.closed {
+		e.space.Wait()
+	}
 	if e.closed {
 		return
+	}
+	if e.head > 0 && len(e.queue) == cap(e.queue) {
+		// Compact the live suffix to the front instead of growing: the
+		// buffer is reused and append below stays allocation-free.
+		e.queue = append(e.queue[:0], e.queue[e.head:]...)
+		e.head = 0
 	}
 	e.queue = append(e.queue, m)
 	e.cond.Signal()
 }
 
 // close marks the endpoint closed; pump exits promptly even if no reader is
-// draining the out channel.
+// draining the out channel, and blocked senders give up their messages.
 func (e *Endpoint) close() {
 	e.mu.Lock()
 	if e.closed {
@@ -70,25 +89,37 @@ func (e *Endpoint) close() {
 	}
 	e.closed = true
 	close(e.done)
-	e.cond.Signal()
+	e.cond.Broadcast()
+	e.space.Broadcast()
 	e.mu.Unlock()
 }
 
-// pump moves messages from the unbounded queue to the out channel.
+// pump moves messages from the inbox queue to the out channel. Dequeuing
+// advances a head index (the fully drained buffer is then reset and reused)
+// rather than re-slicing the front away, which would leak the consumed
+// capacity and force a fresh allocation per wave of messages.
 func (e *Endpoint) pump() {
 	defer e.net.wg.Done()
 	defer close(e.out)
 	for {
 		e.mu.Lock()
-		for len(e.queue) == 0 && !e.closed {
+		for e.head == len(e.queue) && !e.closed {
 			e.cond.Wait()
 		}
 		if e.closed {
 			e.mu.Unlock()
 			return
 		}
-		m := e.queue[0]
-		e.queue = e.queue[1:]
+		m := e.queue[e.head]
+		e.queue[e.head] = Message{} // release the payload reference
+		e.head++
+		if e.head == len(e.queue) {
+			e.queue = e.queue[:0]
+			e.head = 0
+		}
+		if e.bound > 0 {
+			e.space.Signal()
+		}
 		e.mu.Unlock()
 
 		select {

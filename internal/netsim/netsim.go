@@ -84,6 +84,18 @@ type Config struct {
 	// Seed seeds the fault-injection RNG; fault decisions are deterministic
 	// for a fixed seed and send sequence.
 	Seed int64
+	// Bound, when > 0, caps every endpoint's inbox at that many queued
+	// messages; senders block until the receiver drains below the bound.
+	// This models the paper's "relatively narrow bandwidth communication
+	// channels". Zero keeps inboxes unbounded (sends never block).
+	//
+	// Caution: with the full core stack, a bounded inbox couples the fate of
+	// sender and receiver — an engine that blocks sending while its own
+	// inbox is full can deadlock with its peer doing the same. The engine
+	// loops drain continuously so the protocol tolerates small bounds, but
+	// bounded inboxes are opt-in and meant for workloads whose receivers
+	// always drain (see TestBoundedInboxStormNoDeadlock).
+	Bound int
 }
 
 // ErrClosed is returned by Send after the network has been shut down.

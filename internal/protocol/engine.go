@@ -3,7 +3,7 @@ package protocol
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/exception"
 	"repro/internal/ident"
@@ -56,15 +56,18 @@ type Engine struct {
 	stack []Frame // SA_i
 
 	// Resolution state. resAction is the action the current resolution runs
-	// at (0 = none). The lists carry the paper's names.
-	state     State
-	resAction ident.ActionID
-	le        []Raised                  // LE_i
-	lo        map[ident.ObjectID]bool   // LO_i: objects owing us NestedCompleted
-	ackWanted map[ident.ObjectID]int    // how many ACKs each peer owes us
-	ackGot    map[ident.ObjectID]int    // LP_i: ACKs received per peer
-	stashed   *string                   // Commit received before reaching R
-	committed map[ident.ActionID]string // resolutions already committed
+	// at (0 = none). The lists carry the paper's names. le, lo and the ACK
+	// ledgers are cleared in place between resolutions (never reallocated),
+	// so in steady state a commit cycle performs no map or slice allocation.
+	state      State
+	resAction  ident.ActionID
+	le         []Raised                  // LE_i
+	lo         map[ident.ObjectID]bool   // LO_i: objects owing us NestedCompleted
+	ackWanted  map[ident.ObjectID]int    // how many ACKs each peer owes us
+	ackGot     map[ident.ObjectID]int    // LP_i: ACKs received per peer
+	stashed    bool                      // Commit received before reaching R
+	stashedExc string                    // the stashed Commit's resolution
+	committed  map[ident.ActionID]string // resolutions already committed
 
 	// pending holds messages for actions not yet entered (belated arrival).
 	pending []Msg
@@ -86,6 +89,14 @@ type Engine struct {
 	// suspendedAt remembers the action for which Suspend was already issued,
 	// to avoid duplicate notifications.
 	suspendedAt ident.ActionID
+
+	// Reusable scratch buffers for the hot paths: pending/deferred replay,
+	// the chooser's resolve input and the distinct-raisers computation all
+	// run per commit, so they must not allocate in steady state.
+	replayScratch []Msg
+	nameScratch   []string
+	raiserScratch []ident.ObjectID
+	sizedFor      int // widest membership the lists are pre-sized for
 }
 
 // NewEngine creates an engine for one participating object.
@@ -162,22 +173,65 @@ func (e *Engine) EnterAction(f Frame) error {
 		return fmt.Errorf("%w: %s", ErrAlreadyInside, f.Action)
 	}
 	e.stack = append(e.stack, f)
+	e.presizeFor(len(f.Members))
 	e.log(trace.Event{Kind: trace.EvEnter, Object: e.self, Action: f.Action})
-	// Replay pending messages addressed to the newly entered action.
-	var rest, replay []Msg
-	for _, m := range e.pending {
-		if m.Action == f.Action {
-			replay = append(replay, m)
-		} else {
-			rest = append(rest, m)
+	// Replay pending messages addressed to the newly entered action. The
+	// matches are copied to a scratch buffer before replay: HandleMessage may
+	// park further messages, which appends to e.pending.
+	if len(e.pending) > 0 {
+		replay := e.takeReplay()
+		keep := e.pending[:0]
+		for _, m := range e.pending {
+			if m.Action == f.Action {
+				replay = append(replay, m)
+			} else {
+				keep = append(keep, m)
+			}
 		}
-	}
-	e.pending = rest
-	for _, m := range replay {
-		e.HandleMessage(m)
+		e.pending = keep
+		for _, m := range replay {
+			e.HandleMessage(m)
+		}
+		e.putReplay(replay)
 	}
 	return nil
 }
+
+// presizeFor sizes the resolution lists for a membership of n objects before
+// first use: clearResolution keeps map buckets and slice capacity across
+// commits, so paying the growth once here makes every later resolution
+// allocation-free.
+func (e *Engine) presizeFor(n int) {
+	if n <= e.sizedFor {
+		return
+	}
+	e.sizedFor = n
+	if len(e.lo) == 0 {
+		e.lo = make(map[ident.ObjectID]bool, n)
+	}
+	if len(e.ackWanted) == 0 {
+		e.ackWanted = make(map[ident.ObjectID]int, n)
+	}
+	if len(e.ackGot) == 0 {
+		e.ackGot = make(map[ident.ObjectID]int, n)
+	}
+	// LE holds up to one entry per raiser plus abortion signals; 2n covers
+	// every §4.4 case without regrowth.
+	e.le = slices.Grow(e.le, 2*n)
+	e.nameScratch = slices.Grow(e.nameScratch, cap(e.le))
+	e.raiserScratch = slices.Grow(e.raiserScratch, n)
+}
+
+// takeReplay borrows the replay scratch buffer; a reentrant replay (a replayed
+// message triggering another replay) finds it nil and falls back to a fresh
+// allocation.
+func (e *Engine) takeReplay() []Msg {
+	s := e.replayScratch
+	e.replayScratch = nil
+	return s[:0]
+}
+
+func (e *Engine) putReplay(s []Msg) { e.replayScratch = s }
 
 // LeaveAction pops the innermost action ("delete last element in SA_i"). The
 // caller coordinates the synchronous leave barrier.
@@ -194,21 +248,25 @@ func (e *Engine) LeaveAction(a ident.ActionID) error {
 	}
 	e.log(trace.Event{Kind: trace.EvLeave, Object: e.self, Action: a})
 	// Under the wait-for-nested policy, messages deferred for a containing
-	// action become processable once that action is active again.
+	// action become processable once that action is active again. As in
+	// EnterAction, matches move to scratch first: a replayed message may
+	// defer further messages, which appends to e.deferred.
 	if e.waitPolicy && len(e.deferred) > 0 {
 		active := e.Active()
-		var rest, replay []Msg
+		replay := e.takeReplay()
+		keep := e.deferred[:0]
 		for _, m := range e.deferred {
 			if m.Action == active {
 				replay = append(replay, m)
 			} else {
-				rest = append(rest, m)
+				keep = append(keep, m)
 			}
 		}
-		e.deferred = rest
+		e.deferred = keep
 		for _, m := range replay {
 			e.HandleMessage(m)
 		}
+		e.putReplay(replay)
 	}
 	return nil
 }
@@ -292,8 +350,10 @@ func (e *Engine) handleExceptionOrHaveNested(m Msg) {
 			// Figure 1(a): wait for the nested action to complete before
 			// taking part in the containing action's resolution.
 			e.deferred = append(e.deferred, m)
-			e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: m.Action,
-				Label: "deferred-until-nested-completes", Detail: m.String()})
+			if e.hooks.Log != nil {
+				e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: m.Action,
+					Label: "deferred-until-nested-completes", Detail: m.String()})
+			}
 			return
 		}
 		// We are inside actions nested within m.Action: escalate. Any
@@ -410,8 +470,8 @@ func (e *Engine) handleCommit(m Msg) {
 	case StateExceptional, StateNormal:
 		// Not yet R (or not yet informed at all): stash until our ACKs arrive
 		// ("wait until all exception messages are handled").
-		exc := m.Exc
-		e.stashed = &exc
+		e.stashed = true
+		e.stashedExc = m.Exc
 	}
 }
 
@@ -439,9 +499,8 @@ func (e *Engine) maybeReady() {
 	}
 	e.setState(StateReady, e.resAction)
 
-	if e.stashed != nil {
-		exc := *e.stashed
-		e.finish(e.resAction, exc)
+	if e.stashed {
+		e.finish(e.resAction, e.stashedExc)
 		return
 	}
 
@@ -450,10 +509,11 @@ func (e *Engine) maybeReady() {
 	if !e.isChooser() {
 		return // wait for Commit
 	}
-	names := make([]string, 0, len(e.le))
+	names := e.nameScratch[:0]
 	for _, r := range e.le {
 		names = append(names, r.Exc)
 	}
+	e.nameScratch = names
 	resolved, err := frame.Tree.Resolve(names)
 	if err != nil {
 		// Unresolvable sets cannot occur for declared exceptions; fall back
@@ -462,8 +522,10 @@ func (e *Engine) maybeReady() {
 		e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: frame.Action,
 			Label: "resolve-error", Detail: err.Error()})
 	}
-	e.log(trace.Event{Kind: trace.EvCommitChosen, Object: e.self,
-		Action: frame.Action, Label: resolved, Detail: fmt.Sprintf("LE=%v", e.le)})
+	if e.hooks.Log != nil {
+		e.log(trace.Event{Kind: trace.EvCommitChosen, Object: e.self,
+			Action: frame.Action, Label: resolved, Detail: fmt.Sprintf("LE=%v", e.le)})
+	}
 	e.multicast(frame, Msg{
 		Kind:   KindCommit,
 		Action: frame.Action,
@@ -487,27 +549,41 @@ func (e *Engine) finish(a ident.ActionID, exc string) {
 }
 
 // clearResolution empties LE, LO and LP and forgets the resolution level.
+// Everything is cleared in place — clear() keeps a map's buckets, the slice
+// keeps its capacity — so the next resolution over the same membership
+// allocates nothing (the regression is guarded by TestEngineCommitCycleAllocs
+// and visible in BENCH_4.json's baseline-vs-optimised delta).
 func (e *Engine) clearResolution() {
-	e.le = nil
-	e.lo = make(map[ident.ObjectID]bool)
-	e.ackWanted = make(map[ident.ObjectID]int)
-	e.ackGot = make(map[ident.ObjectID]int)
-	e.stashed = nil
+	e.le = e.le[:0]
+	clear(e.lo)
+	clear(e.ackWanted)
+	clear(e.ackGot)
+	e.stashed = false
+	e.stashedExc = ""
 	e.resAction = 0
 }
 
 // isChooser reports whether this object is among the top chooser-group
-// raisers (by identifier order).
+// raisers (by identifier order). The distinct-raisers set is computed on a
+// reusable scratch slice with a linear dedup — LE is bounded by the
+// membership, so quadratic scan beats a map here and allocates nothing.
 func (e *Engine) isChooser() bool {
-	raisers := e.raisers() // sorted ascending
+	rs := e.raiserScratch[:0]
+	for _, r := range e.le {
+		if !slices.Contains(rs, r.Obj) {
+			rs = append(rs, r.Obj)
+		}
+	}
+	slices.Sort(rs)
+	e.raiserScratch = rs
 	k := e.chooserGroup
 	if k < 1 {
 		k = 1
 	}
-	if k > len(raisers) {
-		k = len(raisers)
+	if k > len(rs) {
+		k = len(rs)
 	}
-	for _, r := range raisers[len(raisers)-k:] {
+	for _, r := range rs[len(rs)-k:] {
 		if r == e.self {
 			return true
 		}
@@ -515,32 +591,22 @@ func (e *Engine) isChooser() bool {
 	return false
 }
 
-// raisers returns the distinct objects that appear as raisers in LE, sorted.
-func (e *Engine) raisers() []ident.ObjectID {
-	set := make(map[ident.ObjectID]bool, len(e.le))
-	for _, r := range e.le {
-		set[r.Obj] = true
-	}
-	out := make([]ident.ObjectID, 0, len(set))
-	for obj := range set {
-		out = append(out, obj)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// dropPendingNestedIn removes parked messages whose action is nested within a.
+// dropPendingNestedIn removes parked messages whose action is nested within
+// a, filtering the pending list in place (no reentrancy here: dropping only
+// logs).
 func (e *Engine) dropPendingNestedIn(a ident.ActionID) {
-	var rest []Msg
+	keep := e.pending[:0]
 	for _, m := range e.pending {
 		if m.nestedWithin(a) {
-			e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: m.Action,
-				Label: "cleanup-nested-message", Detail: m.String()})
+			if e.hooks.Log != nil {
+				e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: m.Action,
+					Label: "cleanup-nested-message", Detail: m.String()})
+			}
 			continue
 		}
-		rest = append(rest, m)
+		keep = append(keep, m)
 	}
-	e.pending = rest
+	e.pending = keep
 }
 
 func (e *Engine) frameIndex(a ident.ActionID) int {

@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestBatchedRunEquivalence is the full-stack side of the batching
+// equivalence claim: enabling batched delivery (core.Options.Batch) changes
+// only how many queued messages a participant drains per wakeup, never the
+// run's outcome. With P=1 the whole run is deterministic — the lone raiser's
+// exception wins, the message census is exactly the formula — so batched and
+// unbatched runs must agree field for field.
+func TestBatchedRunEquivalence(t *testing.T) {
+	specs := []Spec{
+		{N: 4, P: 1},
+		{N: 8, P: 1},
+		{N: 6, P: 1, Q: 2, Depth: 1, RaiseDelay: 20 * time.Millisecond},
+		{N: 5, P: 1, Q: 3, Depth: 2, RaiseDelay: 20 * time.Millisecond},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(fmt.Sprintf("N=%d,Q=%d", spec.N, spec.Q), func(t *testing.T) {
+			spec.Timeout = 20 * time.Second
+			base, err := Run(spec)
+			if err != nil {
+				t.Fatalf("unbatched run: %v", err)
+			}
+			spec.Batch = 8
+			batched, err := Run(spec)
+			if err != nil {
+				t.Fatalf("batched run: %v", err)
+			}
+			if !base.Outcome.Completed || !batched.Outcome.Completed {
+				t.Fatalf("completed: unbatched=%v batched=%v",
+					base.Outcome.Completed, batched.Outcome.Completed)
+			}
+			if base.Outcome.Resolved != batched.Outcome.Resolved {
+				t.Errorf("resolved: unbatched %q, batched %q",
+					base.Outcome.Resolved, batched.Outcome.Resolved)
+			}
+			if base.Total != batched.Total {
+				t.Errorf("message total: unbatched %d (%v), batched %d (%v)",
+					base.Total, base.Census, batched.Total, batched.Census)
+			}
+			if base.ObservedP != batched.ObservedP || base.ObservedQ != batched.ObservedQ {
+				t.Errorf("observed (P,Q): unbatched (%d,%d), batched (%d,%d)",
+					base.ObservedP, base.ObservedQ, batched.ObservedP, batched.ObservedQ)
+			}
+		})
+	}
+}
+
+// TestBatchedStormAgreement covers the P=N storm, where scheduling races make
+// the surviving raise set nondeterministic: a batched run must still complete
+// with a valid resolution — one of the declared exceptions, with the census
+// matching the formula on the observed parameters — exactly like an unbatched
+// one.
+func TestBatchedStormAgreement(t *testing.T) {
+	for _, batch := range []int{0, 8} {
+		batch := batch
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			const n = 8
+			res, err := Run(Spec{N: n, P: n, Batch: batch, Timeout: 20 * time.Second})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !res.Outcome.Completed {
+				t.Fatalf("outcome = %+v", res.Outcome)
+			}
+			// With one surviving raise the resolution is that exception; with
+			// several it is their least common ancestor in the tree — the
+			// root, since the scenario tree is flat.
+			valid := res.Outcome.Resolved == "omega"
+			for i := 1; i <= n; i++ {
+				if res.Outcome.Resolved == fmt.Sprintf("exc%d", i) {
+					valid = true
+					break
+				}
+			}
+			if !valid {
+				t.Errorf("resolved %q is neither a declared exception nor the root", res.Outcome.Resolved)
+			}
+			if res.ObservedP < 1 || res.ObservedP > n {
+				t.Errorf("observed P = %d", res.ObservedP)
+			}
+			if res.Total != res.Predicted {
+				t.Errorf("total %d != predicted %d (P=%d Q=%d census=%v)",
+					res.Total, res.Predicted, res.ObservedP, res.ObservedQ, res.Census)
+			}
+		})
+	}
+}

@@ -57,6 +57,10 @@ type Spec struct {
 	// Retransmit is the retransmission period for the reliable transports
 	// (TransportReliable, TransportTCP). Zero picks the default.
 	Retransmit time.Duration
+	// Batch, when > 0, enables batched delivery: each participant drains up
+	// to Batch queued protocol messages per engine-loop wakeup (see
+	// core.Options.Batch). Zero keeps per-message delivery.
+	Batch int
 	// Timeout bounds the run (default 30s).
 	Timeout time.Duration
 	// KeepTrace includes the full event trace in the result (Result.Trace).
@@ -125,6 +129,7 @@ func Run(spec Spec) (Result, error) {
 		Network:    netsim.Config{Latency: netsim.FixedLatency(spec.Latency)},
 		Transport:  spec.Transport,
 		Retransmit: spec.Retransmit,
+		Batch:      spec.Batch,
 		Trace:      log,
 	})
 	defer sys.Close()

@@ -30,10 +30,35 @@ func TestConformance(t *testing.T) {
 		})
 	})
 	t.Run("Concurrent", func(t *testing.T) {
-		conformancetest.Run(t, newConcurrentFabric)
+		conformancetest.Run(t, newConcurrentFabric(0))
+	})
+	t.Run("ConcurrentBatch8", func(t *testing.T) {
+		conformancetest.Run(t, newConcurrentFabric(8))
 	})
 	t.Run("TCP", func(t *testing.T) {
 		conformancetest.Run(t, newTCPFabric)
+	})
+}
+
+// TestResolutionEquivalence holds the backends behind the hot experiment
+// paths to protocol-level equivalence: the resolution each one commits on the
+// §4.4 grid must be byte-identical to the Deterministic reference — in
+// particular with batched delivery, which changes scheduling granularity and
+// must not change outcomes. (TCP is exercised by the message-level suite
+// above; running the full grid over sockets adds minutes, not coverage.)
+func TestResolutionEquivalence(t *testing.T) {
+	t.Run("Deterministic", func(t *testing.T) {
+		conformancetest.RunResolutionEquivalence(t, func(t *testing.T, opts conformancetest.Options) conformancetest.Fabric {
+			return &stepFabric{f: transport.NewDeterministic(transport.Options{
+				Codec: opts.Codec, Sink: opts.Sink, Faults: opts.Faults,
+			})}
+		})
+	})
+	t.Run("ConcurrentBatch0", func(t *testing.T) {
+		conformancetest.RunResolutionEquivalence(t, newConcurrentFabric(0))
+	})
+	t.Run("ConcurrentBatch8", func(t *testing.T) {
+		conformancetest.RunResolutionEquivalence(t, newConcurrentFabric(8))
 	})
 }
 
@@ -76,12 +101,14 @@ type concurrentFabric struct {
 	next ident.NodeID
 }
 
-func newConcurrentFabric(t *testing.T, opts conformancetest.Options) conformancetest.Fabric {
-	net := netsim.New(netsim.Config{})
-	c := transport.NewConcurrent(net, transport.ConcurrentOptions{
-		Codec: opts.Codec, Sink: opts.Sink, Faults: opts.Faults,
-	})
-	return &concurrentFabric{net: net, c: c, next: 1000}
+func newConcurrentFabric(batch int) conformancetest.Factory {
+	return func(t *testing.T, opts conformancetest.Options) conformancetest.Fabric {
+		net := netsim.New(netsim.Config{})
+		c := transport.NewConcurrent(net, transport.ConcurrentOptions{
+			Codec: opts.Codec, Sink: opts.Sink, Faults: opts.Faults, Batch: batch,
+		})
+		return &concurrentFabric{net: net, c: c, next: 1000}
+	}
 }
 
 func (f *concurrentFabric) Register(obj ident.ObjectID, h transport.Handler) {

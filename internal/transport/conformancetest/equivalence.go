@@ -1,0 +1,225 @@
+package conformancetest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// RunResolutionEquivalence drives the paper's resolution protocol itself over
+// a fabric and checks that the backend commits exactly the resolution the
+// Deterministic reference commits, across the §4.4 (N, P, Q) grid. The
+// message-level suite (Run) proves deliveries arrive intact and in order;
+// this suite proves the property those guarantees exist for: the protocol's
+// outcome does not depend on which fabric carries it, nor on how a concurrent
+// backend interleaves or batches deliveries.
+//
+// Soundness of the strict comparison: each raiser's RaiseLocal is performed
+// before that engine observes any delivery (all raiser engines are locked
+// across the raises, parking their pump goroutines), so every run starts from
+// the same protocol state the reference run starts from — P accepted raises,
+// nothing delivered. From that state the resolution is confluent: exceptions
+// accumulate in the chooser's LE regardless of arrival order, and per-pair
+// FIFO (a conformance invariant) rules out the stale-message reorderings that
+// could change it.
+func RunResolutionEquivalence(t *testing.T, factory Factory) {
+	grid := []struct{ n, p, q int }{
+		{2, 1, 0}, {3, 2, 0}, {4, 1, 3}, {4, 4, 0}, {5, 2, 2}, {8, 3, 4}, {8, 8, 0},
+	}
+	for _, c := range grid {
+		c := c
+		t.Run(fmt.Sprintf("N=%d,P=%d,Q=%d", c.n, c.p, c.q), func(t *testing.T) {
+			defer LeakCheck(t)()
+			want := referenceResolution(t, c.n, c.p, c.q)
+			got := fabricResolution(t, factory, c.n, c.p, c.q)
+			for obj, exc := range want {
+				if g, ok := got[obj]; !ok {
+					t.Errorf("object %s committed nothing, reference committed %q", obj, exc)
+				} else if g != exc {
+					t.Errorf("object %s committed %q, reference committed %q", obj, g, exc)
+				}
+			}
+		})
+	}
+}
+
+// caseTopology builds the §4.4 scenario shape: N members O1..ON of action 1,
+// a flat tree with one exception per object, and (by convention) O1..OP as
+// raisers of E1..EP and the next Q objects inside singleton nested actions.
+func caseTopology(n int) (*exception.Tree, []ident.ObjectID) {
+	tb := exception.NewBuilder("root")
+	for i := 1; i <= n; i++ {
+		tb.Add(fmt.Sprintf("E%d", i), "root")
+	}
+	all := make([]ident.ObjectID, n)
+	for i := range all {
+		all[i] = ident.ObjectID(i + 1)
+	}
+	return tb.MustBuild(), all
+}
+
+// referenceResolution computes the expected per-object committed resolution
+// on the Deterministic fabric via protocol.Sim.
+func referenceResolution(t *testing.T, n, p, q int) map[ident.ObjectID]string {
+	t.Helper()
+	sim := protocol.NewSim()
+	tree, all := caseTopology(n)
+	for _, obj := range all {
+		sim.AddEngine(obj)
+	}
+	root := protocol.Frame{Action: 1, Path: []ident.ActionID{1}, Members: all, Tree: tree}
+	if err := sim.EnterAll(root, all...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < q; i++ {
+		obj := all[p+i]
+		na := ident.ActionID(100 + i)
+		if err := sim.EnterAll(protocol.Frame{
+			Action: na, Path: []ident.ActionID{1, na},
+			Members: []ident.ObjectID{obj}, Tree: tree,
+		}, obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < p; i++ {
+		if ok, err := sim.Engines[all[i]].RaiseLocal(fmt.Sprintf("E%d", i+1)); err != nil || !ok {
+			t.Fatalf("reference raise %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := sim.Drain(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[ident.ObjectID]string, n)
+	for _, obj := range all {
+		exc, ok := sim.Engines[obj].CommittedAt(1)
+		if !ok {
+			t.Fatalf("reference: object %s never committed", obj)
+		}
+		want[obj] = exc
+	}
+	return want
+}
+
+// lockedEngine serialises one engine: concurrent backends run handlers on
+// per-endpoint goroutines, while the engine itself is single-goroutine by
+// contract.
+type lockedEngine struct {
+	mu sync.Mutex
+	e  *protocol.Engine
+}
+
+// fabricResolution runs the same case with one engine per object over the
+// fabric under test and returns each object's committed resolution at the
+// root action.
+func fabricResolution(t *testing.T, factory Factory, n, p, q int) map[ident.ObjectID]string {
+	t.Helper()
+	fab := factory(t, Options{})
+	defer fab.Close()
+
+	tree, all := caseTopology(n)
+	engines := make(map[ident.ObjectID]*lockedEngine, n)
+	for _, obj := range all {
+		obj := obj
+		le := &lockedEngine{}
+		le.e = protocol.NewEngine(obj, protocol.Hooks{
+			Send: func(to ident.ObjectID, m protocol.Msg) {
+				if err := fab.Send(transport.Message{From: obj, To: to, Kind: m.Kind, Payload: m}); err != nil {
+					t.Errorf("send %s -> %s: %v", obj, to, err)
+				}
+			},
+			AbortNested: func(ident.ActionID) string { return "" },
+		})
+		engines[obj] = le
+	}
+	for _, obj := range all {
+		le := engines[obj]
+		fab.Register(obj, func(m transport.Message) {
+			le.mu.Lock()
+			le.e.HandleMessage(m.Payload.(protocol.Msg))
+			le.mu.Unlock()
+		})
+	}
+
+	root := protocol.Frame{Action: 1, Path: []ident.ActionID{1}, Members: all, Tree: tree}
+	for _, obj := range all {
+		le := engines[obj]
+		le.mu.Lock()
+		err := le.e.EnterAction(root)
+		le.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < q; i++ {
+		obj := all[p+i]
+		na := ident.ActionID(100 + i)
+		le := engines[obj]
+		le.mu.Lock()
+		err := le.e.EnterAction(protocol.Frame{
+			Action: na, Path: []ident.ActionID{1, na},
+			Members: []ident.ObjectID{obj}, Tree: tree,
+		})
+		le.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The raise barrier: hold every raiser's lock across all P raises so each
+	// raiser accepts its own exception before its pump goroutine can deliver
+	// a peer's. Releasing a lock early would let an Exception arrive first
+	// and suppress that object's raise — a different (valid) execution, but
+	// not the one the reference computed. Raise failures are checked only
+	// after all locks are released, so a t.Fatal never strands a parked pump
+	// goroutine and wedges the deferred Close.
+	raiseErrs := make([]error, p)
+	for i := 0; i < p; i++ {
+		engines[all[i]].mu.Lock()
+	}
+	for i := 0; i < p; i++ {
+		if ok, err := engines[all[i]].e.RaiseLocal(fmt.Sprintf("E%d", i+1)); err != nil {
+			raiseErrs[i] = err
+		} else if !ok {
+			raiseErrs[i] = fmt.Errorf("raise rejected")
+		}
+	}
+	for i := p - 1; i >= 0; i-- {
+		engines[all[i]].mu.Unlock()
+	}
+	for i, err := range raiseErrs {
+		if err != nil {
+			t.Fatalf("raise on %s: %v", all[i], err)
+		}
+	}
+
+	committedCount := func() int {
+		n := 0
+		for _, le := range engines {
+			le.mu.Lock()
+			if _, ok := le.e.CommittedAt(1); ok {
+				n++
+			}
+			le.mu.Unlock()
+		}
+		return n
+	}
+	if err := fab.Settle(committedCount, n); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[ident.ObjectID]string, n)
+	for _, obj := range all {
+		le := engines[obj]
+		le.mu.Lock()
+		if exc, ok := le.e.CommittedAt(1); ok {
+			got[obj] = exc
+		}
+		le.mu.Unlock()
+	}
+	return got
+}

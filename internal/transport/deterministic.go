@@ -25,15 +25,80 @@ type Deterministic struct {
 	opts Options
 
 	handlers map[ident.ObjectID]Handler
-	queues   map[pair][]Message
+	queues   map[pair]*ring
 	order    []pair
-	global   []Message // DisciplineGlobalFIFO only
+	global   ring // DisciplineGlobalFIFO only
 
 	chooser func(n int) int
 	filter  func(m Message) bool
 	pairSeq map[pair]uint64
 	closed  bool
 }
+
+// ring is a reusable FIFO of message envelopes: dequeuing advances a head
+// index instead of re-slicing, so a drained queue's buffer is reused by the
+// next enqueue. The naive `q = q[1:]` discipline leaks the front capacity and
+// reallocates once per message under storm load; per-pair rings are the
+// envelope pool that makes fabric steps allocation-free in steady state.
+type ring struct {
+	buf  []Message
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) push(m Message) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = m
+	r.n++
+}
+
+func (r *ring) pop() Message {
+	m := r.buf[r.head]
+	r.buf[r.head] = Message{} // release payload references
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+	return m
+}
+
+// at returns the i-th queued message (0 = oldest) without removing it.
+func (r *ring) at(i int) Message { return r.buf[(r.head+i)%len(r.buf)] }
+
+// removeAt removes and returns the i-th queued message, shifting the
+// younger ones left. Only the model checker's choice hooks use it; Step and
+// Drain always pop the head.
+func (r *ring) removeAt(i int) Message {
+	m := r.at(i)
+	for j := i; j < r.n-1; j++ {
+		r.buf[(r.head+j)%len(r.buf)] = r.buf[(r.head+j+1)%len(r.buf)]
+	}
+	r.buf[(r.head+r.n-1)%len(r.buf)] = Message{}
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+	return m
+}
+
+func (r *ring) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap < 4 {
+		newCap = 4
+	}
+	buf := make([]Message, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = buf, 0
+}
+
+func (r *ring) reset() { *r = ring{} }
 
 // Discipline selects the delivery order of a Deterministic fabric.
 type Discipline int
@@ -65,7 +130,7 @@ func NewDeterministic(opts Options) *Deterministic {
 	return &Deterministic{
 		opts:     opts,
 		handlers: make(map[ident.ObjectID]Handler),
-		queues:   make(map[pair][]Message),
+		queues:   make(map[pair]*ring),
 		pairSeq:  make(map[pair]uint64),
 	}
 }
@@ -134,33 +199,40 @@ func (d *Deterministic) Send(m Message) error {
 
 func (d *Deterministic) enqueue(m Message) {
 	if d.opts.Discipline == DisciplineGlobalFIFO {
-		d.global = append(d.global, m)
+		d.global.push(m)
 		return
 	}
 	key := pair{from: m.From, to: m.To}
-	if len(d.queues[key]) == 0 {
+	q := d.queues[key]
+	if q == nil {
+		// A drained ring stays in the map so its buffer is reused; only a
+		// pair's first-ever message allocates.
+		q = &ring{}
+		d.queues[key] = q
+	}
+	if q.len() == 0 {
 		d.order = append(d.order, key)
 	}
-	d.queues[key] = append(d.queues[key], m)
+	q.push(m)
 }
 
 // Close marks the fabric closed; pending messages are discarded.
 func (d *Deterministic) Close() error {
 	d.closed = true
-	d.queues = make(map[pair][]Message)
+	d.queues = make(map[pair]*ring)
 	d.order = nil
-	d.global = nil
+	d.global.reset()
 	return nil
 }
 
 // Pending returns the number of queued messages.
 func (d *Deterministic) Pending() int {
 	if d.opts.Discipline == DisciplineGlobalFIFO {
-		return len(d.global)
+		return d.global.len()
 	}
 	n := 0
 	for _, q := range d.queues {
-		n += len(q)
+		n += q.len()
 	}
 	return n
 }
@@ -171,12 +243,10 @@ func (d *Deterministic) Pending() int {
 // message is delivered.
 func (d *Deterministic) Step() bool {
 	if d.opts.Discipline == DisciplineGlobalFIFO {
-		if len(d.global) == 0 {
+		if d.global.len() == 0 {
 			return false
 		}
-		m := d.global[0]
-		d.global = d.global[1:]
-		d.deliver(m)
+		d.deliver(d.global.pop())
 		return true
 	}
 	for len(d.order) > 0 {
@@ -186,13 +256,12 @@ func (d *Deterministic) Step() bool {
 		}
 		key := d.order[i]
 		q := d.queues[key]
-		if len(q) == 0 {
+		if q.len() == 0 {
 			d.order = append(d.order[:i], d.order[i+1:]...)
 			continue
 		}
-		m := q[0]
-		d.queues[key] = q[1:]
-		if len(d.queues[key]) == 0 {
+		m := q.pop()
+		if q.len() == 0 {
 			d.order = append(d.order[:i], d.order[i+1:]...)
 		}
 		d.deliver(m)
@@ -249,14 +318,15 @@ func (d *Deterministic) Drain(maxSteps int) error {
 func (d *Deterministic) PendingPairs() int {
 	if d.opts.Discipline == DisciplineGlobalFIFO {
 		seen := make(map[pair]bool)
-		for _, m := range d.global {
+		for i := 0; i < d.global.len(); i++ {
+			m := d.global.at(i)
 			seen[pair{from: m.From, to: m.To}] = true
 		}
 		return len(seen)
 	}
 	n := 0
 	for _, key := range d.order {
-		if len(d.queues[key]) > 0 {
+		if d.queues[key].len() > 0 {
 			n++
 		}
 	}
@@ -272,13 +342,13 @@ func (d *Deterministic) StepChoice(i int) bool {
 	}
 	idx := 0
 	for pos, key := range d.order {
-		if len(d.queues[key]) == 0 {
+		q := d.queues[key]
+		if q.len() == 0 {
 			continue
 		}
 		if idx == i {
-			m := d.queues[key][0]
-			d.queues[key] = d.queues[key][1:]
-			if len(d.queues[key]) == 0 {
+			m := q.pop()
+			if q.len() == 0 {
 				d.order = append(d.order[:pos], d.order[pos+1:]...)
 			}
 			d.deliver(m)
@@ -294,15 +364,15 @@ func (d *Deterministic) StepChoice(i int) bool {
 func (d *Deterministic) stepChoiceGlobal(i int) bool {
 	seen := make(map[pair]bool)
 	idx := 0
-	for pos, m := range d.global {
+	for pos := 0; pos < d.global.len(); pos++ {
+		m := d.global.at(pos)
 		key := pair{from: m.From, to: m.To}
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
 		if idx == i {
-			d.global = append(d.global[:pos], d.global[pos+1:]...)
-			d.deliver(m)
+			d.deliver(d.global.removeAt(pos))
 			return true
 		}
 		idx++
