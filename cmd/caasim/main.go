@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -62,6 +63,8 @@ func run(args []string) error {
 		procs      = fs.Bool("procs", false, "run each participant in its own OS process (re-execs this binary; uses -n, -p, -q)")
 		belated    = fs.Bool("belated", false, "run the belated-participant workload (Figure 1) instead")
 		showTrace  = fs.Bool("trace", false, "print the full event trace (paper-style message log)")
+		partition  = fs.String("partition", "", "comma-separated object numbers to cut away mid-run (enables membership monitoring, e.g. -partition 4,5)")
+		partDelay  = fs.Duration("partition-delay", 0, "delay before the partition cut (0 = scenario default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +114,15 @@ func run(args []string) error {
 		Policy: pol, Transport: kind, Batch: *batch,
 		Timeout: *timeout, KeepTrace: *showTrace,
 	}
+	if *partition != "" {
+		cut, err := parsePartition(*partition)
+		if err != nil {
+			return err
+		}
+		spec.Membership = true
+		spec.Partition = cut
+		spec.PartitionDelay = *partDelay
+	}
 	res, err := scenario.Run(spec)
 	if err != nil {
 		return err
@@ -120,6 +132,10 @@ func run(args []string) error {
 		*n, *p, *q, *depth, *latency, *policy, *tport, *batch)
 	fmt.Printf("outcome: completed=%v resolved=%q signalled=%q\n",
 		res.Outcome.Completed, res.Outcome.Resolved, res.Outcome.Signalled)
+	if len(res.Outcome.Expelled) > 0 {
+		fmt.Printf("expelled: %v (membership views decided these participants failed)\n",
+			res.Outcome.Expelled)
+	}
 	fmt.Printf("elapsed: %v\n", res.Elapsed.Round(time.Microsecond))
 
 	kinds := make([]string, 0, len(res.Census))
@@ -139,6 +155,26 @@ func run(args []string) error {
 		fmt.Print(res.Trace)
 	}
 	return nil
+}
+
+// parsePartition parses the -partition flag: comma-separated object numbers.
+func parsePartition(s string) ([]int, error) {
+	var out []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		v, err := strconv.Atoi(field)
+		if err != nil {
+			return nil, fmt.Errorf("bad -partition entry %q: %w", field, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-partition lists no objects")
+	}
+	return out, nil
 }
 
 // runProcs is the -procs mode: the resolution protocol with every

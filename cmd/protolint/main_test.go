@@ -114,13 +114,13 @@ func TestSelectAnalyzers(t *testing.T) {
 		return names(selectAnalyzers(fs, toggles))
 	}
 
-	if got := run(); got != "exhaustive,msgkind,determinism,seam,locksend" {
+	if got := run(); got != "exhaustive,msgkind,viewkind,determinism,seam,locksend" {
 		t.Errorf("default selection = %s", got)
 	}
 	if got := run("-exhaustive", "-seam"); got != "exhaustive,seam" {
 		t.Errorf("positive selection = %s", got)
 	}
-	if got := run("-locksend=false"); got != "exhaustive,msgkind,determinism,seam" {
+	if got := run("-locksend=false"); got != "exhaustive,msgkind,viewkind,determinism,seam" {
 		t.Errorf("negative selection = %s", got)
 	}
 }

@@ -12,6 +12,9 @@
 //   - msgkind:     message-kind and census-key string literals outside the
 //     kind-defining packages must be declared kind names, so measured
 //     counts keep lining up with the paper's §4.4 tables.
+//   - viewkind:    every package-level Kind* string constant must be
+//     registered in the msgkind census universe, so new wire kinds
+//     (membership views, heartbeats) cannot bypass the censuses.
 //   - determinism: packages reachable from protocol.Explore may not read
 //     wall-clock time, draw from the global math/rand source, or emit
 //     messages/trace events while ranging over a map.
@@ -139,6 +142,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		ExhaustiveAnalyzer,
 		MsgKindAnalyzer,
+		ViewKindAnalyzer,
 		DeterminismAnalyzer,
 		SeamAnalyzer,
 		LockSendAnalyzer,

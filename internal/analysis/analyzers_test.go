@@ -16,6 +16,10 @@ func TestMsgKind(t *testing.T) {
 	antest.Run(t, "testdata", analysis.MsgKindAnalyzer, "msgkind/harness")
 }
 
+func TestViewKind(t *testing.T) {
+	antest.Run(t, "testdata", analysis.ViewKindAnalyzer, "viewkind/membership")
+}
+
 func TestDeterminism(t *testing.T) {
 	antest.Run(t, "testdata", analysis.DeterminismAnalyzer,
 		"determinism/protocol", "determinism/clock", "determinism/transport")

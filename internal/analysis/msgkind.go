@@ -7,6 +7,8 @@ import (
 	"strings"
 
 	"repro/internal/crbaseline"
+	"repro/internal/group"
+	"repro/internal/membership"
 	"repro/internal/protocol"
 )
 
@@ -26,6 +28,11 @@ var validKindNames = func() map[string]bool {
 		// crbaseline.KindAck aliases protocol.KindAck ("ACK"); listing both
 		// keeps the set complete if either family renames.
 		crbaseline.KindRaise, crbaseline.KindAck, crbaseline.KindResolve,
+
+		// Membership-layer wire kinds: heartbeats, the reliable layer's
+		// envelope, and view installation. They share the fabric with the
+		// protocol messages, so census lookups may count them too.
+		group.KindHeartbeat, group.KindEnvelope, membership.KindView,
 	} {
 		m[k] = true
 	}
@@ -37,6 +44,8 @@ var validKindNames = func() map[string]bool {
 var kindDefiningPkgs = map[string]bool{
 	"protocol":   true,
 	"crbaseline": true,
+	"group":      true,
+	"membership": true,
 }
 
 // MsgKindAnalyzer validates message-kind and census-key string literals
@@ -169,5 +178,6 @@ func sortedKindNames() []string {
 		protocol.KindAck, protocol.KindCommit,
 		protocol.KindCException, protocol.KindCProbe, protocol.KindCStatus, protocol.KindCCommit,
 		crbaseline.KindRaise, crbaseline.KindResolve,
+		group.KindHeartbeat, group.KindEnvelope, membership.KindView,
 	}
 }

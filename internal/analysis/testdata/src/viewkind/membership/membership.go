@@ -1,0 +1,31 @@
+// Package membership models a wire-level subsystem declaring kind constants:
+// registered kinds pass, unregistered ones are flagged at the declaration.
+package membership
+
+// KindView matches a registered census kind.
+const KindView = "membership.view"
+
+// Declared wire kinds whose values are not in the census universe.
+const (
+	KindGossip = "membership.gossip" // want "not registered in the msgkind census universe"
+	KindProbe  = "membership.probe"  // want "not registered in the msgkind census universe"
+)
+
+// KindHeartbeat is registered (the group detector's kind).
+const KindHeartbeat = "group.heartbeat"
+
+// Non-Kind names and non-string constants are out of scope.
+const (
+	wireVersion   = 3
+	envelopeAlias = "not.a.kind"
+	Kind          = "bare-Kind-name-is-not-a-wire-kind"
+)
+
+//protolint:allow viewkind legacy kind kept for trace replay only
+const KindLegacy = "membership.legacy"
+
+func use() (string, string, int, string, string, string) {
+	return KindGossip, KindProbe, wireVersion, envelopeAlias, Kind, KindLegacy
+}
+
+var _ = use

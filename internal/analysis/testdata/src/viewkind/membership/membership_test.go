@@ -1,0 +1,6 @@
+package membership
+
+// Test files are exempt: a synthetic kind here fails its own test if wrong.
+const KindSynthetic = "test.synthetic"
+
+var _ = KindSynthetic

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ViewKindAnalyzer closes the message-kind universe from the declaration side:
+// every package-level `Kind*` string constant is a wire kind, and its value
+// must be registered in the msgkind census universe (validKindNames). The
+// msgkind analyzer polices *uses* — a census lookup with a typo'd literal —
+// but a brand-new kind constant (say a membership view or heartbeat kind)
+// that never gets registered slips past it: sends of that kind cross the
+// fabric uncounted and silently vanish from every census-based comparison.
+// This analyzer flags the declaration itself, so adding a wire kind forces
+// the author to add it to the census universe in the same change.
+//
+// Test files are exempt (synthetic kinds fail their own tests), and so are
+// local constants inside function bodies (scratch values, not wire kinds).
+var ViewKindAnalyzer = &Analyzer{
+	Name: "viewkind",
+	Doc: "every package-level Kind* string constant must be registered in the " +
+		"msgkind census universe, so new wire kinds (membership views, " +
+		"heartbeats) cannot bypass the message censuses",
+	Run: runViewKind,
+}
+
+func runViewKind(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					checkKindConst(pass, name)
+				}
+			}
+		}
+	}
+}
+
+// checkKindConst flags the declaration of a Kind-prefixed string constant
+// whose value is not a registered census kind.
+func checkKindConst(pass *Pass, name *ast.Ident) {
+	if !strings.HasPrefix(name.Name, "Kind") || name.Name == "Kind" {
+		return
+	}
+	c, ok := pass.Info.Defs[name].(*types.Const)
+	if !ok || c.Val().Kind() != constant.String {
+		return
+	}
+	val := constant.StringVal(c.Val())
+	if validKindNames[val] {
+		return
+	}
+	pass.Reportf(name.Pos(),
+		"wire kind %s = %s is not registered in the msgkind census universe; "+
+			"add it to validKindNames so censuses keep counting every kind",
+		name.Name, strconv.Quote(val))
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/crbaseline"
 	"repro/internal/exception"
@@ -55,6 +56,13 @@ func Default() []Scenario {
 		out = append(out, Scenario{
 			Name: fmt.Sprintf("stack/storm/N=8/batch=%d", batch),
 			Run:  func() (int, error) { return stackCase(8, 8, batch) },
+		})
+	}
+	for _, n := range []int{5, 9} {
+		n := n
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("stack/partition/N=%d/cut=2", n),
+			Run:  func() (int, error) { return partitionCase(n, 2) },
 		})
 	}
 	return out
@@ -120,6 +128,36 @@ func crCase(n int) (int, error) {
 		return 0, err
 	}
 	return res.Messages, nil
+}
+
+// partitionCase runs the membership partition storm on the full stack: one
+// raiser, the cut biggest objects expelled mid-resolution, the surviving
+// majority committing a resolution that covers the participant failures. The
+// message total includes the stall-and-release traffic the expulsion path
+// adds on top of the plain single-raiser case.
+func partitionCase(n, cut int) (int, error) {
+	island := make([]int, cut)
+	for i := range island {
+		island[i] = n - i
+	}
+	res, err := scenario.Run(scenario.Spec{
+		N:          n,
+		P:          1,
+		RaiseDelay: 30 * time.Millisecond,
+		Membership: true,
+		Partition:  island,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !res.Outcome.Completed {
+		return 0, fmt.Errorf("partition run N=%d cut=%d did not complete", n, cut)
+	}
+	if len(res.Outcome.Expelled) != cut {
+		return 0, fmt.Errorf("partition run N=%d expelled %v, want %d members",
+			n, res.Outcome.Expelled, cut)
+	}
+	return res.Total, nil
 }
 
 // stackCase runs the full concurrent stack (core runtime over netsim) for

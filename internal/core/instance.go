@@ -31,6 +31,7 @@ type run struct {
 	mu        sync.Mutex
 	instances map[*ActionSpec]*instance
 	byID      map[ident.ActionID]*instance
+	expelled  map[ident.ObjectID]bool // members removed by the membership service
 	cancelled bool
 
 	top          *instance
@@ -91,6 +92,11 @@ func (r *run) instanceFor(spec *ActionSpec, parent *instance) (*instance, error)
 	}
 	r.instances[spec] = inst
 	r.byID[id] = inst
+	// An instance created after an expulsion must not wait for the expelled
+	// member either (inst is private here, so i.mu nests safely under r.mu).
+	for obj := range r.expelled {
+		inst.expel(obj)
+	}
 	return inst, nil
 }
 
@@ -133,6 +139,7 @@ type instance struct {
 
 	mu           sync.Mutex
 	exitArrived  map[ident.ObjectID]bool
+	expelled     map[ident.ObjectID]bool // members the barrier no longer waits for
 	exitDone     chan struct{}
 	exitClosed   bool
 	acceptFailed bool
@@ -200,8 +207,13 @@ func (i *instance) abortTxn() {
 func (i *instance) arriveExit(obj ident.ObjectID) <-chan struct{} {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	if i.expelled[obj] {
+		// An expelled member racing its own termination must not re-enter
+		// the barrier accounting.
+		return i.exitDone
+	}
 	i.exitArrived[obj] = true
-	if !i.exitClosed && len(i.exitArrived) == len(i.spec.Members) {
+	if !i.exitClosed && i.allArrivedLocked() {
 		i.finishLocked()
 	}
 	return i.exitDone

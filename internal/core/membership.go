@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/group"
+	"repro/internal/ident"
+	"repro/internal/membership"
+	"repro/internal/trace"
+)
+
+// ExcParticipantFailure is the predefined exception the runtime raises on
+// behalf of a participant expelled by the membership service. Runs with
+// membership monitoring enabled must declare it in the exception tree (and,
+// via the usual validation, cover it with handlers): a crashed or partitioned
+// participant then resolves like any other exception, through the §4
+// algorithm, as in the paper's Figure 1(b) abort-nested scenario.
+const ExcParticipantFailure = "core.participant-failure"
+
+// MembershipOptions enable partition-aware membership monitoring: every
+// participant runs a heartbeat failure detector and a view monitor over its
+// own transport attachment (so membership traffic shares the participant's
+// partition fate). When the surviving majority installs a view excluding a
+// member, the runtime terminates the expelled participant's body, releases
+// it from every completion barrier, and feeds each survivor's engine a
+// synthesized ExcParticipantFailure raised on the expelled member's behalf.
+type MembershipOptions struct {
+	// Heartbeat is the failure detector's send period (default 5ms).
+	Heartbeat time.Duration
+	// Timeout is the silence span after which a peer is suspected
+	// (default 10x Heartbeat).
+	Timeout time.Duration
+	// Poll is the view monitor's suspicion-polling period (default Heartbeat).
+	Poll time.Duration
+}
+
+func (o MembershipOptions) withDefaults() MembershipOptions {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 5 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * o.Heartbeat
+	}
+	if o.Poll <= 0 {
+		o.Poll = o.Heartbeat
+	}
+	return o
+}
+
+// validateMembership gates membership-enabled runs: the socket transport's
+// codec cannot carry view payloads, and the participant-failure exception
+// must be resolvable (declared in the tree; handler coverage then follows
+// from ActionSpec.Validate).
+func (s *System) validateMembership(def *Definition) error {
+	if s.opts.Membership == nil {
+		return nil
+	}
+	if s.opts.Transport == TransportTCP {
+		return errors.New("core: membership monitoring is not supported over TransportTCP")
+	}
+	if !def.Spec.Tree.Contains(ExcParticipantFailure) {
+		return fmt.Errorf("core: membership monitoring requires the exception tree to declare %q", ExcParticipantFailure)
+	}
+	return nil
+}
+
+// Partition installs (or replaces) a named partition group on the current
+// run's fabric: the named participants form one island, everyone else the
+// other, and messages crossing the boundary are dropped until HealPartition.
+// With membership monitoring enabled, a minority island's members are
+// eventually expelled by the surviving majority.
+func (s *System) Partition(name string, objs ...ident.ObjectID) error {
+	r := s.currentRun()
+	if r == nil {
+		return errors.New("core: no run in progress")
+	}
+	dir, ok := r.dir.(*group.Directory)
+	if !ok {
+		return errors.New("core: named partitions require a netsim-backed transport")
+	}
+	return dir.Fabric().Partition(name, objs...)
+}
+
+// HealPartition removes a named partition group installed with Partition.
+// Expulsions already decided stay decided: views are one-way.
+func (s *System) HealPartition(name string) {
+	r := s.currentRun()
+	if r == nil {
+		return
+	}
+	if dir, ok := r.dir.(*group.Directory); ok {
+		dir.Fabric().HealPartition(name)
+	}
+}
+
+func (s *System) currentRun() *run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curRun
+}
+
+// startMembership wires a participant's failure detector and view monitor
+// onto its transport. The detector runs in fed mode — the participant's
+// engine loop owns the transport's Recv stream and tees heartbeat arrivals
+// in — and the monitor's installations travel as ordinary transport messages.
+func (p *participant) startMembership() {
+	mo := p.run.sys.opts.Membership
+	if mo == nil {
+		return
+	}
+	cfg := mo.withDefaults()
+	members := p.run.def.Spec.Members
+	p.detector = group.NewFedDetector(p.transport, members, cfg.Heartbeat, cfg.Timeout, nil)
+	p.monitor = membership.NewMonitor(membership.Config{
+		Self:      p.obj,
+		Members:   members,
+		Suspector: p.detector,
+		Send:      p.transport.Send,
+		Poll:      cfg.Poll,
+	})
+	p.monitor.Subscribe(p.viewChanged)
+}
+
+// viewChanged runs on the monitor's goroutine whenever a view installs:
+// every member the new view dropped is expelled at the run level.
+func (p *participant) viewChanged(old, new membership.View) {
+	for _, m := range old.Members {
+		if !new.Contains(m) {
+			p.run.expel(m)
+		}
+	}
+}
+
+// expel processes the membership service's verdict on obj, exactly once per
+// run even though every survivor's monitor reports the same view change:
+// release obj from every completion barrier, feed every surviving engine the
+// synthesized participant-failure exception, and terminate obj's own body.
+func (r *run) expel(obj ident.ObjectID) {
+	r.mu.Lock()
+	if r.expelled == nil {
+		r.expelled = make(map[ident.ObjectID]bool)
+	}
+	if r.expelled[obj] {
+		r.mu.Unlock()
+		return
+	}
+	r.expelled[obj] = true
+	insts := make([]*instance, 0, len(r.byID))
+	for _, inst := range r.byID {
+		insts = append(insts, inst)
+	}
+	parts := make([]*participant, 0, len(r.participants))
+	for _, p := range r.participants {
+		parts = append(parts, p)
+	}
+	victim := r.participants[obj]
+	r.mu.Unlock()
+
+	r.sys.log.Record(trace.Event{Kind: trace.EvNote, Object: obj, Label: "participant-expelled"})
+	for _, inst := range insts {
+		inst.expel(obj)
+	}
+	for _, p := range parts {
+		if p.obj != obj {
+			// Each engine takes the expulsion on its own goroutine; the
+			// posting must not block the monitor callback behind a busy
+			// engine loop.
+			go p.postExpel(obj)
+		}
+	}
+	if victim != nil {
+		victim.markExpelled()
+	}
+}
+
+// expelledMembers returns the members expelled so far, unordered.
+func (r *run) expelledMembers() []ident.ObjectID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ident.ObjectID, 0, len(r.expelled))
+	for obj := range r.expelled {
+		out = append(out, obj)
+	}
+	return out
+}
+
+// postExpel hands the expulsion to the engine goroutine, giving up if the
+// participant shuts down first.
+func (p *participant) postExpel(obj ident.ObjectID) {
+	ev := &event{
+		fn: func() error {
+			p.engine.ExpelMember(obj, ExcParticipantFailure)
+			return nil
+		},
+		reply: make(chan error, 1),
+	}
+	select {
+	case p.events <- ev:
+	case <-p.quit:
+	}
+}
+
+// markExpelled terminates this (expelled) participant's body: it unwinds
+// like a cancellation, but runTop reports it as an expulsion.
+func (p *participant) markExpelled() {
+	p.smu.Lock()
+	p.expelledSelf = true
+	p.smu.Unlock()
+	p.setSuspendLevel(levelCancelled)
+}
+
+func (p *participant) isExpelled() bool {
+	p.smu.Lock()
+	defer p.smu.Unlock()
+	return p.expelledSelf
+}
+
+// expel releases obj from this instance's completion barrier: survivors must
+// not wait forever for a member that will never arrive. If obj was the last
+// missing arrival, the barrier opens now.
+func (i *instance) expel(obj ident.ObjectID) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if !i.spec.isMember(obj) || i.expelled[obj] {
+		return
+	}
+	if i.expelled == nil {
+		i.expelled = make(map[ident.ObjectID]bool)
+	}
+	i.expelled[obj] = true
+	delete(i.exitArrived, obj)
+	if !i.exitClosed && i.allArrivedLocked() {
+		i.finishLocked()
+	}
+}
+
+// allArrivedLocked reports whether every non-expelled member reached the
+// completion barrier. Caller holds i.mu. An instance whose members were all
+// expelled never finishes — nobody is left to wait on it.
+func (i *instance) allArrivedLocked() bool {
+	surviving := 0
+	for _, m := range i.spec.Members {
+		if !i.expelled[m] {
+			surviving++
+		}
+	}
+	return surviving > 0 && len(i.exitArrived) >= surviving
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// fastMembership keeps partition tests quick without racing the detector's
+// grace period.
+func fastMembership() *MembershipOptions {
+	return &MembershipOptions{
+		Heartbeat: time.Millisecond,
+		Timeout:   25 * time.Millisecond,
+		Poll:      2 * time.Millisecond,
+	}
+}
+
+// pfDef builds a membership-ready definition: every member runs body, the
+// tree declares the participant-failure exception, and Default handlers
+// complete the action after any resolution.
+func pfDef(members []ident.ObjectID, body Body) Definition {
+	bodies := make(map[ident.ObjectID]Body, len(members))
+	for _, m := range members {
+		bodies[m] = body
+	}
+	return Definition{
+		Spec: ActionSpec{
+			Name:     "omega",
+			Tree:     testTree("app", ExcParticipantFailure),
+			Members:  members,
+			Handlers: uniformHandlers(members, defaultOnly(noopHandler)),
+		},
+		Bodies: bodies,
+	}
+}
+
+func TestMembershipValidation(t *testing.T) {
+	members := []ident.ObjectID{1, 2}
+	body := func(ctx *Context) error { return nil }
+
+	// The socket transport's codec cannot carry view payloads.
+	tcp := NewSystem(Options{Transport: TransportTCP, Membership: fastMembership()})
+	defer tcp.Close()
+	if _, err := tcp.Run(pfDef(members, body)); err == nil ||
+		!strings.Contains(err.Error(), "TransportTCP") {
+		t.Errorf("TCP gate error = %v", err)
+	}
+
+	// The tree must declare the participant-failure exception.
+	sys := NewSystem(Options{Membership: fastMembership()})
+	defer sys.Close()
+	def := pfDef(members, body)
+	def.Spec.Tree = testTree("app")
+	if _, err := sys.Run(def); err == nil ||
+		!strings.Contains(err.Error(), ExcParticipantFailure) {
+		t.Errorf("tree gate error = %v", err)
+	}
+
+	// Partition outside a run is refused.
+	if err := sys.Partition("x", 1); err == nil {
+		t.Error("Partition without a run succeeded")
+	}
+}
+
+// TestPartitionExpelsMinority is the core-level storm: five quiescent
+// participants, the {4,5} island cut away mid-run. The majority must expel
+// both, resolve the participant-failure exception through the §4 machinery
+// (no raiser survives, so the degraded chooser concludes it), run handlers,
+// and complete; the expelled members must unwind as expelled, not as errors.
+func TestPartitionExpelsMinority(t *testing.T) {
+	sys := NewSystem(Options{Membership: fastMembership()})
+	defer sys.Close()
+	members := []ident.ObjectID{1, 2, 3, 4, 5}
+	def := pfDef(members, func(ctx *Context) error {
+		ctx.Sleep(time.Hour) // interruptible forever-work
+		return nil
+	})
+
+	go func() {
+		time.Sleep(20 * time.Millisecond) // let participants bind and beat
+		if err := sys.Partition("storm", 4, 5); err != nil {
+			t.Errorf("partition: %v", err)
+		}
+	}()
+
+	out, err := sys.Run(def)
+	if err != nil {
+		t.Fatalf("run: %v (outcome %+v)", err, out)
+	}
+	if out.Resolved != ExcParticipantFailure {
+		t.Errorf("resolved = %q, want %q", out.Resolved, ExcParticipantFailure)
+	}
+	if !slices.Equal(out.Expelled, []ident.ObjectID{4, 5}) {
+		t.Errorf("expelled = %v, want [4 5]", out.Expelled)
+	}
+	if !out.Completed {
+		t.Errorf("outcome not completed: %+v", out)
+	}
+	for _, obj := range []ident.ObjectID{1, 2, 3} {
+		res := out.PerObject[obj]
+		if res.Expelled || res.Resolved != ExcParticipantFailure {
+			t.Errorf("%s: %+v", obj, res)
+		}
+	}
+	for _, obj := range []ident.ObjectID{4, 5} {
+		res := out.PerObject[obj]
+		if !res.Expelled || res.Err != nil {
+			t.Errorf("%s: %+v, want expelled without error", obj, res)
+		}
+	}
+}
+
+// TestPartitionWithSurvivingRaiser: the application exception and the
+// participant failure meet in one resolution — O1 raises while {4,5} are cut
+// away, so the survivors' LE holds both and the committed resolution must be
+// their least common ancestor.
+func TestPartitionWithSurvivingRaiser(t *testing.T) {
+	sys := NewSystem(Options{Membership: fastMembership()})
+	defer sys.Close()
+	members := []ident.ObjectID{1, 2, 3, 4, 5}
+	def := pfDef(members, func(ctx *Context) error {
+		if ctx.Object() == 1 {
+			ctx.Sleep(60 * time.Millisecond) // raise after the expulsion lands
+			ctx.Raise("app")
+		}
+		ctx.Sleep(time.Hour)
+		return nil
+	})
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		_ = sys.Partition("storm", 4, 5)
+	}()
+
+	out, err := sys.Run(def)
+	if err != nil {
+		t.Fatalf("run: %v (outcome %+v)", err, out)
+	}
+	if !slices.Equal(out.Expelled, []ident.ObjectID{4, 5}) {
+		t.Errorf("expelled = %v", out.Expelled)
+	}
+	// Depending on timing, O1's raise lands before or after the expulsion's
+	// resolution commits; both resolutions cover the participant failure.
+	if out.Resolved != "universal" && out.Resolved != ExcParticipantFailure {
+		t.Errorf("resolved = %q, want universal (joint) or the failure exception", out.Resolved)
+	}
+}
+
+// TestNoPartitionOutcomeUnchanged: with membership monitoring on but no
+// partition, a run must produce exactly what the monitor-free system
+// produces — same outcome, same resolution, no expulsions, identical
+// protocol-message census.
+func TestNoPartitionOutcomeUnchanged(t *testing.T) {
+	body := func(ctx *Context) error {
+		if ctx.Object() == 2 {
+			ctx.Raise("app")
+		}
+		ctx.Sleep(time.Hour)
+		return nil
+	}
+	members := []ident.ObjectID{1, 2, 3}
+
+	run := func(mo *MembershipOptions) Outcome {
+		t.Helper()
+		sys := NewSystem(Options{Membership: mo})
+		defer sys.Close()
+		out, err := sys.Run(pfDef(members, body))
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out
+	}
+
+	plain := run(nil)
+	monitored := run(fastMembership())
+	if len(monitored.Expelled) != 0 {
+		t.Fatalf("spurious expulsions: %v", monitored.Expelled)
+	}
+	if plain.Resolved != monitored.Resolved || plain.Completed != monitored.Completed ||
+		plain.Signalled != monitored.Signalled || plain.AcceptanceFailed != monitored.AcceptanceFailed {
+		t.Errorf("outcomes diverge: plain %+v vs monitored %+v", plain, monitored)
+	}
+	for _, m := range members {
+		if plain.PerObject[m] != monitored.PerObject[m] {
+			t.Errorf("%s diverges: %+v vs %+v", m, plain.PerObject[m], monitored.PerObject[m])
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/exception"
 	"repro/internal/group"
 	"repro/internal/ident"
+	"repro/internal/membership"
 	"repro/internal/protocol"
 	"repro/internal/trace"
 )
@@ -47,6 +48,13 @@ type participant struct {
 	quit     chan struct{}
 	loopDone chan struct{}
 
+	// Membership monitoring (nil without Options.Membership). The detector
+	// runs in fed mode — this participant's loop owns the transport stream
+	// and tees heartbeats in — and the monitor's view changes drive run-level
+	// expulsion.
+	detector *group.Detector
+	monitor  *membership.Monitor
+
 	// estack mirrors the engine's action stack with run instances. Engine
 	// goroutine only.
 	estack []*instance
@@ -58,6 +66,7 @@ type participant struct {
 	suspendCh    chan struct{}
 	parkedLevel  int
 	bodyDone     bool
+	expelledSelf bool
 	outcomes     map[ident.ActionID]chan handlerOutcome
 }
 
@@ -86,6 +95,7 @@ func newParticipant(r *run, obj ident.ObjectID) (*participant, error) {
 		StartHandler: p.hookStartHandler,
 		Log:          func(ev trace.Event) { r.sys.log.Record(ev) },
 	})
+	p.startMembership()
 	go p.loop()
 	return p, nil
 }
@@ -127,17 +137,41 @@ func (p *participant) loop() {
 
 // handleDelivery feeds one transport delivery to the engine. Wire decoding
 // (when enabled) happens at the transport boundary, so deliveries always
-// carry native messages.
+// carry native messages. Membership traffic shares the stream and is teed
+// off before the engine sees it.
 func (p *participant) handleDelivery(d group.Delivery) {
+	switch d.Kind {
+	case group.KindHeartbeat:
+		if p.detector != nil {
+			p.detector.Observe(d.From)
+		}
+		return
+	case membership.KindView:
+		if p.monitor != nil {
+			if v, ok := d.Payload.(membership.View); ok {
+				p.monitor.Deliver(v)
+			}
+		}
+		return
+	}
 	if m, ok := d.Payload.(protocol.Msg); ok {
 		p.engine.HandleMessage(m)
 	}
 }
 
-// stop terminates the engine goroutine and transport.
+// stop terminates the engine goroutine, the membership machinery and the
+// transport, in that order (the monitor's final callbacks must find the
+// participant already quit, and the detector must stop beating before its
+// transport closes).
 func (p *participant) stop() {
 	close(p.quit)
 	<-p.loopDone
+	if p.monitor != nil {
+		p.monitor.Stop()
+	}
+	if p.detector != nil {
+		p.detector.Stop()
+	}
 	p.transport.Close()
 }
 

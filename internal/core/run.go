@@ -17,7 +17,10 @@ type ParticipantResult struct {
 	Resolved         string
 	Signalled        string
 	AcceptanceFailed bool
-	Err              error
+	// Expelled is true when the membership service removed this participant
+	// from the group mid-run; its other fields are then meaningless.
+	Expelled bool
+	Err      error
 }
 
 // Outcome aggregates a top-level CA-action run.
@@ -34,6 +37,11 @@ type Outcome struct {
 	// AcceptanceFailed is true when the acceptance test rejected the result
 	// (the transaction was aborted; backward recovery may retry).
 	AcceptanceFailed bool
+	// Expelled lists the members the membership service removed during the
+	// run (empty without Options.Membership), sorted. Expelled members are
+	// excluded from the Completed and disagreement aggregation: the
+	// surviving majority's outcome is the action's outcome.
+	Expelled []ident.ObjectID
 	// PerObject holds each participant's view.
 	PerObject map[ident.ObjectID]ParticipantResult
 }
@@ -64,8 +72,21 @@ func (s *System) runAttempt(def Definition, timeout time.Duration, attempt int) 
 	if err := def.Validate(); err != nil {
 		return Outcome{}, err
 	}
+	if err := s.validateMembership(&def); err != nil {
+		return Outcome{}, err
+	}
 	r := newRun(s, &def)
 	r.attempt = attempt
+	s.mu.Lock()
+	s.curRun = r
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.curRun == r {
+			s.curRun = nil
+		}
+		s.mu.Unlock()
+	}()
 	topInst, err := r.instanceFor(&def.Spec, nil)
 	if err != nil {
 		return Outcome{}, err
@@ -124,10 +145,24 @@ func (s *System) runAttempt(def Definition, timeout time.Duration, attempt int) 
 		p.stop()
 	}
 
+	expelled := make(map[ident.ObjectID]bool)
+	for _, obj := range r.expelledMembers() {
+		expelled[obj] = true
+	}
+
 	out := Outcome{Completed: true, PerObject: results}
 	var firstErr error
 	for _, obj := range members {
 		res := results[obj]
+		if expelled[obj] {
+			// The member was removed by the membership service; the
+			// survivors' outcome stands regardless of how its body unwound.
+			res.Expelled = true
+			res.Err = nil
+			results[obj] = res
+			out.Expelled = append(out.Expelled, obj) // members is sorted
+			continue
+		}
 		if res.Err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("%s: %w", obj, res.Err)
 		}
@@ -168,6 +203,10 @@ func (p *participant) runTop(inst *instance, body Body) (res ParticipantResult) 
 		if r := recover(); r != nil {
 			if _, ok := r.(sentinel); ok {
 				// Only cancellation sentinels can reach level -1.
+				if p.isExpelled() {
+					res = ParticipantResult{Expelled: true}
+					return
+				}
 				res = ParticipantResult{Err: ErrCancelled}
 				return
 			}

@@ -47,6 +47,12 @@ type Options struct {
 	// it on arrival, enforcing the disjoint-address-space boundary the
 	// paper assumes (§2.1). Off by default for speed.
 	WireEncoding bool
+	// Membership, when non-nil, enables partition-aware membership
+	// monitoring: heartbeat failure detection, majority view installation
+	// and expulsion of unreachable participants as the predefined
+	// ExcParticipantFailure exception. Requires a netsim-backed transport
+	// and an exception tree declaring ExcParticipantFailure.
+	Membership *MembershipOptions
 	// Batch, when > 0, enables batched delivery on the hot path: each
 	// participant's engine loop drains up to Batch queued protocol messages
 	// per wakeup instead of one, and the concurrent fabric underneath
@@ -70,6 +76,7 @@ type System struct {
 
 	mu         sync.Mutex
 	nextAction ident.ActionID
+	curRun     *run // the run Partition/HealPartition act on
 	closed     bool
 }
 

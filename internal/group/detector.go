@@ -23,6 +23,7 @@ type Detector struct {
 	interval  time.Duration
 	timeout   time.Duration
 	now       func() time.Time
+	fed       bool // receptions arrive via Observe, not the transport
 
 	mu       sync.Mutex
 	lastSeen map[ident.ObjectID]time.Time
@@ -32,13 +33,32 @@ type Detector struct {
 	once sync.Once
 }
 
-// heartbeatKind is the wire kind of detector messages.
-const heartbeatKind = "group.heartbeat"
+// KindHeartbeat is the wire kind of detector messages.
+const KindHeartbeat = "group.heartbeat"
 
 // NewDetector creates a detector for the given peers. interval is the
 // heartbeat period; a peer is suspected when no heartbeat arrived for
 // timeout. now defaults to time.Now.
 func NewDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Duration, now func() time.Time) *Detector {
+	d := newDetector(t, peers, interval, timeout, now)
+	go d.loop()
+	return d
+}
+
+// NewFedDetector is NewDetector for a transport whose Recv stream is owned by
+// somebody else (e.g. a participant's engine loop): the detector still
+// multicasts its own heartbeats through t, but heartbeat receptions must be
+// fed in by the stream's owner via Observe. This lets membership traffic share
+// the participant's fabric attachment — and therefore its partition fate —
+// instead of requiring a second transport per object.
+func NewFedDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Duration, now func() time.Time) *Detector {
+	d := newDetector(t, peers, interval, timeout, now)
+	d.fed = true
+	go d.loop()
+	return d
+}
+
+func newDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Duration, now func() time.Time) *Detector {
 	if now == nil {
 		now = time.Now
 	}
@@ -58,8 +78,17 @@ func NewDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Dur
 			d.lastSeen[p] = start // grace period: everyone starts alive
 		}
 	}
-	go d.loop()
 	return d
+}
+
+// Observe records a heartbeat from p received out of band (fed mode). Unknown
+// senders are ignored: the detector tracks the declared peer set only.
+func (d *Detector) Observe(p ident.ObjectID) {
+	d.mu.Lock()
+	if _, known := d.lastSeen[p]; known {
+		d.lastSeen[p] = d.now()
+	}
+	d.mu.Unlock()
 }
 
 // Stop terminates the detector's goroutine.
@@ -114,22 +143,24 @@ func (d *Detector) loop() {
 	ticker := time.NewTicker(d.interval)
 	defer ticker.Stop()
 	d.beat()
+	recv := d.transport.Recv()
+	if d.fed {
+		recv = nil // receptions come through Observe; a nil channel never fires
+	}
 	for {
 		select {
 		case <-d.stop:
 			return
 		case <-ticker.C:
 			d.beat()
-		case msg, ok := <-d.transport.Recv():
+		case msg, ok := <-recv:
 			if !ok {
 				return
 			}
-			if msg.Kind != heartbeatKind {
+			if msg.Kind != KindHeartbeat {
 				continue
 			}
-			d.mu.Lock()
-			d.lastSeen[msg.From] = d.now()
-			d.mu.Unlock()
+			d.Observe(msg.From)
 		}
 	}
 }
@@ -139,6 +170,6 @@ func (d *Detector) beat() {
 		if p == d.transport.Self() {
 			continue
 		}
-		_ = d.transport.Send(p, heartbeatKind, nil)
+		_ = d.transport.Send(p, KindHeartbeat, nil)
 	}
 }

@@ -219,7 +219,12 @@ type envelope struct {
 	IsAck   bool
 }
 
-const wireKind = "group.envelope"
+// KindEnvelope is the wire kind of the reliable transport's envelopes; it is
+// exported (with KindHeartbeat and membership.KindView) so the msgkind census
+// and the viewkind analyzer can enumerate the group-layer kinds.
+const KindEnvelope = "group.envelope"
+
+const wireKind = KindEnvelope
 
 // envelopeCodec adapts an application-payload codec to the group's traffic:
 // bare payloads (raw transport) go straight through the inner codec, while

@@ -275,3 +275,65 @@ func TestOrderedMulticastTotalOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestMulticastDetailReportsFailures pins the no-silent-drop contract: a
+// multicast with unreachable members still attempts every destination, and
+// the report names exactly the members that failed — the primitive the
+// membership layer's per-send reports are built on.
+func TestMulticastDetailReportsFailures(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	dir := NewDirectory(net)
+	// Members O4 and O5 are in the group view but never registered: their
+	// sends fail at the directory, like members whose node has left.
+	members := []ident.ObjectID{1, 2, 3, 4, 5}
+	var ts []*RawTransport
+	for _, m := range members[:3] {
+		tr, err := NewRawTransport(dir, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		ts = append(ts, tr)
+	}
+
+	mc := NewMulticaster(ts[0], members)
+	sent, failed := mc.MulticastDetail("news", "hello")
+	if len(sent) != 2 || sent[0] != 2 || sent[1] != 3 {
+		t.Errorf("sent = %v, want [2 3]", sent)
+	}
+	if len(failed) != 2 {
+		t.Fatalf("failed = %v, want exactly O4 and O5", failed)
+	}
+	for _, m := range []ident.ObjectID{4, 5} {
+		if err := failed[m]; !errors.Is(err, ErrUnknownMember) {
+			t.Errorf("failed[%s] = %v, want ErrUnknownMember", m, err)
+		}
+	}
+	for _, tr := range ts[1:] {
+		if d := <-tr.Recv(); d.Kind != "news" {
+			t.Errorf("delivery = %+v", d)
+		}
+	}
+
+	// The classic Multicast surface reports the same thing as a joined error.
+	sentN, err := mc.Multicast("news", "again")
+	if sentN != 2 {
+		t.Errorf("sent = %d, want 2", sentN)
+	}
+	if !errors.Is(err, ErrUnknownMember) {
+		t.Errorf("Multicast error = %v, want ErrUnknownMember in the join", err)
+	}
+	for _, tr := range ts[1:] {
+		<-tr.Recv()
+	}
+
+	// With every member reachable, the failure map is nil, not empty.
+	mcOK := NewMulticaster(ts[0], members[:3])
+	if sent, failed := mcOK.MulticastDetail("ok", nil); failed != nil || len(sent) != 2 {
+		t.Errorf("healthy multicast: sent=%v failed=%v", sent, failed)
+	}
+	for _, tr := range ts[1:] {
+		<-tr.Recv()
+	}
+}

@@ -1,6 +1,8 @@
 package group
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/ident"
@@ -42,21 +44,47 @@ func (m *Multicaster) Members() []ident.ObjectID {
 // Multicast sends one message to every other member. With a sequencer, the
 // sends for one multicast are atomic with respect to other multicasts in the
 // group, yielding a total order at all receivers. Returns the number of
-// point-to-point sends performed.
+// point-to-point sends that succeeded; when some destinations failed, the
+// error joins every per-destination failure (the remaining members are still
+// attempted — a multicast must not stop at the first unreachable member).
 func (m *Multicaster) Multicast(kind string, payload any) (int, error) {
+	sent, failed := m.MulticastDetail(kind, payload)
+	if len(failed) == 0 {
+		return len(sent), nil
+	}
+	errs := make([]error, 0, len(failed))
+	for _, member := range m.members {
+		if err, ok := failed[member]; ok {
+			errs = append(errs, fmt.Errorf("%s: %w", member, err))
+		}
+	}
+	return len(sent), errors.Join(errs...)
+}
+
+// MulticastDetail sends one message to every other member, continuing past
+// per-destination failures, and reports each destination's outcome: the
+// members the transport accepted the message for, and — per failed member —
+// the send error. It is the primitive that lets callers distinguish
+// "delivered" from "unreachable" instead of seeing a silent partial drop;
+// membership.ViewMulticaster builds its per-send reports on it. failed is nil
+// when every send succeeded.
+func (m *Multicaster) MulticastDetail(kind string, payload any) (sent []ident.ObjectID, failed map[ident.ObjectID]error) {
 	if m.seq != nil {
 		m.seq.Lock()
 		defer m.seq.Unlock()
 	}
-	sent := 0
 	for _, member := range m.members {
 		if member == m.transport.Self() {
 			continue
 		}
 		if err := m.transport.Send(member, kind, payload); err != nil {
-			return sent, err
+			if failed == nil {
+				failed = make(map[ident.ObjectID]error)
+			}
+			failed[member] = err
+			continue
 		}
-		sent++
+		sent = append(sent, member)
 	}
-	return sent, nil
+	return sent, failed
 }

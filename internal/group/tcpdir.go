@@ -29,6 +29,21 @@ func WithDialRewrite(f func(from, to ident.ObjectID, addr string) string) TCPDir
 	return func(d *TCPDirectory) { d.rewrite = f }
 }
 
+// WithTCPAddressBook seeds the directory with an explicit host:port per
+// member, instead of the default "every member listens on an ephemeral
+// loopback port of this process". A member with an entry binds its listener
+// at that address (a ":0" port is still resolved at listen time), and dials
+// toward members that are NOT bound in this process resolve to their book
+// entry — the multi-host deployment shape, where each process binds its own
+// members and knows the others only by address.
+func WithTCPAddressBook(book map[ident.ObjectID]string) TCPDirOption {
+	return func(d *TCPDirectory) {
+		for obj, addr := range book {
+			d.static[obj] = addr
+		}
+	}
+}
+
 // TCPDirectory is the membership service over real sockets: each bound
 // member gets its own TCP fabric (own listener, own address space — the
 // paper's §2.1 "disjoint address spaces" made literal even inside one test
@@ -43,6 +58,7 @@ type TCPDirectory struct {
 	mu      sync.Mutex
 	fabrics map[ident.ObjectID]*transport.TCP
 	book    map[ident.ObjectID]string
+	static  map[ident.ObjectID]string // explicit address book (WithTCPAddressBook)
 	closed  bool
 }
 
@@ -51,6 +67,7 @@ func NewTCPDirectory(opts ...TCPDirOption) *TCPDirectory {
 	d := &TCPDirectory{
 		fabrics: make(map[ident.ObjectID]*transport.TCP),
 		book:    make(map[ident.ObjectID]string),
+		static:  make(map[ident.ObjectID]string),
 	}
 	for _, o := range opts {
 		o(d)
@@ -72,8 +89,12 @@ func (d *TCPDirectory) Bind(obj ident.ObjectID) (Port, error) {
 	}
 	d.mu.Unlock()
 
+	d.mu.Lock()
+	listen := d.static[obj]
+	d.mu.Unlock()
 	fab, err := transport.NewTCP(transport.TCPOptions{
-		Codec: tcpCodec{inner: d.codec},
+		Listen: listen, // "" = ephemeral loopback
+		Codec:  tcpCodec{inner: d.codec},
 		Resolve: func(to ident.ObjectID) (string, error) {
 			return d.resolve(obj, to)
 		},
@@ -103,10 +124,15 @@ func (d *TCPDirectory) Bind(obj ident.ObjectID) (Port, error) {
 }
 
 // resolve maps a destination member to the address the `from` member should
-// dial, applying the rewrite hook.
+// dial, applying the rewrite hook. Members bound in this process resolve to
+// their live listener; others fall back to the explicit address book, which
+// is what lets two processes on different hosts split one group between them.
 func (d *TCPDirectory) resolve(from, to ident.ObjectID) (string, error) {
 	d.mu.Lock()
 	addr, ok := d.book[to]
+	if !ok {
+		addr, ok = d.static[to]
+	}
 	d.mu.Unlock()
 	if !ok {
 		return "", fmt.Errorf("%w: %s", ErrUnknownMember, to)

@@ -1,0 +1,243 @@
+// Package membership provides partition-aware group views on top of the
+// group layer's failure detector — the "group membership service" half of the
+// paper's §4.5 implementation sketch ("participating objects in a CA action
+// could be treated as members of a closed group"). Where package group only
+// *suspects* a silent peer, this package *decides*: a Monitor turns stable
+// suspicion into an epoch-numbered View excluding the suspect, installs it on
+// the surviving majority, and reports the change to its subscribers, who can
+// then raise the predefined participant-failure exception the paper's
+// Figure 1(b) abort-nested scenario needs.
+//
+// Decisions are deliberately one-way: a member expelled from a view is never
+// re-admitted, even if its partition heals, because the survivors have by then
+// resolved an exception on its behalf and committed an outcome it never saw.
+// Minority islands never install new views (the majority gate), so they stall
+// in degraded mode rather than diverge — the classic primary-partition rule.
+package membership
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// KindView is the wire kind of view-installation messages.
+const KindView = "membership.view"
+
+// View is an epoch-numbered membership snapshot. Epochs increase by exactly
+// one per installed view; members only ever leave.
+type View struct {
+	Epoch   uint64
+	Members []ident.ObjectID
+}
+
+// Contains reports whether obj is a member of the view.
+func (v View) Contains(obj ident.ObjectID) bool {
+	for _, m := range v.Members {
+		if m == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the view.
+func (v View) Clone() View {
+	return View{Epoch: v.Epoch, Members: append([]ident.ObjectID(nil), v.Members...)}
+}
+
+// Suspector is the slice of the failure detector the monitor consumes.
+// *group.Detector implements it.
+type Suspector interface {
+	Suspects() []ident.ObjectID
+}
+
+// Config parameterises a Monitor.
+type Config struct {
+	// Self is the member the monitor runs inside.
+	Self ident.ObjectID
+	// Members is the base membership (the view at epoch zero). The majority
+	// gate is measured against it.
+	Members []ident.ObjectID
+	// Suspector supplies the current suspicion set, polled every Poll.
+	Suspector Suspector
+	// Send transmits a view installation to one member; used only by the
+	// coordinator. Errors are ignored: an unreachable member is by definition
+	// one the new view excludes or the next epoch will.
+	Send func(to ident.ObjectID, kind string, payload any) error
+	// Poll is the suspicion-polling period.
+	Poll time.Duration
+}
+
+// Monitor drives view changes for one member. All members run one; only the
+// prospective coordinator (the smallest surviving member) proposes, so a
+// partition event yields one proposal stream, not N. Views install either
+// locally (the coordinator's own proposal) or via Deliver (everyone else).
+type Monitor struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cur     View
+	subs    []func(old, new View)
+	pending []viewChange // unbounded: install never blocks on dispatch
+
+	// Callbacks fire from the monitor's own goroutine, never from the caller
+	// of Deliver — a subscriber may synchronously re-enter the participant
+	// machinery that called Deliver in the first place.
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+type viewChange struct{ old, new View }
+
+// NewMonitor starts a monitor. The initial view is epoch zero over
+// cfg.Members (sorted); no callback fires for it.
+func NewMonitor(cfg Config) *Monitor {
+	base := append([]ident.ObjectID(nil), cfg.Members...)
+	sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+	cfg.Members = base
+	m := &Monitor{
+		cfg:  cfg,
+		cur:  View{Epoch: 0, Members: base},
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go m.loop()
+	return m
+}
+
+// Current returns the installed view.
+func (m *Monitor) Current() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur.Clone()
+}
+
+// Base returns the epoch-zero membership the monitor was created with,
+// sorted. It never changes, no matter how many views install.
+func (m *Monitor) Base() []ident.ObjectID {
+	return append([]ident.ObjectID(nil), m.cfg.Members...)
+}
+
+// Subscribe registers a view-change callback, fired from the monitor's
+// goroutine with the old and new views, in installation order.
+func (m *Monitor) Subscribe(fn func(old, new View)) {
+	m.mu.Lock()
+	m.subs = append(m.subs, fn)
+	m.mu.Unlock()
+}
+
+// Deliver hands the monitor a view received off the wire. Stale epochs and
+// views that exclude self are ignored (an excluded member keeps its last
+// view: it is in degraded mode, not in a rival group).
+func (m *Monitor) Deliver(v View) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v.Epoch <= m.cur.Epoch || !v.Contains(m.cfg.Self) {
+		return
+	}
+	m.installLocked(v.Clone())
+}
+
+// Stop terminates the monitor. Pending callbacks are drained first.
+func (m *Monitor) Stop() {
+	m.once.Do(func() {
+		close(m.stop)
+		<-m.done
+	})
+}
+
+// installLocked swaps the view in and queues the change for asynchronous
+// callback dispatch. Callers hold m.mu; the queue is unbounded so installing
+// never blocks against the dispatch goroutine.
+func (m *Monitor) installLocked(v View) {
+	old := m.cur
+	m.cur = v
+	m.pending = append(m.pending, viewChange{old: old, new: v.Clone()})
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			// Drain queued changes so Stop means "all callbacks delivered".
+			m.dispatch()
+			return
+		case <-m.kick:
+			m.dispatch()
+		case <-ticker.C:
+			m.poll()
+			m.dispatch()
+		}
+	}
+}
+
+// dispatch fires every queued view change, in installation order.
+func (m *Monitor) dispatch() {
+	for {
+		m.mu.Lock()
+		if len(m.pending) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		c := m.pending[0]
+		m.pending = m.pending[1:]
+		subs := make([]func(old, new View), len(m.subs))
+		copy(subs, m.subs)
+		m.mu.Unlock()
+		for _, fn := range subs {
+			fn(c.old.Clone(), c.new.Clone())
+		}
+	}
+}
+
+// poll is one suspicion check: if suspects shrink the current view, the
+// surviving set still holds a majority of the base membership, and self is
+// the prospective coordinator, propose (= install + multicast) the next view.
+func (m *Monitor) poll() {
+	suspected := make(map[ident.ObjectID]bool)
+	for _, s := range m.cfg.Suspector.Suspects() {
+		suspected[s] = true
+	}
+	if len(suspected) == 0 {
+		return
+	}
+
+	m.mu.Lock()
+	alive := make([]ident.ObjectID, 0, len(m.cur.Members))
+	for _, member := range m.cur.Members {
+		if member == m.cfg.Self || !suspected[member] {
+			alive = append(alive, member)
+		}
+	}
+	if len(alive) == len(m.cur.Members) || // nothing new to exclude
+		2*len(alive) <= len(m.cfg.Members) || // minority island: stall, don't diverge
+		alive[0] != m.cfg.Self { // not the coordinator
+		m.mu.Unlock()
+		return
+	}
+	next := View{Epoch: m.cur.Epoch + 1, Members: alive}
+	m.installLocked(next)
+	m.mu.Unlock()
+
+	if m.cfg.Send != nil {
+		for _, member := range next.Members {
+			if member == m.cfg.Self {
+				continue
+			}
+			_ = m.cfg.Send(member, KindView, next.Clone())
+		}
+	}
+}

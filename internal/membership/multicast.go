@@ -1,0 +1,86 @@
+package membership
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/group"
+	"repro/internal/ident"
+)
+
+// ErrNotInView marks a base member excluded from the current view: the
+// multicast never attempted it, because view synchrony forbids sending
+// outside the view.
+var ErrNotInView = errors.New("membership: member not in current view")
+
+// ErrSelfExpelled is returned when the sender itself has been excluded from
+// the current view — a degraded-mode member must not multicast at all.
+var ErrSelfExpelled = errors.New("membership: sender expelled from view")
+
+// SendReport is the per-multicast accounting a ViewMulticaster returns: which
+// view it sent in, who got the message, and — per unreachable base member —
+// why (ErrNotInView for members the view excludes, the transport's error for
+// in-view members whose send failed).
+type SendReport struct {
+	View        View
+	Sent        []ident.ObjectID
+	Unreachable map[ident.ObjectID]error
+}
+
+// ViewMulticaster is view-synchronous multicast: each send goes to the
+// members of the monitor's current view only, and the report names exactly
+// the base members the message could not reach. It replaces the silent
+// partial delivery a plain Multicaster gives under partition.
+type ViewMulticaster struct {
+	transport group.Transport
+	mon       *Monitor
+	base      []ident.ObjectID
+
+	// One group.Multicaster per installed epoch, built lazily.
+	epoch uint64
+	mc    *group.Multicaster
+}
+
+// NewViewMulticaster wraps a transport with view-synchronous sends driven by
+// the monitor's installed views. Not safe for concurrent use by multiple
+// goroutines (per-participant ownership, like the transports themselves).
+func NewViewMulticaster(t group.Transport, mon *Monitor) *ViewMulticaster {
+	return &ViewMulticaster{transport: t, mon: mon, base: mon.Base()}
+}
+
+// Multicast sends one message within the current view. The report is always
+// returned, even on error, so callers can tell "sent to the whole view, some
+// base members excluded" (err == nil, Unreachable non-empty) from "an in-view
+// send failed" (err != nil).
+func (v *ViewMulticaster) Multicast(kind string, payload any) (SendReport, error) {
+	view := v.mon.Current()
+	report := SendReport{View: view}
+	if !view.Contains(v.transport.Self()) {
+		return report, ErrSelfExpelled
+	}
+	if v.mc == nil || view.Epoch != v.epoch {
+		v.mc = group.NewMulticaster(v.transport, view.Members)
+		v.epoch = view.Epoch
+	}
+	sent, failed := v.mc.MulticastDetail(kind, payload)
+	report.Sent = sent
+
+	var sendErr error
+	for member, err := range failed {
+		if report.Unreachable == nil {
+			report.Unreachable = make(map[ident.ObjectID]error)
+		}
+		report.Unreachable[member] = err
+		sendErr = errors.Join(sendErr, fmt.Errorf("%s: %w", member, err))
+	}
+	for _, member := range v.base {
+		if view.Contains(member) {
+			continue
+		}
+		if report.Unreachable == nil {
+			report.Unreachable = make(map[ident.ObjectID]error)
+		}
+		report.Unreachable[member] = fmt.Errorf("%w: %s left at epoch <= %d", ErrNotInView, member, view.Epoch)
+	}
+	return report, sendErr
+}

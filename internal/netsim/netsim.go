@@ -109,13 +109,14 @@ var ErrUnknownNode = errors.New("netsim: unknown node")
 type Network struct {
 	cfg Config
 
-	mu        sync.Mutex
-	rng       *rand.Rand
-	endpoints map[ident.NodeID]*Endpoint
-	links     map[linkKey]*link
-	isolated  map[ident.NodeID]bool
-	closed    bool
-	stats     Stats
+	mu         sync.Mutex
+	rng        *rand.Rand
+	endpoints  map[ident.NodeID]*Endpoint
+	links      map[linkKey]*link
+	isolated   map[ident.NodeID]bool
+	partitions map[string]map[ident.NodeID]bool
+	closed     bool
+	stats      Stats
 
 	wg sync.WaitGroup
 }
@@ -130,11 +131,12 @@ func New(cfg Config) *Network {
 		cfg.Latency = NoLatency
 	}
 	return &Network{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		endpoints: make(map[ident.NodeID]*Endpoint),
-		links:     make(map[linkKey]*link),
-		isolated:  make(map[ident.NodeID]bool),
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		endpoints:  make(map[ident.NodeID]*Endpoint),
+		links:      make(map[linkKey]*link),
+		isolated:   make(map[ident.NodeID]bool),
+		partitions: make(map[string]map[ident.NodeID]bool),
 	}
 }
 
@@ -154,6 +156,50 @@ func (n *Network) Heal(id ident.NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.isolated, id)
+}
+
+// Partition installs (or replaces) a named partition group: the given nodes
+// form one island and everybody else forms the other, so every message
+// crossing the boundary — in either direction — is dropped until
+// HealPartition. Isolate is the degenerate single-node case; named groups
+// generalise it to arbitrary splits ("crashes or transient errors of nodes or
+// the communication network"), and several groups may be active at once (a
+// message must stay on the same side of every group to get through). An empty
+// node list heals the group.
+func (n *Network) Partition(name string, nodes ...ident.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(nodes) == 0 {
+		delete(n.partitions, name)
+		return
+	}
+	g := make(map[ident.NodeID]bool, len(nodes))
+	for _, id := range nodes {
+		g[id] = true
+	}
+	n.partitions[name] = g
+}
+
+// HealPartition removes a named partition group. Messages dropped while the
+// partition stood are lost (transports with retransmission recover them).
+func (n *Network) HealPartition(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, name)
+}
+
+// severedLocked reports whether the pair is cut by an isolation or by any
+// named partition group. Caller holds n.mu.
+func (n *Network) severedLocked(from, to ident.NodeID) bool {
+	if n.isolated[from] || n.isolated[to] {
+		return true
+	}
+	for _, g := range n.partitions {
+		if g[from] != g[to] {
+			return true
+		}
+	}
+	return false
 }
 
 // Node returns the endpoint for id, creating it if necessary.
@@ -228,7 +274,7 @@ func (n *Network) send(m Message) error {
 	n.stats.record(statSent, m.Kind)
 
 	copies := 1
-	if n.isolated[m.From] || n.isolated[m.To] {
+	if n.severedLocked(m.From, m.To) {
 		copies = 0
 		n.stats.record(statDropped, m.Kind)
 	} else if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {

@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// expectDelivery asserts that exactly one message arrives on ep soon.
+func expectDelivery(t *testing.T, ep *Endpoint, want string) {
+	t.Helper()
+	select {
+	case m := <-ep.Recv():
+		if m.Kind != want {
+			t.Fatalf("delivered kind %q, want %q", m.Kind, want)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("no delivery of %q", want)
+	}
+}
+
+// expectSilence asserts that nothing arrives on ep for a short while.
+func expectSilence(t *testing.T, ep *Endpoint) {
+	t.Helper()
+	select {
+	case m := <-ep.Recv():
+		t.Fatalf("unexpected delivery %v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestNamedPartitionSplitsAndHeals(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, b, c, d := n.Node(1), n.Node(2), n.Node(3), n.Node(4)
+
+	// {1,2} vs {3,4}: traffic inside an island flows, across is dropped.
+	n.Partition("minority", 1, 2)
+	if err := a.Send(2, "in-island", nil); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, b, "in-island")
+	if err := c.Send(4, "in-island", nil); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, d, "in-island")
+	if err := a.Send(3, "cross", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Send(2, "cross", nil); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, c)
+	expectSilence(t, b)
+
+	st := n.Stats()
+	if st.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 cross-partition drops", st.Dropped)
+	}
+
+	n.HealPartition("minority")
+	if err := a.Send(3, "healed", nil); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, c, "healed")
+}
+
+func TestOverlappingPartitionGroups(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, b, c := n.Node(1), n.Node(2), n.Node(3)
+
+	// Two groups: {1} and {1,2}. 1<->2 crosses the first, 2<->3 the second,
+	// so only pairs on the same side of EVERY group communicate — here none
+	// involving distinct islands.
+	n.Partition("g1", 1)
+	n.Partition("g2", 1, 2)
+	if err := a.Send(2, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(3, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, b)
+	expectSilence(t, c)
+
+	// Healing g1 reconnects 1<->2 (same side of g2) but not 2<->3.
+	n.HealPartition("g1")
+	if err := a.Send(2, "y", nil); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, b, "y")
+	if err := b.Send(3, "still-cut", nil); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, c)
+
+	// Replacing g2 with an empty node list heals it.
+	n.Partition("g2")
+	if err := b.Send(3, "open", nil); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, c, "open")
+}
+
+func TestPartitionComposesWithIsolate(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, b := n.Node(1), n.Node(2)
+
+	n.Partition("p", 1, 2) // both on the same side: no effect between them
+	n.Isolate(2)
+	if err := a.Send(2, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, b)
+	n.Heal(2)
+	if err := a.Send(2, "y", nil); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, b, "y")
+}

@@ -90,6 +90,11 @@ type Engine struct {
 	// to avoid duplicate notifications.
 	suspendedAt ident.ActionID
 
+	// expelled records members removed by a membership view change. Nil until
+	// the first expulsion, so runs without a membership monitor take none of
+	// the degraded-mode branches and stay trace-identical.
+	expelled map[ident.ObjectID]bool
+
 	// Reusable scratch buffers for the hot paths: pending/deferred replay,
 	// the chooser's resolve input and the distinct-raisers computation all
 	// run per commit, so they must not allocate in steady state.
@@ -305,6 +310,79 @@ func (e *Engine) RaiseLocal(exc string) (bool, error) {
 	return true, nil
 }
 
+// ExpelMember removes a member decided failed by the membership service from
+// every entered frame, releases whatever the member still owed this object
+// (NestedCompleted entries, pending ACKs), and — when failureExc is non-empty
+// and the member was inside an entered, uncommitted action — feeds the engine
+// a synthesized exception raised on the failed member's behalf at the
+// innermost action it shared with us. Every survivor synthesizes the same
+// exception locally off the same view change, so no extra protocol messages
+// are needed; from there the ordinary machinery runs: participants deeper
+// than the failure's action abort their nested actions (the paper's
+// Figure 1(b) scenario with a crashed participant), and resolution covers the
+// failure exception. Expulsion is idempotent and permanent.
+func (e *Engine) ExpelMember(obj ident.ObjectID, failureExc string) {
+	if obj == e.self || e.expelled[obj] {
+		return
+	}
+	if e.expelled == nil {
+		e.expelled = make(map[ident.ObjectID]bool)
+	}
+	e.expelled[obj] = true
+	e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Label: "member-expelled",
+		Detail: obj.String()})
+
+	// Copy-on-write membership filter: Frame.Members may be shared with other
+	// engines' frames (the spec hands every participant the same slice).
+	deepest := -1
+	for i := range e.stack {
+		f := &e.stack[i]
+		if !slices.Contains(f.Members, obj) {
+			continue
+		}
+		ms := make([]ident.ObjectID, 0, len(f.Members)-1)
+		for _, m := range f.Members {
+			if m != obj {
+				ms = append(ms, m)
+			}
+		}
+		f.Members = ms
+		deepest = i
+	}
+	delete(e.lo, obj)
+	delete(e.ackWanted, obj)
+	delete(e.ackGot, obj)
+
+	if deepest < 0 {
+		// Not a member of anything we entered: nothing to resolve, but the
+		// releases above may have unblocked a resolution in progress.
+		e.maybeReady()
+		return
+	}
+	if failureExc == "" {
+		e.maybeReady()
+		return
+	}
+	f := e.stack[deepest]
+	e.HandleMessage(Msg{
+		Kind:   KindException,
+		Action: f.Action,
+		Path:   f.Path,
+		From:   obj,
+		Exc:    failureExc,
+	})
+}
+
+// Expelled returns the expelled members, sorted.
+func (e *Engine) Expelled() []ident.ObjectID {
+	out := make([]ident.ObjectID, 0, len(e.expelled))
+	for obj := range e.expelled {
+		out = append(out, obj)
+	}
+	slices.Sort(out)
+	return out
+}
+
 // HandleMessage processes one incoming protocol message.
 func (e *Engine) HandleMessage(m Msg) {
 	e.log(trace.Event{Kind: trace.EvRecv, Object: e.self, Peer: m.From,
@@ -390,9 +468,17 @@ func (e *Engine) handleExceptionOrHaveNested(m Msg) {
 // escalateTo aborts every action nested within frame (at stack index idx) and
 // performs the HaveNested / NestedCompleted exchange.
 func (e *Engine) escalateTo(idx int, frame Frame) {
-	// Abandon any deeper resolution.
+	// Abandon any deeper resolution — but a Commit stashed for THIS action
+	// (a degraded-mode Commit that outran the local expulsion, above) must
+	// survive the reset or the survivors wait forever for a second one.
+	keepStash := e.stashed && e.resAction == frame.Action
+	keepExc := e.stashedExc
 	e.clearResolution()
 	e.resAction = frame.Action
+	if keepStash {
+		e.stashed = true
+		e.stashedExc = keepExc
+	}
 
 	e.multicast(frame, Msg{
 		Kind:   KindHaveNested,
@@ -458,7 +544,19 @@ func (e *Engine) handleCommit(m Msg) {
 		return
 	}
 	if m.Action != e.resAction {
-		// Commit for a resolution we are not (or no longer) part of at this
+		// A degraded-mode chooser commits without ever multicasting an
+		// exception of its own (every survivor synthesizes the failure
+		// locally), so its Commit can outrun the view change that installs
+		// the resolution here — Commit and exception come from different
+		// sources, so no FIFO ordering protects us. Stash the Commit for the
+		// entered action; the expulsion event consumes it.
+		if e.state == StateNormal && e.resAction == 0 && e.frameIndex(m.Action) >= 0 {
+			e.resAction = m.Action
+			e.stashed = true
+			e.stashedExc = m.Exc
+			return
+		}
+		// Otherwise: a resolution we are not (or no longer) part of at this
 		// level; with a correct chooser this cannot happen, but log it.
 		e.log(trace.Event{Kind: trace.EvNote, Object: e.self, Action: m.Action,
 			Label: "unexpected-commit", Detail: m.Exc})
@@ -476,9 +574,23 @@ func (e *Engine) handleCommit(m Msg) {
 }
 
 // maybeReady applies the R-transition rule and, when this object is the
-// chooser, resolves and commits.
+// chooser, resolves and commits. A suspended object normally never reaches R
+// (only raisers do; the rest wait for the chooser's Commit) — but when every
+// raiser of the current resolution has been expelled, nobody will ever send
+// that Commit, so the survivors take the degraded path: they reach R from
+// Suspended and the biggest surviving member acts as chooser.
 func (e *Engine) maybeReady() {
-	if e.state != StateExceptional || e.resAction == 0 {
+	if e.resAction == 0 {
+		return
+	}
+	switch {
+	case e.state == StateExceptional:
+	case e.state == StateSuspended && e.degradedMode():
+	case e.state == StateReady && e.degradedMode():
+		// Already R, but expulsions accumulate one at a time: the first one
+		// may have elected a chooser that was itself about to be expelled.
+		// Re-evaluate so the election settles on a true survivor.
+	default:
 		return
 	}
 	if len(e.lo) != 0 {
@@ -563,19 +675,57 @@ func (e *Engine) clearResolution() {
 	e.resAction = 0
 }
 
+// degradedMode reports whether the current resolution can only be concluded
+// by survivors: members have been expelled, exceptions are on record, and
+// every raiser among them is expelled. (With no expulsions this is always
+// false, keeping non-partition runs on the unmodified state machine.)
+func (e *Engine) degradedMode() bool {
+	if len(e.expelled) == 0 || len(e.le) == 0 {
+		return false
+	}
+	for _, r := range e.le {
+		if !e.expelled[r.Obj] {
+			return false
+		}
+	}
+	return true
+}
+
 // isChooser reports whether this object is among the top chooser-group
 // raisers (by identifier order). The distinct-raisers set is computed on a
 // reusable scratch slice with a linear dedup — LE is bounded by the
 // membership, so quadratic scan beats a map here and allocates nothing.
+// Expelled raisers cannot choose; when expulsion has removed every raiser,
+// the biggest surviving member of the resolution frame takes over (the
+// degraded-mode counterpart of the "biggest raiser" rule).
 func (e *Engine) isChooser() bool {
 	rs := e.raiserScratch[:0]
 	for _, r := range e.le {
+		if len(e.expelled) > 0 && e.expelled[r.Obj] {
+			continue
+		}
 		if !slices.Contains(rs, r.Obj) {
 			rs = append(rs, r.Obj)
 		}
 	}
 	slices.Sort(rs)
 	e.raiserScratch = rs
+	if len(rs) == 0 {
+		if len(e.expelled) == 0 {
+			return false
+		}
+		idx := e.frameIndex(e.resAction)
+		if idx < 0 {
+			return false
+		}
+		var biggest ident.ObjectID
+		for _, m := range e.stack[idx].Members { // already excludes the expelled
+			if m > biggest {
+				biggest = m
+			}
+		}
+		return biggest == e.self
+	}
 	k := e.chooserGroup
 	if k < 1 {
 		k = 1

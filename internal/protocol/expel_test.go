@@ -1,0 +1,164 @@
+package protocol
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/exception"
+	"repro/internal/ident"
+)
+
+// pfTree is a tree with a participant-failure exception alongside an
+// application exception; their LCA is the root.
+func pfTree() *exception.Tree {
+	return exception.NewBuilder("universal").
+		Add("exc1", "universal").
+		Add("pf", "universal").
+		MustBuild()
+}
+
+// crash makes the bus drop everything obj sends from now on — the silent
+// crash the membership service later converts into an expulsion.
+func crash(b *bus, obj ident.ObjectID) {
+	b.sim.SetFilter(func(from, to ident.ObjectID, m Msg) bool { return from != obj })
+}
+
+// TestExpelMidResolutionUnblocksSurvivors: O1 raises, O3 crashes before its
+// ACK gets out, the resolution stalls — then the membership layer expels O3
+// with a participant-failure exception and the survivors must conclude a
+// resolution that covers both the application exception and the failure.
+func TestExpelMidResolutionUnblocksSurvivors(t *testing.T) {
+	b := newBus(t)
+	tree := pfTree()
+	f := frameOf(1, []ident.ActionID{1}, tree, 1, 2, 3)
+	for _, o := range []ident.ObjectID{1, 2, 3} {
+		b.addEngine(o)
+	}
+	b.enterAll(f, 1, 2, 3)
+
+	crash(b, 3)
+	if ok, err := b.engines[1].RaiseLocal("exc1"); !ok || err != nil {
+		t.Fatalf("raise: %v %v", ok, err)
+	}
+	b.drain()
+	if st := b.engines[1].State(); st != StateExceptional {
+		t.Fatalf("raiser state = %v, want stalled Exceptional (O3's ACK lost)", st)
+	}
+
+	for _, o := range []ident.ObjectID{1, 2} {
+		b.engines[o].ExpelMember(3, "pf")
+	}
+	b.drain()
+
+	for _, o := range []ident.ObjectID{1, 2} {
+		if st := b.engines[o].State(); st != StateNormal {
+			t.Errorf("O%d state = %v after commit", o, st)
+		}
+		want := []string{"A1:universal"} // LCA(exc1, pf)
+		if got := b.handled[o]; !slices.Equal(got, want) {
+			t.Errorf("O%d handled = %v, want %v", o, got, want)
+		}
+		if got := b.engines[o].Expelled(); !slices.Equal(got, []ident.ObjectID{3}) {
+			t.Errorf("O%d expelled = %v", o, got)
+		}
+		if exc, ok := b.engines[o].CommittedAt(1); !ok || exc != "universal" {
+			t.Errorf("O%d committed = %q, %v", o, exc, ok)
+		}
+	}
+}
+
+// TestExpelAllRaisersDegradedTakeover: nobody raised an application
+// exception; the only exception on record is the synthesized participant
+// failure of the crashed member. No raiser survives, so the biggest
+// surviving member must take over as chooser from the suspended state.
+func TestExpelAllRaisersDegradedTakeover(t *testing.T) {
+	b := newBus(t)
+	tree := pfTree()
+	f := frameOf(1, []ident.ActionID{1}, tree, 1, 2, 3)
+	for _, o := range []ident.ObjectID{1, 2, 3} {
+		b.addEngine(o)
+	}
+	b.enterAll(f, 1, 2, 3)
+
+	crash(b, 3)
+	for _, o := range []ident.ObjectID{1, 2} {
+		b.engines[o].ExpelMember(3, "pf")
+	}
+	b.drain()
+
+	for _, o := range []ident.ObjectID{1, 2} {
+		if st := b.engines[o].State(); st != StateNormal {
+			t.Errorf("O%d state = %v after degraded commit", o, st)
+		}
+		want := []string{"A1:pf"}
+		if got := b.handled[o]; !slices.Equal(got, want) {
+			t.Errorf("O%d handled = %v, want %v", o, got, want)
+		}
+	}
+}
+
+// TestExpelEscalatesThroughNestedActions is Figure 1(b) with a crashed
+// participant: O1 and O2 are inside a nested action when the containing
+// action's member O3 is expelled. The synthesized exception must abort the
+// nested action and resolve the failure at the containing level.
+func TestExpelEscalatesThroughNestedActions(t *testing.T) {
+	b := newBus(t)
+	tree := pfTree()
+	outer := frameOf(1, []ident.ActionID{1}, tree, 1, 2, 3)
+	nested := frameOf(2, []ident.ActionID{1, 2}, tree, 1, 2)
+	for _, o := range []ident.ObjectID{1, 2, 3} {
+		b.addEngine(o)
+	}
+	b.enterAll(outer, 1, 2, 3)
+	b.enterAll(nested, 1, 2)
+
+	crash(b, 3)
+	for _, o := range []ident.ObjectID{1, 2} {
+		b.engines[o].ExpelMember(3, "pf")
+	}
+	b.drain()
+
+	for _, o := range []ident.ObjectID{1, 2} {
+		if got := b.aborts[o]; !slices.Equal(got, []ident.ActionID{1}) {
+			t.Errorf("O%d aborts = %v, want [1]", o, got)
+		}
+		want := []string{"A1:pf"}
+		if got := b.handled[o]; !slices.Equal(got, want) {
+			t.Errorf("O%d handled = %v, want %v", o, got, want)
+		}
+		if d := b.engines[o].Depth(); d != 1 {
+			t.Errorf("O%d depth = %d, want nested action popped", o, d)
+		}
+	}
+}
+
+// TestExpelIsIdempotentAndIgnoresSelf pins the guard rails: expelling twice
+// adds one exception, expelling self is a no-op, and expelling an object
+// that shares no entered action leaves the protocol state untouched.
+func TestExpelIsIdempotentAndIgnoresSelf(t *testing.T) {
+	b := newBus(t)
+	tree := pfTree()
+	f := frameOf(1, []ident.ActionID{1}, tree, 1, 2, 3)
+	for _, o := range []ident.ObjectID{1, 2, 3} {
+		b.addEngine(o)
+	}
+	b.enterAll(f, 1, 2, 3)
+
+	e := b.engines[1]
+	e.ExpelMember(1, "pf") // self: ignored
+	if len(e.Expelled()) != 0 || e.State() != StateNormal {
+		t.Fatalf("self-expulsion took effect: %v %v", e.Expelled(), e.State())
+	}
+	e.ExpelMember(3, "pf")
+	e.ExpelMember(3, "pf") // duplicate: ignored
+	if got := len(e.LE()); got != 1 {
+		t.Fatalf("LE has %d entries after duplicate expel, want 1", got)
+	}
+	e.ExpelMember(9, "pf") // stranger: recorded, but no exception synthesized
+	if got := len(e.LE()); got != 1 {
+		t.Fatalf("LE has %d entries after expelling a non-member, want 1", got)
+	}
+	if got := e.Expelled(); !slices.Equal(got, []ident.ObjectID{3, 9}) {
+		t.Fatalf("expelled = %v", got)
+	}
+}

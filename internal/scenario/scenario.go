@@ -65,6 +65,21 @@ type Spec struct {
 	Timeout time.Duration
 	// KeepTrace includes the full event trace in the result (Result.Trace).
 	KeepTrace bool
+	// Membership enables partition-aware membership monitoring
+	// (core.Options.Membership): heartbeat failure detection, majority views
+	// and expulsion of unreachable participants as the predefined
+	// participant-failure exception. The exception tree gains
+	// core.ExcParticipantFailure. Requires a netsim transport (not
+	// TransportTCP).
+	Membership bool
+	// Partition lists the object numbers (1-based, O1..ON) cut away from the
+	// rest of the group mid-run as one named partition. Requires Membership,
+	// and must leave the surviving side with a strict majority of N so the
+	// primary partition can make expulsion decisions.
+	Partition []int
+	// PartitionDelay postpones the cut after the run starts (default 20ms,
+	// giving participants time to bind and exchange first heartbeats).
+	PartitionDelay time.Duration
 }
 
 // Result reports one run.
@@ -103,6 +118,27 @@ func (s Spec) Validate() error {
 	if s.Q > 0 && s.Depth < 1 {
 		return errors.New("scenario: Depth must be >= 1 when Q > 0")
 	}
+	if len(s.Partition) > 0 {
+		if !s.Membership {
+			return errors.New("scenario: Partition requires Membership")
+		}
+		seen := make(map[int]bool, len(s.Partition))
+		for _, p := range s.Partition {
+			if p < 1 || p > s.N {
+				return fmt.Errorf("scenario: partition object %d out of range [1, %d]", p, s.N)
+			}
+			if seen[p] {
+				return fmt.Errorf("scenario: partition object %d listed twice", p)
+			}
+			seen[p] = true
+		}
+		if survivors := s.N - len(s.Partition); 2*survivors <= s.N {
+			return errors.New("scenario: partition must leave a strict majority of N")
+		}
+	}
+	if s.Membership && s.Transport == core.TransportTCP {
+		return errors.New("scenario: Membership requires a netsim transport")
+	}
 	return nil
 }
 
@@ -125,16 +161,43 @@ func Run(spec Spec) (Result, error) {
 		timeout = 30 * time.Second
 	}
 	log := trace.NewLog()
-	sys := core.NewSystem(core.Options{
+	opts := core.Options{
 		Network:    netsim.Config{Latency: netsim.FixedLatency(spec.Latency)},
 		Transport:  spec.Transport,
 		Retransmit: spec.Retransmit,
 		Batch:      spec.Batch,
 		Trace:      log,
-	})
+	}
+	if spec.Membership {
+		// Timings tuned for simulation runs: fast enough that a partition is
+		// decided well inside the default timeout, slow enough that jittered
+		// heartbeats never produce false suspicions.
+		opts.Membership = &core.MembershipOptions{
+			Heartbeat: time.Millisecond,
+			Timeout:   25 * time.Millisecond,
+			Poll:      2 * time.Millisecond,
+		}
+	}
+	sys := core.NewSystem(opts)
 	defer sys.Close()
 
 	def, nestedSpecs := buildDefinition(spec)
+	if len(spec.Partition) > 0 {
+		cut := make([]ident.ObjectID, len(spec.Partition))
+		for i, p := range spec.Partition {
+			cut[i] = ident.ObjectID(p)
+		}
+		delay := spec.PartitionDelay
+		if delay == 0 {
+			delay = 20 * time.Millisecond
+		}
+		go func() {
+			time.Sleep(delay)
+			// Best-effort: a run that finished before the delay has no fabric
+			// to cut, which is fine — the result then shows no expulsions.
+			_ = sys.Partition("storm", cut...)
+		}()
+	}
 	start := time.Now()
 	out, err := sys.RunTimeout(def, timeout)
 	elapsed := time.Since(start)
@@ -177,6 +240,9 @@ func buildDefinition(spec Spec) (core.Definition, []*core.ActionSpec) {
 	tb := exception.NewBuilder("omega")
 	for i := 1; i <= spec.N; i++ {
 		tb.Add(fmt.Sprintf("exc%d", i), "omega")
+	}
+	if spec.Membership {
+		tb.Add(core.ExcParticipantFailure, "omega")
 	}
 	tree := tb.MustBuild()
 

@@ -152,6 +152,29 @@ func (c *Concurrent) Heal(obj ident.ObjectID) error {
 	return nil
 }
 
+// Partition installs (or replaces) a named partition group at the object
+// level: the named objects' nodes form one island, every other node the
+// other, and messages crossing the boundary are dropped until HealPartition.
+// This generalises Isolate's single-node exile to arbitrary splits of the
+// world. Every object must be bound; an empty object list heals the group.
+func (c *Concurrent) Partition(name string, objs ...ident.ObjectID) error {
+	nodes := make([]ident.NodeID, len(objs))
+	for i, obj := range objs {
+		node, err := c.Node(obj)
+		if err != nil {
+			return err
+		}
+		nodes[i] = node
+	}
+	c.net.Partition(name, nodes...)
+	return nil
+}
+
+// HealPartition removes a named partition group installed with Partition.
+func (c *Concurrent) HealPartition(name string) {
+	c.net.HealPartition(name)
+}
+
 // Send routes one message through the fabric. The codec encodes the payload,
 // the fault policy (with lock-striped per-pair sequence state) decides its
 // fate, and surviving copies enter the network.
