@@ -22,6 +22,11 @@ import (
 	"repro/internal/bench"
 )
 
+// msDur renders a nanosecond figure as a millisecond duration string.
+func msDur(ns float64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -57,12 +62,17 @@ func run(args []string) error {
 		}
 	}
 
-	fmt.Printf("%-28s %10s %14s %12s %12s %8s\n",
+	fmt.Printf("%-34s %10s %14s %12s %12s %8s\n",
 		"scenario", "iters", "ns/op", "B/op", "allocs/op", "msgs")
 	ms, err := bench.MeasureAll(scenarios, bench.Options{Target: *target, Smoke: *smoke},
 		func(m bench.Measurement) {
-			fmt.Printf("%-28s %10d %14.0f %12.0f %12.1f %8d\n",
+			row := fmt.Sprintf("%-34s %10d %14.0f %12.0f %12.1f %8d",
 				m.Name, m.Iterations, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.Msgs)
+			if m.ActionsPerSec > 0 {
+				row += fmt.Sprintf("  %.0f act/s p50=%s p99=%s p999=%s",
+					m.ActionsPerSec, msDur(m.P50Ns), msDur(m.P99Ns), msDur(m.P999Ns))
+			}
+			fmt.Println(row)
 		})
 	if err != nil {
 		return err

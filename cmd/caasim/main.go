@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +61,7 @@ func run(args []string) error {
 		tport      = fs.String("transport", "raw", "messaging layer: raw | r3 | tcp (real loopback sockets)")
 		batch      = fs.Int("batch", 0, "delivery batch: drain up to this many queued messages per engine wakeup (0 = per-message)")
 		timeout    = fs.Duration("timeout", 30*time.Second, "run timeout")
+		concurrent = fs.Int("concurrent", 1, "submit this many copies of the action to one shared server and report aggregate agreement")
 		procs      = fs.Bool("procs", false, "run each participant in its own OS process (re-execs this binary; uses -n, -p, -q)")
 		belated    = fs.Bool("belated", false, "run the belated-participant workload (Figure 1) instead")
 		showTrace  = fs.Bool("trace", false, "print the full event trace (paper-style message log)")
@@ -123,6 +125,12 @@ func run(args []string) error {
 		spec.Partition = cut
 		spec.PartitionDelay = *partDelay
 	}
+	if *concurrent > 1 {
+		if spec.Membership {
+			return errors.New("-concurrent and -partition are mutually exclusive (membership runs need a private directory)")
+		}
+		return runConcurrent(spec, kind, *batch, *concurrent, *timeout)
+	}
 	res, err := scenario.Run(spec)
 	if err != nil {
 		return err
@@ -153,6 +161,74 @@ func run(args []string) error {
 	if *showTrace {
 		fmt.Println("\nevent trace:")
 		fmt.Print(res.Trace)
+	}
+	return nil
+}
+
+// runConcurrent is the -concurrent mode: copies of the same action are
+// submitted together to one shared server, multiplexed over the same
+// per-object transports, and the aggregate report shows whether every copy
+// reached the same outcome the action reaches when run alone.
+func runConcurrent(spec scenario.Spec, kind core.TransportKind, batch, copies int, timeout time.Duration) error {
+	def, err := scenario.Build(spec)
+	if err != nil {
+		return err
+	}
+	srv := core.NewServer(core.Options{Transport: kind, Batch: batch})
+	defer srv.Close()
+
+	outs := make([]core.Outcome, copies)
+	errs := make([]error, copies)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for k := 0; k < copies; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			outs[k], errs[k] = srv.RunTimeout(def, timeout)
+		}(k)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	completed := 0
+	resolved := make(map[string]int)
+	var firstErr error
+	for k := 0; k < copies; k++ {
+		if errs[k] != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("copy %d: %w", k, errs[k])
+			}
+			continue
+		}
+		if outs[k].Completed {
+			completed++
+		}
+		resolved[outs[k].Resolved]++
+	}
+
+	fmt.Printf("concurrent: %d copies of N=%d P=%d Q=%d on one shared server (transport=%v batch=%d)\n",
+		copies, spec.N, spec.P, spec.Q, kind, batch)
+	fmt.Printf("agreement: %d/%d copies completed\n", completed, copies)
+	keys := make([]string, 0, len(resolved))
+	for k := range resolved {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		label := k
+		if label == "" {
+			label = "(none)"
+		}
+		fmt.Printf("  resolved %-12s %d\n", label, resolved[k])
+	}
+	fmt.Printf("elapsed: %v (%.0f actions/sec)\n",
+		elapsed.Round(time.Microsecond), float64(copies)/elapsed.Seconds())
+	if firstErr != nil {
+		return firstErr
+	}
+	if completed != copies {
+		return fmt.Errorf("%d of %d copies did not complete", copies-completed, copies)
 	}
 	return nil
 }

@@ -80,6 +80,7 @@ func runMsgKind(pass *Pass) {
 				checkCensusIndex(pass, n)
 			case *ast.CompositeLit:
 				checkSendEventLit(pass, n)
+				checkTransportMessageLit(pass, n)
 			}
 			return true
 		})
@@ -146,6 +147,64 @@ func checkSendEventLit(pass *Pass, lit *ast.CompositeLit) {
 	}
 	if isSend && label != nil {
 		checkKindExpr(pass, label, "EvSend Label")
+	}
+}
+
+// checkTransportMessageLit validates transport.Message composite literals
+// that put a protocol message on the fabric directly: the Kind, when a bare
+// string literal, must be a declared kind, and the literal must set the
+// Action routing tag — an untagged protocol message cannot be demultiplexed
+// by a shared-transport receiver, and its sends fall out of any per-action
+// census cut. Envelope-building layers (group, transport itself) are exempt
+// via kindDefiningPkgs/test-file filtering above; non-protocol payloads pass
+// untouched (conformance traffic, control metadata).
+func checkTransportMessageLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	pkgName, typeName, ok := namedOf(tv.Type)
+	if !ok || pkgName != "transport" || typeName != "Message" {
+		return
+	}
+	var kind, payload ast.Expr
+	hasAction := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Kind":
+			kind = kv.Value
+		case "Action":
+			hasAction = true
+		case "Payload":
+			payload = kv.Value
+		}
+	}
+	if payload == nil {
+		return
+	}
+	ptv, ok := pass.Info.Types[payload]
+	if !ok {
+		return
+	}
+	ppkg, ptype, ok := namedOf(ptv.Type)
+	if !ok || ppkg != "protocol" || ptype != "Msg" {
+		return
+	}
+	if kind != nil {
+		checkKindExpr(pass, kind, "transport.Message Kind")
+	}
+	if !hasAction {
+		pass.Reportf(lit.Pos(),
+			"protocol message enters the fabric untagged: set Message.Action so "+
+				"multiplexed receivers can route it to the owning action")
 	}
 }
 

@@ -80,9 +80,10 @@ func checkRawMessageChannel(pass *Pass, call *ast.CallExpr) {
 		pkgName, typeName)
 }
 
-// checkEndpointUse flags Send/Recv on netsim endpoints outside the seam.
+// checkEndpointUse flags Send/SendTagged/Recv on netsim endpoints outside
+// the seam.
 func checkEndpointUse(pass *Pass, call *ast.CallExpr) {
-	for _, method := range []string{"Send", "Recv"} {
+	for _, method := range []string{"Send", "SendTagged", "Recv"} {
 		if isMethodNamed(pass.Info, call, "netsim", "Endpoint", method) {
 			pass.Reportf(call.Pos(),
 				"direct netsim endpoint %s bypasses the transport seam (its census, codec and fault hooks); use a transport.Port",

@@ -3,6 +3,7 @@
 package harness
 
 import (
+	"msgkind/protocol"
 	"msgkind/trace"
 	"msgkind/transport"
 )
@@ -29,4 +30,14 @@ func record(l *trace.Log, k string) {
 	l.Record(trace.Event{Kind: trace.EvSend, Label: "commit"}) // want "undeclared message kind"
 	l.Record(trace.Event{Label: "free-form note"})             // not a send event
 	l.Record(trace.Event{Kind: trace.EvSend, Label: k})        // dynamic labels pass
+}
+
+// Protocol messages entering the fabric directly must carry a declared kind
+// and the Action routing tag; other payloads are control traffic and pass.
+func sends(p protocol.Msg, k string) {
+	_ = transport.Send(transport.Message{From: 1, To: 2, Kind: "Exception", Action: 9, Payload: p})
+	_ = transport.Send(transport.Message{From: 1, To: 2, Kind: "Excepton", Action: 9, Payload: p}) // want "undeclared message kind"
+	_ = transport.Send(transport.Message{From: 1, To: 2, Kind: "Exception", Payload: p})           // want "enters the fabric untagged"
+	_ = transport.Send(transport.Message{From: 1, To: 2, Kind: k, Action: 9, Payload: p})          // dynamic kinds pass
+	_ = transport.Send(transport.Message{From: 1, To: 2, Kind: "conformance", Payload: "scratch"}) // non-protocol payload passes
 }

@@ -1,0 +1,7 @@
+// Package protocol is a fixture modelling the protocol message type the
+// transport fabric carries: the analyzers match it by package and type name.
+package protocol
+
+type Msg struct {
+	Kind string
+}

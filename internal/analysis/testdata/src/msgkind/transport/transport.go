@@ -5,3 +5,12 @@ type Census struct{ sent map[string]int }
 
 func (c *Census) CountSent(kind string) int  { return c.sent[kind] }
 func (c *Census) SentByKind() map[string]int { return c.sent }
+
+type Message struct {
+	From, To int64
+	Kind     string
+	Action   int64
+	Payload  any
+}
+
+func Send(Message) error { return nil }

@@ -17,8 +17,9 @@ func rawNetsim() chan netsim.Message {
 }
 
 func direct(e *netsim.Endpoint) netsim.Message {
-	e.Send(netsim.Message{}) // want `direct netsim endpoint Send`
-	return e.Recv()          // want `direct netsim endpoint Recv`
+	e.Send(netsim.Message{})          // want `direct netsim endpoint Send`
+	e.SendTagged(netsim.Message{}, 7) // want `direct netsim endpoint SendTagged`
+	return e.Recv()                   // want `direct netsim endpoint Recv`
 }
 
 // Channels of other element types are ordinary concurrency, not a fabric.

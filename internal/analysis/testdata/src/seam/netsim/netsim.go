@@ -9,5 +9,6 @@ type Endpoint struct{ ch chan Message }
 
 func NewEndpoint() *Endpoint { return &Endpoint{ch: make(chan Message, 8)} }
 
-func (e *Endpoint) Send(m Message) { e.ch <- m }
-func (e *Endpoint) Recv() Message  { return <-e.ch }
+func (e *Endpoint) Send(m Message)                     { e.ch <- m }
+func (e *Endpoint) SendTagged(m Message, action int64) { e.ch <- m }
+func (e *Endpoint) Recv() Message                      { return <-e.ch }

@@ -27,6 +27,11 @@ const Schema = "caa-bench/1"
 type Scenario struct {
 	Name string
 	Run  func() (msgs int, err error)
+	// Open, when non-nil, marks an open-loop load scenario: Run is ignored,
+	// each iteration executes one whole open-loop run, and the last run's
+	// throughput and latency percentiles land in the measurement's
+	// open-loop columns.
+	Open func() (OpenLoopResult, error)
 }
 
 // Measurement is the recorded result of one scenario.
@@ -39,6 +44,12 @@ type Measurement struct {
 	// Msgs is the exact protocol-message count of one iteration (stable for
 	// the deterministic scenarios, last-observed for the concurrent ones).
 	Msgs int `json:"msgs"`
+	// Open-loop scenarios only (server/* rows): sustained commit throughput
+	// and commit-latency percentiles of the last measured open-loop run.
+	ActionsPerSec float64 `json:"actions_per_sec,omitempty"`
+	P50Ns         float64 `json:"p50_ns,omitempty"`
+	P99Ns         float64 `json:"p99_ns,omitempty"`
+	P999Ns        float64 `json:"p999_ns,omitempty"`
 }
 
 // Run is one labelled execution of the suite.
@@ -85,9 +96,22 @@ func (o Options) withDefaults() Options {
 func Measure(s Scenario, opts Options) (Measurement, error) {
 	opts = opts.withDefaults()
 
+	run := s.Run
+	var open OpenLoopResult
+	if s.Open != nil {
+		run = func() (int, error) {
+			r, err := s.Open()
+			if err != nil {
+				return 0, err
+			}
+			open = r
+			return 0, nil
+		}
+	}
+
 	// Warm-up: primes caches and yields the per-iteration time estimate.
 	warmStart := time.Now()
-	msgs, err := s.Run()
+	msgs, err := run()
 	warmElapsed := time.Since(warmStart)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("bench %s: %w", s.Name, err)
@@ -109,7 +133,7 @@ func Measure(s Scenario, opts Options) (Measurement, error) {
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < iters; i++ {
-		if msgs, err = s.Run(); err != nil {
+		if msgs, err = run(); err != nil {
 			return Measurement{}, fmt.Errorf("bench %s: %w", s.Name, err)
 		}
 	}
@@ -117,14 +141,21 @@ func Measure(s Scenario, opts Options) (Measurement, error) {
 	runtime.ReadMemStats(&after)
 
 	n := float64(iters)
-	return Measurement{
+	m := Measurement{
 		Name:        s.Name,
 		Iterations:  iters,
 		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
 		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
 		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
 		Msgs:        msgs,
-	}, nil
+	}
+	if s.Open != nil {
+		m.ActionsPerSec = open.ActionsPerSec
+		m.P50Ns = float64(open.P50.Nanoseconds())
+		m.P99Ns = float64(open.P99.Nanoseconds())
+		m.P999Ns = float64(open.P999.Nanoseconds())
+	}
+	return m, nil
 }
 
 // MeasureAll measures every scenario in order. report, when non-nil, receives

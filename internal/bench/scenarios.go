@@ -65,7 +65,33 @@ func Default() []Scenario {
 			Run:  func() (int, error) { return partitionCase(n, 2) },
 		})
 	}
+	for _, rate := range []int{1000, 4000} {
+		rate := rate
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("server/openloop/N=4/rate=%d", rate),
+			Open: func() (OpenLoopResult, error) { return openLoopCase(4, rate, 0) },
+		})
+	}
+	out = append(out, Scenario{
+		Name: "server/openloop/N=4/rate=4000/cap=32",
+		Open: func() (OpenLoopResult, error) { return openLoopCase(4, 4000, 32) },
+	})
 	return out
+}
+
+// openLoopCase drives one shared server with Poisson arrivals of
+// single-raiser N-member actions: the multiplexed-runtime counterpart of
+// stackCase, measuring sustained throughput and commit-latency tails instead
+// of per-run cost. The capped variant adds admission backpressure, so its
+// tail shows queueing-at-the-door rather than in-server contention.
+func openLoopCase(n, rate, cap int) (OpenLoopResult, error) {
+	return OpenLoop(OpenLoopSpec{
+		Scenario:    scenario.Spec{N: n, P: 1},
+		Rate:        float64(rate),
+		Actions:     300,
+		Seed:        1,
+		MaxInFlight: cap,
+	})
 }
 
 // protocolCase drains one deterministic (n, p, q) resolution on the protocol

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/group"
+	"repro/internal/ident"
+)
+
+// Admission errors.
+var (
+	// ErrOverload reports that a submission was rejected because the server
+	// already has Options.MaxInFlight actions executing (OverloadReject).
+	ErrOverload = errors.New("core: server overloaded, max in-flight actions reached")
+	// ErrClosed reports a submission to a closed server.
+	ErrClosed = errors.New("core: server closed")
+)
+
+// dispatcher multiplexes one object's shared transport across concurrent
+// actions: a single pump goroutine drains the transport and routes each
+// delivery to the session owning its envelope's action tag. The transport —
+// and with it the object's node binding, reliable-layer state and socket
+// fabric — lives as long as the server, not as long as any one action.
+type dispatcher struct {
+	sys *Server
+	obj ident.ObjectID
+	tr  group.Transport
+
+	mu      sync.Mutex
+	routes  map[ident.ActionID]*mailbox
+	dropped int // deliveries with no live route (e.g. post-completion acks)
+
+	done chan struct{}
+}
+
+// dispatcherFor returns (creating and starting on demand) the shared
+// dispatcher hosting obj.
+func (s *Server) dispatcherFor(obj ident.ObjectID) (*dispatcher, error) {
+	s.mu.Lock()
+	if s.dispatchers == nil {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if d, ok := s.dispatchers[obj]; ok {
+		s.mu.Unlock()
+		return d, nil
+	}
+	s.mu.Unlock()
+
+	// Bind outside the server lock: binding dials listeners on the TCP
+	// backend. The double-check below resolves racing creators.
+	tr, err := s.newTransport(s.sharedBinder(), obj)
+	if err != nil {
+		return nil, err
+	}
+	d := &dispatcher{
+		sys:    s,
+		obj:    obj,
+		tr:     tr,
+		routes: make(map[ident.ActionID]*mailbox),
+		done:   make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.dispatchers == nil {
+		s.mu.Unlock()
+		tr.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := s.dispatchers[obj]; ok {
+		s.mu.Unlock()
+		tr.Close()
+		return existing, nil
+	}
+	s.dispatchers[obj] = d
+	s.mu.Unlock()
+	go d.pump()
+	return d, nil
+}
+
+// pump routes deliveries until the shared transport closes. It never blocks
+// on a session: mailboxes are unbounded, so one slow engine cannot stall the
+// traffic of every other action sharing the object.
+func (d *dispatcher) pump() {
+	defer close(d.done)
+	for dv := range d.tr.Recv() {
+		d.mu.Lock()
+		mb := d.routes[dv.Action]
+		if mb == nil {
+			// No live session owns the tag: a stale delivery for a completed
+			// action (late retransmission, post-commit ACK). Dropping it is
+			// safe — the session already concluded — and counted for tests.
+			d.dropped++
+		}
+		d.mu.Unlock()
+		if mb != nil {
+			mb.put(dv)
+		}
+	}
+}
+
+// register installs the mailbox receiving deliveries tagged with action.
+func (d *dispatcher) register(action ident.ActionID, mb *mailbox) {
+	d.mu.Lock()
+	d.routes[action] = mb
+	d.mu.Unlock()
+}
+
+// unregister removes a session's route; subsequent deliveries for it drop.
+func (d *dispatcher) unregister(action ident.ActionID) {
+	d.mu.Lock()
+	delete(d.routes, action)
+	d.mu.Unlock()
+}
+
+// close tears the shared transport down and waits for the pump to exit.
+func (d *dispatcher) close() {
+	d.tr.Close()
+	<-d.done
+}
+
+// mailbox is one session's unbounded FIFO inbox on a dispatcher. put never
+// blocks (the dispatcher must keep draining the shared transport); take is
+// non-blocking and re-arms the ready signal while messages remain, so a
+// consumer draining in bounded bursts never sleeps on a non-empty queue.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []group.Delivery
+	head   int
+	closed bool
+
+	ready chan struct{} // 1-buffered: armed whenever the queue may be non-empty
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{ready: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) put(d group.Delivery) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if m.head > 0 && len(m.queue) == cap(m.queue) {
+		// Compact the live suffix instead of growing, as netsim inboxes do.
+		m.queue = append(m.queue[:0], m.queue[m.head:]...)
+		m.head = 0
+	}
+	m.queue = append(m.queue, d)
+	m.mu.Unlock()
+	m.signal()
+}
+
+func (m *mailbox) take() (group.Delivery, bool) {
+	m.mu.Lock()
+	if m.head == len(m.queue) {
+		m.mu.Unlock()
+		return group.Delivery{}, false
+	}
+	d := m.queue[m.head]
+	m.queue[m.head] = group.Delivery{} // release payload references
+	m.head++
+	remaining := m.head != len(m.queue)
+	if !remaining {
+		m.queue = m.queue[:0]
+		m.head = 0
+	}
+	m.mu.Unlock()
+	if remaining {
+		m.signal()
+	}
+	return d, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.queue = nil
+	m.head = 0
+	m.mu.Unlock()
+}
+
+func (m *mailbox) signal() {
+	select {
+	case m.ready <- struct{}{}:
+	default:
+	}
+}
+
+// sessionRoute is one participant's attachment to the shared runtime: sends
+// go out through the object's shared transport stamped with the session's
+// root action tag, and deliveries tagged with it arrive in the inbox.
+type sessionRoute struct {
+	disp  *dispatcher
+	root  ident.ActionID
+	inbox *mailbox
+}
+
+func newSessionRoute(d *dispatcher, root ident.ActionID) *sessionRoute {
+	r := &sessionRoute{disp: d, root: root, inbox: newMailbox()}
+	d.register(root, r.inbox)
+	return r
+}
+
+// send transmits one message on the shared transport, tagged for this
+// session.
+func (r *sessionRoute) send(to ident.ObjectID, kind string, payload any) error {
+	return r.disp.tr.SendTagged(to, kind, r.root, payload)
+}
+
+// close detaches the session from the dispatcher. The shared transport stays
+// up for other sessions.
+func (r *sessionRoute) close() {
+	r.disp.unregister(r.root)
+	r.inbox.close()
+}
+
+// Pending is an asynchronously submitted action; Wait blocks until it
+// concludes.
+type Pending struct {
+	done chan struct{}
+	out  Outcome
+	err  error
+}
+
+// Wait blocks until the action concludes and returns its outcome.
+func (p *Pending) Wait() (Outcome, error) {
+	<-p.done
+	return p.out, p.err
+}
+
+// Submit starts a top-level CA action asynchronously. Admission control runs
+// synchronously — Submit blocks (OverloadBlock) or fails with ErrOverload
+// (OverloadReject) while the server is at MaxInFlight, and fails with
+// ErrClosed after Close — so an open-loop caller feels backpressure at
+// submission time, not at Wait time.
+func (s *Server) Submit(def Definition) (*Pending, error) {
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	p := &Pending{done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		defer s.release()
+		p.out, p.err = s.runAttempt(def, 0, 1)
+	}()
+	return p, nil
+}

@@ -22,11 +22,17 @@ var (
 	ErrSuspendedEntry = errors.New("core: nested entry refused, resolution in progress")
 )
 
-// run is the state of one top-level CA-action execution.
+// run is the state of one top-level CA-action execution — a session on the
+// shared runtime. In shared mode (the default) participants attach to the
+// server's per-object dispatchers and the session's traffic is multiplexed
+// over long-lived transports; membership-monitored runs keep a private
+// directory (heartbeats are untagged, so per-run failure detectors must not
+// share a stream).
 type run struct {
-	sys *System
-	def *Definition
-	dir group.Binder
+	sys    *System
+	def    *Definition
+	dir    group.Binder
+	shared bool
 
 	mu        sync.Mutex
 	instances map[*ActionSpec]*instance
@@ -40,6 +46,18 @@ type run struct {
 }
 
 func newRun(sys *System, def *Definition) *run {
+	r := &run{
+		sys:          sys,
+		def:          def,
+		shared:       sys.opts.Membership == nil,
+		instances:    make(map[*ActionSpec]*instance),
+		byID:         make(map[ident.ActionID]*instance),
+		participants: make(map[ident.ObjectID]*participant),
+	}
+	if r.shared {
+		r.dir = sys.sharedBinder()
+		return r
+	}
 	nextNode := func() ident.NodeID {
 		// Reuse the action counter as a global node allocator so concurrent
 		// and successive runs on one system never collide.
@@ -48,14 +66,7 @@ func newRun(sys *System, def *Definition) *run {
 		sys.nextAction++
 		return ident.NodeID(1000 + sys.nextAction)
 	}
-	r := &run{
-		sys:          sys,
-		def:          def,
-		dir:          sys.newDirectory(nextNode),
-		instances:    make(map[*ActionSpec]*instance),
-		byID:         make(map[ident.ActionID]*instance),
-		participants: make(map[ident.ObjectID]*participant),
-	}
+	r.dir = sys.newDirectory(nextNode)
 	return r
 }
 

@@ -38,10 +38,14 @@ type event struct {
 
 // participant is one participating object: a protocol engine goroutine plus
 // a body goroutine, communicating only through events and suspension state.
+// In shared mode the participant attaches to the object's dispatcher via a
+// sessionRoute (transport is nil); in legacy (membership) mode it owns a
+// private transport for the run's lifetime.
 type participant struct {
 	run       *run
 	obj       ident.ObjectID
-	transport group.Transport
+	transport group.Transport // legacy mode only; nil when route is set
+	route     *sessionRoute   // shared mode only; nil when transport is set
 	engine    *protocol.Engine
 
 	events   chan *event
@@ -71,14 +75,9 @@ type participant struct {
 }
 
 func newParticipant(r *run, obj ident.ObjectID) (*participant, error) {
-	tr, err := r.sys.newTransport(r.dir, obj)
-	if err != nil {
-		return nil, err
-	}
 	p := &participant{
 		run:          r,
 		obj:          obj,
-		transport:    tr,
 		events:       make(chan *event),
 		quit:         make(chan struct{}),
 		loopDone:     make(chan struct{}),
@@ -87,14 +86,35 @@ func newParticipant(r *run, obj ident.ObjectID) (*participant, error) {
 		parkedLevel:  levelNotParked,
 		outcomes:     make(map[ident.ActionID]chan handlerOutcome),
 	}
+	if r.shared {
+		// Shared runtime: attach to the object's long-lived dispatcher,
+		// keyed by this session's root action tag (allocated before any
+		// participant exists, see runAttempt).
+		d, err := r.sys.dispatcherFor(obj)
+		if err != nil {
+			return nil, err
+		}
+		p.route = newSessionRoute(d, r.top.id)
+	} else {
+		tr, err := r.sys.newTransport(r.dir, obj)
+		if err != nil {
+			return nil, err
+		}
+		p.transport = tr
+	}
 	p.parkCond = sync.NewCond(&p.smu)
-	p.engine = protocol.NewEngine(obj, protocol.Hooks{
+	// Engines are pooled: Reset rebinds a warm engine (ledger capacity
+	// intact) to this participant instead of allocating fresh maps per
+	// action.
+	eng := r.sys.enginePool.Get().(*protocol.Engine)
+	eng.Reset(obj, protocol.Hooks{
 		Send:         p.hookSend,
 		Suspend:      p.hookSuspend,
 		AbortNested:  p.hookAbortNested,
 		StartHandler: p.hookStartHandler,
 		Log:          func(ev trace.Event) { r.sys.log.Record(ev) },
 	})
+	p.engine = eng
 	p.startMembership()
 	go p.loop()
 	return p, nil
@@ -107,6 +127,10 @@ func newParticipant(r *run, obj ident.ObjectID) (*participant, error) {
 // the cap keeps local events from starving while messages keep flowing.
 func (p *participant) loop() {
 	defer close(p.loopDone)
+	if p.route != nil {
+		p.loopShared()
+		return
+	}
 	batch := p.run.sys.opts.Batch
 	for {
 		select {
@@ -128,6 +152,35 @@ func (p *participant) loop() {
 				default:
 				}
 				break
+			}
+		case ev := <-p.events:
+			ev.reply <- ev.fn()
+		}
+	}
+}
+
+// loopShared is the engine goroutine in shared mode: deliveries arrive in
+// the session's mailbox (fed by the object's dispatcher), and each wakeup
+// drains a bounded burst so local events never starve behind a message
+// storm. The mailbox re-arms its ready signal while non-empty, so stopping
+// at the burst cap never strands queued messages.
+func (p *participant) loopShared() {
+	burst := p.run.sys.opts.Batch
+	if burst < 1 {
+		burst = 32
+	}
+	inbox := p.route.inbox
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-inbox.ready:
+			for n := 0; n < burst; n++ {
+				d, ok := inbox.take()
+				if !ok {
+					break
+				}
+				p.handleDelivery(d)
 			}
 		case ev := <-p.events:
 			ev.reply <- ev.fn()
@@ -160,9 +213,11 @@ func (p *participant) handleDelivery(d group.Delivery) {
 }
 
 // stop terminates the engine goroutine, the membership machinery and the
-// transport, in that order (the monitor's final callbacks must find the
-// participant already quit, and the detector must stop beating before its
-// transport closes).
+// transport attachment, in that order (the monitor's final callbacks must
+// find the participant already quit, and the detector must stop beating
+// before its transport closes). In shared mode the session's route is
+// unregistered — the object's shared transport stays up for other sessions —
+// and the engine, now quiescent, returns to the server's pool.
 func (p *participant) stop() {
 	close(p.quit)
 	<-p.loopDone
@@ -172,7 +227,13 @@ func (p *participant) stop() {
 	if p.detector != nil {
 		p.detector.Stop()
 	}
-	p.transport.Close()
+	if p.route != nil {
+		p.route.close()
+	} else {
+		p.transport.Close()
+	}
+	p.run.sys.enginePool.Put(p.engine)
+	p.engine = nil
 }
 
 // post runs fn on the engine goroutine and waits for its result. level is
@@ -219,8 +280,16 @@ func (p *participant) post(level int, fn func() error) error {
 
 func (p *participant) hookSend(to ident.ObjectID, m protocol.Msg) {
 	// The directory's codec (wire encoding, when enabled) applies at the
-	// transport boundary; encode failures surface as send errors.
-	if err := p.transport.Send(to, m.Kind, m); err != nil {
+	// transport boundary; encode failures surface as send errors. Shared-mode
+	// sends carry the session's root action tag so the receiving dispatcher
+	// can route the frame without decoding it.
+	var err error
+	if p.route != nil {
+		err = p.route.send(to, m.Kind, m)
+	} else {
+		err = p.transport.Send(to, m.Kind, m)
+	}
+	if err != nil {
 		p.run.sys.log.Record(trace.Event{Kind: trace.EvNote, Object: p.obj,
 			Label: "send-error", Detail: err.Error()})
 	}

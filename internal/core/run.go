@@ -56,15 +56,26 @@ var (
 	ErrDisagreement = errors.New("core: participants disagree on the outcome")
 )
 
-// Run executes a top-level CA action to completion.
-func (s *System) Run(def Definition) (Outcome, error) {
+// Run executes a top-level CA action to completion. It is a thin wrapper
+// over the shared runtime: the action is admitted (blocking or failing per
+// the overload policy), multiplexed over the server's shared transports, and
+// any number of Runs may execute concurrently on one server.
+func (s *Server) Run(def Definition) (Outcome, error) {
+	if err := s.admit(); err != nil {
+		return Outcome{}, err
+	}
+	defer s.release()
 	return s.runAttempt(def, 0, 1)
 }
 
 // RunTimeout executes a top-level CA action, cancelling the run if it does
 // not complete within d (used, e.g., to demonstrate that the
 // wait-for-nested-actions policy can block forever on belated participants).
-func (s *System) RunTimeout(def Definition, d time.Duration) (Outcome, error) {
+func (s *Server) RunTimeout(def Definition, d time.Duration) (Outcome, error) {
+	if err := s.admit(); err != nil {
+		return Outcome{}, err
+	}
+	defer s.release()
 	return s.runAttempt(def, d, 1)
 }
 
@@ -246,7 +257,11 @@ type RecoveryOutcome struct {
 // having been aborted, restoring the external atomic objects), retries with
 // the next alternate. It returns the first passing outcome, or the last
 // failing one when every alternate is exhausted.
-func (s *System) RunWithRecovery(def Definition, alternates []Attempt) (RecoveryOutcome, error) {
+func (s *Server) RunWithRecovery(def Definition, alternates []Attempt) (RecoveryOutcome, error) {
+	if err := s.admit(); err != nil {
+		return RecoveryOutcome{}, err
+	}
+	defer s.release()
 	attempts := 1 + len(alternates)
 	var (
 		out Outcome

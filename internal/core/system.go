@@ -8,6 +8,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/ident"
 	"repro/internal/netsim"
+	"repro/internal/protocol"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -32,7 +33,21 @@ const (
 	TransportTCP
 )
 
-// Options configure a System.
+// OverloadPolicy selects what happens to a submission that would exceed
+// Options.MaxInFlight.
+type OverloadPolicy int
+
+// Overload policies.
+const (
+	// OverloadBlock parks the submitting goroutine until a slot frees up
+	// (admission-control backpressure, the counterpart of a bounded netsim
+	// inbox at the action level).
+	OverloadBlock OverloadPolicy = iota
+	// OverloadReject fails the submission immediately with ErrOverload.
+	OverloadReject
+)
+
+// Options configure a Server.
 type Options struct {
 	// Network configures the simulated network. Zero value = instant,
 	// reliable delivery.
@@ -60,14 +75,24 @@ type Options struct {
 	// preserved, so runs commit the same resolutions as unbatched ones;
 	// only scheduling granularity changes. Zero keeps per-message delivery.
 	Batch int
+	// MaxInFlight caps the number of top-level actions executing
+	// concurrently on this server (0 = unlimited). Submissions beyond the
+	// cap follow the Overload policy.
+	MaxInFlight int
+	// Overload selects blocking or rejecting admission once MaxInFlight is
+	// reached. Ignored when MaxInFlight is 0.
+	Overload OverloadPolicy
 	// Trace receives all runtime events; nil allocates a private log.
 	Trace *trace.Log
 }
 
-// System owns the substrates a CA-action run needs: the simulated network,
-// the membership directory, the atomic-object store and the event log.
-// Create with NewSystem, release with Close.
-type System struct {
+// Server is the long-lived action runtime: it owns the substrates every CA
+// action needs — the simulated network, the shared membership directory, the
+// per-object dispatchers multiplexing concurrent actions over shared
+// transports, the engine pool, the atomic-object store and the event log —
+// and hosts any number of concurrent, independent top-level actions.
+// Create with NewServer, release with Close.
+type Server struct {
 	opts  Options
 	net   *netsim.Network
 	dir   *group.Directory
@@ -75,27 +100,48 @@ type System struct {
 	log   *trace.Log
 
 	mu         sync.Mutex
+	cond       *sync.Cond // inflight or closed changed
 	nextAction ident.ActionID
 	curRun     *run // the run Partition/HealPartition act on
+	inflight   int
 	closed     bool
+
+	// Shared-runtime state (multiplexed, non-membership runs).
+	dispatchers map[ident.ObjectID]*dispatcher
+	tcpDir      *group.TCPDirectory // shared socket directory, TransportTCP only
+
+	// enginePool recycles protocol engines across actions: Engine.Reset
+	// keeps ledger capacity, so a server draining many short actions stops
+	// paying per-action map/slice allocation.
+	enginePool sync.Pool
 }
 
-// NewSystem creates a system.
-func NewSystem(opts Options) *System {
+// System is the historical name of Server, kept so existing callers (and the
+// mental model "one system per experiment") keep working unchanged.
+type System = Server
+
+// NewServer creates a server.
+func NewServer(opts Options) *Server {
 	log := opts.Trace
 	if log == nil {
 		log = trace.NewLog()
 	}
 	net := netsim.New(opts.Network)
-	s := &System{
-		opts:  opts,
-		store: atomicobj.NewStore(),
-		log:   log,
-		net:   net,
+	s := &Server{
+		opts:        opts,
+		store:       atomicobj.NewStore(),
+		log:         log,
+		net:         net,
+		dispatchers: make(map[ident.ObjectID]*dispatcher),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.dir = group.NewDirectory(net, s.dirOptions()...)
+	s.enginePool.New = func() any { return protocol.NewEngine(0, protocol.Hooks{}) }
 	return s
 }
+
+// NewSystem creates a server (historical name).
+func NewSystem(opts Options) *System { return NewServer(opts) }
 
 // dirOptions returns the directory options every membership directory of this
 // system shares. With WireEncoding on, the wire codec is installed at the
@@ -120,16 +166,71 @@ func (s *System) Trace() *trace.Log { return s.log }
 // NetworkStats returns a snapshot of network counters.
 func (s *System) NetworkStats() netsim.Stats { return s.net.Stats() }
 
-// Close shuts the network down. Runs must have finished.
-func (s *System) Close() {
+// Close shuts the server down: new submissions are rejected with ErrClosed,
+// in-flight runs drain to completion, then the dispatchers, shared
+// directories and the network are torn down. Safe to call concurrently with
+// running actions and idempotent.
+func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
 	s.closed = true
+	s.cond.Broadcast() // wake blocked admissions so they see closed
+	for s.inflight > 0 {
+		s.cond.Wait()
+	}
+	disps := make([]*dispatcher, 0, len(s.dispatchers))
+	for _, d := range s.dispatchers {
+		disps = append(disps, d)
+	}
+	s.dispatchers = nil
+	tcpDir := s.tcpDir
+	s.tcpDir = nil
 	s.mu.Unlock()
+	for _, d := range disps {
+		d.close()
+	}
+	if tcpDir != nil {
+		tcpDir.Close()
+	}
 	s.net.Close()
+}
+
+// admit reserves one in-flight action slot, applying the overload policy.
+func (s *Server) admit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return ErrClosed
+		}
+		if s.opts.MaxInFlight <= 0 || s.inflight < s.opts.MaxInFlight {
+			s.inflight++
+			return nil
+		}
+		if s.opts.Overload == OverloadReject {
+			return ErrOverload
+		}
+		s.cond.Wait()
+	}
+}
+
+// release returns an in-flight slot, waking blocked admissions and a
+// draining Close.
+func (s *Server) release() {
+	s.mu.Lock()
+	s.inflight--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// InFlight returns the number of top-level actions currently executing.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
 }
 
 // allocAction returns a fresh action identifier.
@@ -140,14 +241,29 @@ func (s *System) allocAction() ident.ActionID {
 	return s.nextAction
 }
 
-// newDirectory creates one run's membership service: a netsim-backed
-// directory for the simulated transports, a socket-backed one for
-// TransportTCP.
+// newDirectory creates one run's private membership service (legacy,
+// membership-monitored runs only): a netsim-backed directory for the
+// simulated transports, a socket-backed one for TransportTCP.
 func (s *System) newDirectory(alloc func() ident.NodeID) group.Binder {
 	if s.opts.Transport == TransportTCP {
 		return group.NewTCPDirectory(group.WithTCPCodec(wire.Codec{}))
 	}
 	return group.NewDirectoryWithAllocator(s.net, alloc, s.dirOptions()...)
+}
+
+// sharedBinder returns the directory shared-runtime runs bind on: the
+// server's long-lived netsim directory, or (for TransportTCP) one lazily
+// created socket directory whose member fabrics live until Close.
+func (s *Server) sharedBinder() group.Binder {
+	if s.opts.Transport != TransportTCP {
+		return s.dir
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tcpDir == nil {
+		s.tcpDir = group.NewTCPDirectory(group.WithTCPCodec(wire.Codec{}))
+	}
+	return s.tcpDir
 }
 
 // newTransport creates the configured transport for one object in the given

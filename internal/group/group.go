@@ -28,10 +28,14 @@ import (
 	"repro/internal/transport"
 )
 
-// Delivery is a message handed to the application layer.
+// Delivery is a message handed to the application layer. Action carries the
+// sender's routing tag (zero for untagged traffic such as heartbeats), so a
+// receiver hosting many concurrent actions can demultiplex deliveries
+// without inspecting payloads.
 type Delivery struct {
 	From    ident.ObjectID
 	Kind    string
+	Action  ident.ActionID
 	Payload any
 }
 
@@ -42,6 +46,9 @@ type Transport interface {
 	Self() ident.ObjectID
 	// Send transmits to one peer with FIFO-per-pair, exactly-once semantics.
 	Send(to ident.ObjectID, kind string, payload any) error
+	// SendTagged is Send with an action routing tag carried in the envelope;
+	// it surfaces as Delivery.Action at the receiver.
+	SendTagged(to ident.ObjectID, kind string, action ident.ActionID, payload any) error
 	// Recv yields deliveries; the channel closes when the transport closes.
 	Recv() <-chan Delivery
 	// Close releases resources.
@@ -58,6 +65,9 @@ type Port interface {
 	Self() ident.ObjectID
 	// Send transmits one message to the named object.
 	Send(to ident.ObjectID, kind string, payload any) error
+	// SendTagged transmits one message with an action routing tag in the
+	// fabric envelope.
+	SendTagged(to ident.ObjectID, kind string, action ident.ActionID, payload any) error
 	// Recv yields decoded deliveries in per-sender FIFO order.
 	Recv() <-chan transport.Message
 	// Reachable reports whether the fabric can currently route to the named
@@ -213,6 +223,7 @@ func (d *Directory) Members() []ident.ObjectID {
 type envelope struct {
 	From    ident.ObjectID
 	Kind    string
+	Action  ident.ActionID // routing tag; survives retransmission with the envelope
 	Payload any
 	Seq     uint64
 	Ack     uint64 // cumulative ack piggyback / explicit ack

@@ -49,6 +49,12 @@ func (t *RawTransport) Send(to ident.ObjectID, kind string, payload any) error {
 	return memberErr(t.port.Send(to, kind, payload))
 }
 
+// SendTagged transmits one message with an action routing tag in the fabric
+// envelope.
+func (t *RawTransport) SendTagged(to ident.ObjectID, kind string, action ident.ActionID, payload any) error {
+	return memberErr(t.port.SendTagged(to, kind, action, payload))
+}
+
 // Recv yields deliveries in per-sender FIFO order.
 func (t *RawTransport) Recv() <-chan Delivery { return t.out }
 
@@ -72,7 +78,7 @@ func (t *RawTransport) loop() {
 			if !ok {
 				return
 			}
-			d := Delivery{From: m.From, Kind: m.Kind, Payload: m.Payload}
+			d := Delivery{From: m.From, Kind: m.Kind, Action: m.Action, Payload: m.Payload}
 			select {
 			case t.out <- d:
 			case <-t.stop:

@@ -92,16 +92,23 @@ func (t *R3Transport) Self() ident.ObjectID { return t.self }
 // is validated before any sender state changes, so a failed send leaves no
 // phantom retransmission entry behind.
 func (t *R3Transport) Send(to ident.ObjectID, kind string, payload any) error {
+	return t.SendTagged(to, kind, 0, payload)
+}
+
+// SendTagged queues one message for reliable delivery with an action routing
+// tag. The tag lives in the reliable envelope itself, so retransmitted copies
+// stay routable.
+func (t *R3Transport) SendTagged(to ident.ObjectID, kind string, action ident.ActionID, payload any) error {
 	if err := t.port.Reachable(to); err != nil {
 		return memberErr(err)
 	}
 	t.mu.Lock()
 	ps := t.peer(to)
 	ps.sendSeq++
-	env := envelope{From: t.self, Kind: kind, Payload: payload, Seq: ps.sendSeq}
+	env := envelope{From: t.self, Kind: kind, Action: action, Payload: payload, Seq: ps.sendSeq}
 	ps.unacked[env.Seq] = &outMsg{env: env, lastSent: time.Now(), rto: t.retransmit}
 	t.mu.Unlock()
-	return memberErr(t.port.Send(to, wireKind, env))
+	return memberErr(t.port.SendTagged(to, wireKind, action, env))
 }
 
 // Recv yields deliveries in per-sender FIFO order with duplicates removed.
@@ -170,7 +177,7 @@ func (t *R3Transport) handleData(env envelope) []Delivery {
 	case env.Seq < ps.recvNext:
 		// Duplicate of an already-delivered message: just re-ack below.
 	case env.Seq == ps.recvNext:
-		ready = append(ready, Delivery{From: env.From, Kind: env.Kind, Payload: env.Payload})
+		ready = append(ready, Delivery{From: env.From, Kind: env.Kind, Action: env.Action, Payload: env.Payload})
 		ps.recvNext++
 		for {
 			next, ok := ps.pending[ps.recvNext]
@@ -178,7 +185,7 @@ func (t *R3Transport) handleData(env envelope) []Delivery {
 				break
 			}
 			delete(ps.pending, ps.recvNext)
-			ready = append(ready, Delivery{From: next.From, Kind: next.Kind, Payload: next.Payload})
+			ready = append(ready, Delivery{From: next.From, Kind: next.Kind, Action: next.Action, Payload: next.Payload})
 			ps.recvNext++
 		}
 	default:
@@ -230,6 +237,6 @@ func (t *R3Transport) resendUnacked() {
 	}
 	t.mu.Unlock()
 	for _, r := range batch {
-		_ = t.port.Send(r.to, wireKind, r.env)
+		_ = t.port.SendTagged(r.to, wireKind, r.env.Action, r.env)
 	}
 }

@@ -219,6 +219,7 @@ func (c tcpCodec) Encode(v any) (any, error) {
 		}
 		buf := []byte{tagEnvelope, boolByte(env.IsAck)}
 		buf = binary.AppendVarint(buf, int64(env.From))
+		buf = binary.AppendVarint(buf, int64(env.Action))
 		buf = binary.AppendUvarint(buf, env.Seq)
 		buf = binary.AppendUvarint(buf, env.Ack)
 		buf = binary.AppendUvarint(buf, uint64(len(env.Kind)))
@@ -279,6 +280,12 @@ func (c tcpCodec) Decode(v any) (any, error) {
 		return nil, fmt.Errorf("group: bad envelope sender")
 	}
 	env.From = ident.ObjectID(from)
+	rest = rest[n:]
+	action, n := binary.Varint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("group: bad envelope action")
+	}
+	env.Action = ident.ActionID(action)
 	rest = rest[n:]
 	if env.Seq, rest, ok = readUvarint(rest); !ok {
 		return nil, fmt.Errorf("group: bad envelope seq")

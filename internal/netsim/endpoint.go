@@ -50,6 +50,13 @@ func (e *Endpoint) Send(to ident.NodeID, kind string, payload any) error {
 	return e.net.send(Message{From: e.id, To: to, Kind: kind, Payload: payload})
 }
 
+// SendTagged transmits a message carrying an action routing tag. The tag
+// travels in the envelope, not the payload, so multiplexing receivers can
+// route frames to the owning action without decoding them.
+func (e *Endpoint) SendTagged(to ident.NodeID, kind string, action ident.ActionID, payload any) error {
+	return e.net.send(Message{From: e.id, To: to, Kind: kind, Action: action, Payload: payload})
+}
+
 // Recv returns the channel on which delivered messages arrive, in per-sender
 // FIFO order. The channel is closed when the network shuts down; messages
 // still queued at that point are discarded.

@@ -23,11 +23,14 @@ import (
 )
 
 // Message is a unit of communication between two nodes. Payload is opaque to
-// the network.
+// the network. Action, when non-zero, tags the message with the top-level
+// action it belongs to so a multiplexing receiver can route it without
+// inspecting the payload; the network itself never reads it.
 type Message struct {
 	From    ident.NodeID
 	To      ident.NodeID
 	Kind    string
+	Action  ident.ActionID
 	Payload any
 }
 

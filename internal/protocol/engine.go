@@ -675,6 +675,27 @@ func (e *Engine) clearResolution() {
 	e.resAction = 0
 }
 
+// Reset generalises clearResolution to the whole engine: it returns the
+// engine to the state NewEngine leaves it in, rebound to a (possibly new)
+// owner and hook set, while keeping every map's buckets and every slice's
+// capacity. This is what makes pooling engines across actions cheap — a
+// server draining thousands of short-lived actions reuses one warm engine
+// per participant slot instead of reallocating the ledgers each time.
+func (e *Engine) Reset(self ident.ObjectID, hooks Hooks) {
+	e.self = self
+	e.hooks = hooks
+	e.stack = e.stack[:0]
+	e.state = StateNormal
+	e.clearResolution()
+	clear(e.committed)
+	e.pending = e.pending[:0]
+	e.waitPolicy = false
+	e.deferred = e.deferred[:0]
+	e.chooserGroup = 0
+	e.suspendedAt = 0
+	clear(e.expelled)
+}
+
 // degradedMode reports whether the current resolution can only be concluded
 // by survivors: members have been expelled, exceptions are on record, and
 // every raiser among them is expelled. (With no expulsions this is always

@@ -229,6 +229,39 @@ func Run(spec Spec) (Result, error) {
 	return res, nil
 }
 
+// Build constructs the spec's CA-action definition for submission to a
+// caller-provided shared server (core.Server.Submit or Run). Only the
+// per-action parameters apply — N, P, Q, Depth, RaiseDelay, AbortionCost,
+// Policy — since the transport, batching and network live on the server.
+// Membership specs are rejected: failure detection needs server-level options
+// and a private per-run directory, which scenario.Run provides.
+func Build(spec Spec) (core.Definition, error) {
+	if err := spec.Validate(); err != nil {
+		return core.Definition{}, err
+	}
+	if spec.Membership || len(spec.Partition) > 0 {
+		return core.Definition{}, errors.New("scenario: membership specs need a private system; use Run")
+	}
+	def, _ := buildDefinition(spec)
+	return def, nil
+}
+
+// RunOn executes the spec's action on a caller-provided shared server,
+// multiplexed with whatever else the server is hosting. Unlike Run it
+// reports only the outcome: the server's trace log aggregates every hosted
+// action, so no per-action census can be cut from it.
+func RunOn(sys *core.Server, spec Spec) (core.Outcome, error) {
+	def, err := Build(spec)
+	if err != nil {
+		return core.Outcome{}, err
+	}
+	timeout := spec.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	return sys.RunTimeout(def, timeout)
+}
+
 // buildDefinition constructs the CA action for the spec: members O1..ON, a
 // flat exception tree with one exception per object, P raiser bodies, Q
 // nested idlers and N-P-Q plain idlers.

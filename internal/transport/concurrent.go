@@ -213,7 +213,7 @@ func (c *Concurrent) Send(m Message) error {
 		}
 	}
 	for i := 0; i < copies; i++ {
-		if err := ep.Send(node, m.Kind, m.Payload); err != nil {
+		if err := ep.SendTagged(node, m.Kind, m.Action, m.Payload); err != nil {
 			return err
 		}
 	}
@@ -265,6 +265,13 @@ func (p *Port) Reachable(to ident.ObjectID) error {
 // Send transmits one message from this port to the named object.
 func (p *Port) Send(to ident.ObjectID, kind string, payload any) error {
 	return p.c.Send(Message{From: p.obj, To: to, Kind: kind, Payload: payload})
+}
+
+// SendTagged transmits one message carrying an action routing tag in the
+// envelope, so the receiving side can demultiplex without decoding the
+// payload.
+func (p *Port) SendTagged(to ident.ObjectID, kind string, action ident.ActionID, payload any) error {
+	return p.c.Send(Message{From: p.obj, To: to, Kind: kind, Action: action, Payload: payload})
 }
 
 // Recv returns the delivery channel (nil for ports bound with BindFunc).
@@ -344,7 +351,7 @@ func (p *Port) translate(nm netsim.Message) (Message, bool) {
 	if !ok {
 		return Message{}, false
 	}
-	m := Message{From: from, To: p.obj, Kind: nm.Kind, Payload: nm.Payload}
+	m := Message{From: from, To: p.obj, Kind: nm.Kind, Action: nm.Action, Payload: nm.Payload}
 	if p.c.opts.Codec != nil {
 		payload, err := p.c.opts.Codec.Decode(m.Payload)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/transport"
 	"repro/internal/transport/conformancetest"
+	"repro/internal/wire"
 )
 
 // TestConformance holds all four fabrics to the one shared contract. A new
@@ -59,6 +60,36 @@ func TestResolutionEquivalence(t *testing.T) {
 	})
 	t.Run("ConcurrentBatch8", func(t *testing.T) {
 		conformancetest.RunResolutionEquivalence(t, newConcurrentFabric(8))
+	})
+}
+
+// TestMultiplexedEquivalence holds the backends to the multiplexed-runtime
+// contract: K action families interleaved over one fabric, demultiplexed by
+// the Message.Action routing tag, each committing its solo-run resolution.
+// Unlike the solo grid this one includes TCP, because the action tag crosses
+// the wire inside the binary frame and that encoding path deserves
+// end-to-end coverage (the grid here is small enough that sockets stay
+// cheap).
+func TestMultiplexedEquivalence(t *testing.T) {
+	t.Run("Deterministic", func(t *testing.T) {
+		conformancetest.RunMultiplexedEquivalence(t, func(t *testing.T, opts conformancetest.Options) conformancetest.Fabric {
+			return &stepFabric{f: transport.NewDeterministic(transport.Options{
+				Codec: opts.Codec, Sink: opts.Sink, Faults: opts.Faults,
+			})}
+		})
+	})
+	t.Run("ConcurrentBatch0", func(t *testing.T) {
+		conformancetest.RunMultiplexedEquivalence(t, newConcurrentFabric(0))
+	})
+	t.Run("ConcurrentBatch8", func(t *testing.T) {
+		conformancetest.RunMultiplexedEquivalence(t, newConcurrentFabric(8))
+	})
+	t.Run("TCP", func(t *testing.T) {
+		conformancetest.RunMultiplexedEquivalence(t, func(t *testing.T, opts conformancetest.Options) conformancetest.Fabric {
+			// Sockets carry bytes: protocol messages need the wire codec.
+			opts.Codec = wire.Codec{}
+			return newTCPFabric(t, opts)
+		})
 	})
 }
 

@@ -48,6 +48,42 @@ func RunResolutionEquivalence(t *testing.T, factory Factory) {
 	}
 }
 
+// RunMultiplexedEquivalence holds a backend to the multiplexed-runtime
+// contract: K independent action families interleave over ONE fabric — every
+// object registered once, its deliveries demultiplexed to per-family engines
+// by Message.Action — and each family must commit exactly the resolution the
+// Deterministic reference commits for it when run alone. Families with one
+// raiser rotate which exception that raiser raises, so adjacent families
+// resolve *different* exceptions: a frame delivered under the wrong action
+// tag either hits the unroutable check below or skews a family away from its
+// solo baseline. This is the transport-level counterpart of the core
+// server's zero-leakage guarantee.
+func RunMultiplexedEquivalence(t *testing.T, factory Factory) {
+	grid := []struct{ n, p, q, k int }{
+		{2, 1, 0, 6}, {4, 1, 3, 4}, {4, 4, 0, 8},
+	}
+	for _, c := range grid {
+		c := c
+		t.Run(fmt.Sprintf("N=%d,P=%d,Q=%d,K=%d", c.n, c.p, c.q, c.k), func(t *testing.T) {
+			defer LeakCheck(t)()
+			want := make([]map[ident.ObjectID]string, c.k)
+			for f := range want {
+				want[f] = referenceResolutionRotated(t, c.n, c.p, c.q, f)
+			}
+			got := multiplexedResolution(t, factory, c.n, c.p, c.q, c.k)
+			for f := 0; f < c.k; f++ {
+				for obj, exc := range want[f] {
+					if g, ok := got[f][obj]; !ok {
+						t.Errorf("family %d: object %s committed nothing, solo baseline committed %q", f, obj, exc)
+					} else if g != exc {
+						t.Errorf("family %d: object %s committed %q, solo baseline committed %q", f, obj, g, exc)
+					}
+				}
+			}
+		})
+	}
+}
+
 // caseTopology builds the §4.4 scenario shape: N members O1..ON of action 1,
 // a flat tree with one exception per object, and (by convention) O1..OP as
 // raisers of E1..EP and the next Q objects inside singleton nested actions.
@@ -63,9 +99,24 @@ func caseTopology(n int) (*exception.Tree, []ident.ObjectID) {
 	return tb.MustBuild(), all
 }
 
+// rotatedExc is the exception raiser i raises in a family with rotation rot:
+// E(((i+rot) mod n)+1). Rotation 0 is the classic assignment (raiser i raises
+// E(i+1)); higher rotations shift it, so single-raiser families with
+// different rotations resolve different exceptions.
+func rotatedExc(n, i, rot int) string {
+	return fmt.Sprintf("E%d", (i+rot)%n+1)
+}
+
 // referenceResolution computes the expected per-object committed resolution
 // on the Deterministic fabric via protocol.Sim.
 func referenceResolution(t *testing.T, n, p, q int) map[ident.ObjectID]string {
+	t.Helper()
+	return referenceResolutionRotated(t, n, p, q, 0)
+}
+
+// referenceResolutionRotated is referenceResolution with the raise set
+// rotated by rot (the solo baseline of one multiplexed family).
+func referenceResolutionRotated(t *testing.T, n, p, q, rot int) map[ident.ObjectID]string {
 	t.Helper()
 	sim := protocol.NewSim()
 	tree, all := caseTopology(n)
@@ -87,7 +138,7 @@ func referenceResolution(t *testing.T, n, p, q int) map[ident.ObjectID]string {
 		}
 	}
 	for i := 0; i < p; i++ {
-		if ok, err := sim.Engines[all[i]].RaiseLocal(fmt.Sprintf("E%d", i+1)); err != nil || !ok {
+		if ok, err := sim.Engines[all[i]].RaiseLocal(rotatedExc(n, i, rot)); err != nil || !ok {
 			t.Fatalf("reference raise %d: ok=%v err=%v", i, ok, err)
 		}
 	}
@@ -128,7 +179,9 @@ func fabricResolution(t *testing.T, factory Factory, n, p, q int) map[ident.Obje
 		le := &lockedEngine{}
 		le.e = protocol.NewEngine(obj, protocol.Hooks{
 			Send: func(to ident.ObjectID, m protocol.Msg) {
-				if err := fab.Send(transport.Message{From: obj, To: to, Kind: m.Kind, Payload: m}); err != nil {
+				// The solo grid hosts exactly one action family, so every
+				// message is tagged with the root action.
+				if err := fab.Send(transport.Message{From: obj, To: to, Kind: m.Kind, Action: 1, Payload: m}); err != nil {
 					t.Errorf("send %s -> %s: %v", obj, to, err)
 				}
 			},
@@ -220,6 +273,146 @@ func fabricResolution(t *testing.T, factory Factory, n, p, q int) map[ident.Obje
 			got[obj] = exc
 		}
 		le.mu.Unlock()
+	}
+	return got
+}
+
+// multiplexedResolution runs k rotated copies of the (n, p, q) case over one
+// shared fabric. Every object is registered exactly once; its handler demuxes
+// deliveries to the family's engine via the Message.Action routing tag, and
+// every engine's Send hook stamps its family's root action onto outgoing
+// messages — the same discipline the core server's dispatcher applies.
+func multiplexedResolution(t *testing.T, factory Factory, n, p, q, k int) []map[ident.ObjectID]string {
+	t.Helper()
+	fab := factory(t, Options{})
+	defer fab.Close()
+
+	tree, all := caseTopology(n)
+	rootID := func(f int) ident.ActionID { return ident.ActionID(f*1000 + 1) }
+
+	engines := make([]map[ident.ObjectID]*lockedEngine, k)
+	for f := range engines {
+		engines[f] = make(map[ident.ObjectID]*lockedEngine, n)
+	}
+	for _, obj := range all {
+		obj := obj
+		byAction := make(map[ident.ActionID]*lockedEngine, k)
+		for f := 0; f < k; f++ {
+			le := &lockedEngine{}
+			root := rootID(f)
+			le.e = protocol.NewEngine(obj, protocol.Hooks{
+				Send: func(to ident.ObjectID, m protocol.Msg) {
+					if err := fab.Send(transport.Message{
+						From: obj, To: to, Kind: m.Kind, Action: root, Payload: m,
+					}); err != nil {
+						t.Errorf("send %s -> %s: %v", obj, to, err)
+					}
+				},
+				AbortNested: func(ident.ActionID) string { return "" },
+			})
+			engines[f][obj] = le
+			byAction[root] = le
+		}
+		fab.Register(obj, func(m transport.Message) {
+			le, ok := byAction[m.Action]
+			if !ok {
+				t.Errorf("object %s: delivery carries unroutable action %d (kind %s) — the tag was lost or corrupted in transit", obj, m.Action, m.Kind)
+				return
+			}
+			le.mu.Lock()
+			le.e.HandleMessage(m.Payload.(protocol.Msg))
+			le.mu.Unlock()
+		})
+	}
+
+	for f := 0; f < k; f++ {
+		root := protocol.Frame{
+			Action: rootID(f), Path: []ident.ActionID{rootID(f)}, Members: all, Tree: tree,
+		}
+		for _, obj := range all {
+			le := engines[f][obj]
+			le.mu.Lock()
+			err := le.e.EnterAction(root)
+			le.mu.Unlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < q; i++ {
+			obj := all[p+i]
+			na := rootID(f) + ident.ActionID(100+i)
+			le := engines[f][obj]
+			le.mu.Lock()
+			err := le.e.EnterAction(protocol.Frame{
+				Action: na, Path: []ident.ActionID{rootID(f), na},
+				Members: []ident.ObjectID{obj}, Tree: tree,
+			})
+			le.mu.Unlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The raise barrier, extended across every family: all k·p raiser engines
+	// are locked while the raises land, so each family starts its resolution
+	// from the reference state (its own raises accepted, nothing delivered).
+	// See RunResolutionEquivalence for why errors are checked only after the
+	// locks drop.
+	raiseErrs := make([]error, k*p)
+	for f := 0; f < k; f++ {
+		for i := 0; i < p; i++ {
+			engines[f][all[i]].mu.Lock()
+		}
+	}
+	for f := 0; f < k; f++ {
+		for i := 0; i < p; i++ {
+			if ok, err := engines[f][all[i]].e.RaiseLocal(rotatedExc(n, i, f)); err != nil {
+				raiseErrs[f*p+i] = err
+			} else if !ok {
+				raiseErrs[f*p+i] = fmt.Errorf("raise rejected")
+			}
+		}
+	}
+	for f := k - 1; f >= 0; f-- {
+		for i := p - 1; i >= 0; i-- {
+			engines[f][all[i]].mu.Unlock()
+		}
+	}
+	for j, err := range raiseErrs {
+		if err != nil {
+			t.Fatalf("raise %d on family %d: %v", j%p, j/p, err)
+		}
+	}
+
+	committedCount := func() int {
+		total := 0
+		for f := 0; f < k; f++ {
+			for _, le := range engines[f] {
+				le.mu.Lock()
+				if _, ok := le.e.CommittedAt(rootID(f)); ok {
+					total++
+				}
+				le.mu.Unlock()
+			}
+		}
+		return total
+	}
+	if err := fab.Settle(committedCount, n*k); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]map[ident.ObjectID]string, k)
+	for f := 0; f < k; f++ {
+		got[f] = make(map[ident.ObjectID]string, n)
+		for _, obj := range all {
+			le := engines[f][obj]
+			le.mu.Lock()
+			if exc, ok := le.e.CommittedAt(rootID(f)); ok {
+				got[f][obj] = exc
+			}
+			le.mu.Unlock()
+		}
 	}
 	return got
 }

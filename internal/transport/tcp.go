@@ -219,7 +219,7 @@ func (t *TCP) Send(m Message) error {
 
 	if localPort != nil {
 		for i := 0; i < copies; i++ {
-			localPort.enqueue(delivery{from: m.From, kind: m.Kind, payload: payload, isString: isString})
+			localPort.enqueue(delivery{from: m.From, kind: m.Kind, action: m.Action, payload: payload, isString: isString})
 		}
 		return nil
 	}
@@ -237,7 +237,7 @@ func (t *TCP) Send(m Message) error {
 	if err != nil {
 		return err
 	}
-	f := frame.Frame{From: m.From, To: m.To, Kind: m.Kind, Payload: payload, StringPayload: isString}
+	f := frame.Frame{From: m.From, To: m.To, Kind: m.Kind, Action: m.Action, Payload: payload, StringPayload: isString}
 	buf, err := frame.Encode(f)
 	if err != nil {
 		return err
@@ -386,7 +386,7 @@ func (t *TCP) readConn(conn net.Conn) {
 			}
 			continue
 		}
-		port.enqueue(delivery{from: f.From, kind: f.Kind, payload: f.Payload, isString: f.StringPayload})
+		port.enqueue(delivery{from: f.From, kind: f.Kind, action: f.Action, payload: f.Payload, isString: f.StringPayload})
 	}
 }
 
@@ -509,6 +509,7 @@ func (p *tcpPeer) sleep(d time.Duration) bool {
 type delivery struct {
 	from     ident.ObjectID
 	kind     string
+	action   ident.ActionID
 	payload  []byte
 	isString bool
 }
@@ -539,6 +540,12 @@ func (p *TCPPort) Fabric() *TCP { return p.t }
 // Send transmits one message from this port to the named object.
 func (p *TCPPort) Send(to ident.ObjectID, kind string, payload any) error {
 	return p.t.Send(Message{From: p.obj, To: to, Kind: kind, Payload: payload})
+}
+
+// SendTagged transmits one message carrying an action routing tag in the
+// frame envelope.
+func (p *TCPPort) SendTagged(to ident.ObjectID, kind string, action ident.ActionID, payload any) error {
+	return p.t.Send(Message{From: p.obj, To: to, Kind: kind, Action: action, Payload: payload})
 }
 
 // Reachable reports whether the fabric can currently route to the named
@@ -602,7 +609,7 @@ func (p *TCPPort) pump() {
 		default:
 			payload = d.payload
 		}
-		m := Message{From: d.from, To: p.obj, Kind: d.kind, Payload: payload}
+		m := Message{From: d.from, To: p.obj, Kind: d.kind, Action: d.action, Payload: payload}
 		if p.t.opts.Codec != nil {
 			decoded, err := p.t.opts.Codec.Decode(m.Payload)
 			if err != nil {

@@ -32,11 +32,16 @@ import (
 
 // Message is one unit of communication between two objects. Payload is
 // opaque to the fabric; a Codec may rewrite it at the send/delivery
-// boundary.
+// boundary. Action, when non-zero, tags the message with the top-level
+// action it belongs to: it travels in the envelope (every backend carries it
+// alongside the payload, the TCP framing encodes it explicitly) so a
+// receiver multiplexing many actions over one port can route the frame
+// without decoding the payload.
 type Message struct {
 	From    ident.ObjectID
 	To      ident.ObjectID
 	Kind    string
+	Action  ident.ActionID
 	Payload any
 }
 

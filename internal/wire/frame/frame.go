@@ -14,11 +14,14 @@
 //
 // Body layout (all integers varint/uvarint encoded):
 //
-//	version byte | flags byte | From | To | len(Kind) Kind | len(Payload) Payload
+//	version byte | flags byte | From | To | [Action] | len(Kind) Kind | len(Payload) Payload
 //
 // Flags bit 0 records whether the payload was a Go string (rather than a
 // byte slice) at the sending transport boundary, so the receiving side can
-// restore the exact payload type even with no codec installed.
+// restore the exact payload type even with no codec installed. Flags bit 1
+// records the presence of the optional Action routing tag (varint, between
+// To and the kind): untagged frames encode exactly as before the tag
+// existed, so old frame corpora still decode.
 //
 // Decoding is defensive: truncated length prefixes, short bodies, oversized
 // frames and trailing garbage all return errors, never panic, and never
@@ -64,13 +67,20 @@ var (
 )
 
 // flag bits.
-const flagStringPayload byte = 1 << 0
+const (
+	flagStringPayload byte = 1 << 0
+	flagAction        byte = 1 << 1
+)
 
 // Frame is one transport message in its on-the-wire shape.
 type Frame struct {
 	From ident.ObjectID
 	To   ident.ObjectID
 	Kind string
+	// Action, when non-zero, is the top-level action the message belongs
+	// to. It is carried in the envelope so a multiplexing receiver can
+	// route the frame without decoding the payload.
+	Action ident.ActionID
 	// Payload is the message payload after the transport codec ran.
 	Payload []byte
 	// StringPayload records that the payload was a string (not a byte
@@ -90,9 +100,15 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 	if f.StringPayload {
 		flags |= flagStringPayload
 	}
+	if f.Action != 0 {
+		flags |= flagAction
+	}
 	dst = append(dst, Version, flags)
 	dst = binary.AppendVarint(dst, int64(f.From))
 	dst = binary.AppendVarint(dst, int64(f.To))
+	if f.Action != 0 {
+		dst = binary.AppendVarint(dst, int64(f.Action))
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(f.Kind)))
 	dst = append(dst, f.Kind...)
 	dst = binary.AppendUvarint(dst, uint64(len(f.Payload)))
@@ -168,6 +184,14 @@ func Decode(b []byte) (Frame, error) {
 		return f, fmt.Errorf("%w: to: %v", ErrShortFrame, err)
 	}
 	f.To = ident.ObjectID(to)
+
+	if b[1]&flagAction != 0 {
+		action, err := binary.ReadVarint(r)
+		if err != nil {
+			return f, fmt.Errorf("%w: action: %v", ErrShortFrame, err)
+		}
+		f.Action = ident.ActionID(action)
+	}
 
 	kindLen, err := binary.ReadUvarint(r)
 	if err != nil {

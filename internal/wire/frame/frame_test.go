@@ -24,8 +24,8 @@ func sample() Frame {
 func TestRoundTrip(t *testing.T) {
 	cases := []Frame{
 		sample(),
-		{From: 1, To: 2},                                // empty kind, nil payload
-		{From: 0, To: 0, Kind: "", Payload: []byte{}},   // empty everything
+		{From: 1, To: 2}, // empty kind, nil payload
+		{From: 0, To: 0, Kind: "", Payload: []byte{}}, // empty everything
 		{From: 1 << 30, To: -(1 << 30), Kind: "x", Payload: bytes.Repeat([]byte{0xAB}, 4096)},
 		{From: 9, To: 8, Kind: "s", Payload: []byte("text"), StringPayload: true},
 	}
