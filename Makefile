@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test lint lint-json race bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Run the protolint analyzer suite over the whole tree. The tool re-execs
+# itself through `go vet -vettool`, so results are cached per package and
+# incremental runs are fast. Exit status 2 means unsuppressed findings.
+lint:
+	$(GO) run ./cmd/protolint ./...
+
+# Same, but findings (suppressed ones included) stream to stdout as NDJSON —
+# this is what CI feeds the GitHub annotation step.
+lint-json:
+	$(GO) run ./cmd/protolint -json ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) run ./cmd/bench -smoke -label local-smoke -out bench-local.json

@@ -4,6 +4,11 @@
 //	go build -o protolint ./cmd/protolint
 //	go vet -vettool=$PWD/protolint ./...
 //
+// or, in one step (the binary re-execs itself through go vet when given
+// package patterns instead of a vet.cfg):
+//
+//	go run ./cmd/protolint ./...
+//
 // It speaks the go vet driver protocol with only the standard library,
 // mirroring golang.org/x/tools/go/analysis/unitchecker:
 //
@@ -15,13 +20,27 @@
 //   - `protolint <flags> <dir>/vet.cfg` typechecks one package from the JSON
 //     config the go command prepared (sources plus export data for every
 //     import), runs the analyzers and reports findings on stderr, exiting 2
-//     when there are any.
+//     when any unsuppressed finding remains.
+//
+// Cross-package facts ride the vetx cache: each run serializes the package's
+// exported fact set (internal/analysis.FactSet) into the VetxOutput file the
+// go command maintains, and decodes the PackageVetx files of its dependencies
+// back into the pass. Dependencies vetted with VetxOnly are analyzed for
+// facts alone; their findings are reported when the package itself is vetted.
+//
+// With -json (or the driver-protocol spelling -jsonout; go vet reserves
+// -json for itself), findings are printed to stdout as newline-delimited
+// JSON objects {file, line, col, analyzer, message, suppressed, suppression}
+// — suppressed findings included, so CI can surface accepted exceptions. The
+// exit code still reflects only unsuppressed findings.
 //
 // Individual analyzers can be selected (`-exhaustive -seam`) or excluded
 // (`-locksend=false`); by default the whole suite runs.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -33,6 +52,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 
@@ -44,12 +64,15 @@ func main() {
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	vFlag := fs.String("V", "", "print version and exit (use -V=full for the build ID)")
 	flagsFlag := fs.Bool("flags", false, "print the analyzer flags as JSON and exit")
+	jsonFlag := fs.Bool("json", false, "print findings as newline-delimited JSON on stdout")
+	jsonoutFlag := fs.Bool("jsonout", false, "alias for -json usable under go vet, which reserves -json")
 	toggles := make(map[string]*bool)
 	for _, a := range analysis.All() {
 		doc, _, _ := strings.Cut(a.Doc, ":")
 		toggles[a.Name] = fs.Bool(a.Name, false, "run the "+a.Name+" analyzer ("+doc+")")
 	}
 	fs.Parse(os.Args[1:])
+	jsonOut := *jsonFlag || *jsonoutFlag
 
 	switch {
 	case *vFlag != "":
@@ -61,8 +84,10 @@ func main() {
 	}
 
 	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] <vet.cfg>\n(driven by go vet -vettool=%s; see package documentation)\n", progname, progname)
-		os.Exit(1)
+		// Not a vet.cfg: treat the arguments as package patterns and re-exec
+		// through go vet with ourselves as the vettool, so
+		// `go run ./cmd/protolint ./...` is the whole local workflow.
+		os.Exit(standalone(fs, toggles, jsonOut))
 	}
 
 	diags, err := analyzeConfig(fs.Arg(0), selectAnalyzers(fs, toggles))
@@ -70,12 +95,131 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
 	}
-	if len(diags) > 0 {
-		for _, d := range diags {
-			fmt.Fprintln(os.Stderr, d)
+	unsuppressed := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			unsuppressed++
 		}
+	}
+	if jsonOut {
+		w := bufio.NewWriter(os.Stdout)
+		for _, d := range diags {
+			writeJSONFinding(w, d)
+		}
+		w.Flush()
+	} else {
+		for _, d := range diags {
+			if !d.Suppressed {
+				fmt.Fprintln(os.Stderr, d)
+			}
+		}
+	}
+	if unsuppressed > 0 {
 		os.Exit(2)
 	}
+}
+
+// jsonFinding is the -json output shape, one object per line.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Suppressed marks findings accepted via //protolint:allow; Suppression
+	// carries the comment's reason. They are emitted so CI can annotate
+	// accepted exceptions, but do not affect the exit code.
+	Suppressed  bool   `json:"suppressed"`
+	Suppression string `json:"suppression,omitempty"`
+}
+
+func writeJSONFinding(w io.Writer, d analysis.Diagnostic) {
+	data, err := json.Marshal(jsonFinding{
+		File:        d.Pos.Filename,
+		Line:        d.Pos.Line,
+		Col:         d.Pos.Column,
+		Analyzer:    d.Analyzer,
+		Message:     d.Message,
+		Suppressed:  d.Suppressed,
+		Suppression: d.SuppressReason,
+	})
+	if err != nil {
+		return
+	}
+	w.Write(data)
+	io.WriteString(w, "\n")
+}
+
+// standalone runs `go vet -vettool=<self> <args>`, forwarding any analyzer
+// selections, and splits the captured output: JSON finding lines (the tool's
+// -jsonout output, which go vet interleaves with its own "# package" headers
+// on stderr) go to stdout, everything else to stderr. Returns the exit code.
+func standalone(fs *flag.FlagSet, toggles map[string]*bool, jsonOut bool) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	args := []string{"vet", "-vettool=" + exe}
+	fs.Visit(func(f *flag.Flag) {
+		if _, ok := toggles[f.Name]; ok {
+			args = append(args, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	if jsonOut {
+		args = append(args, "-jsonout")
+	}
+	args = append(args, fs.Args()...)
+
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	runErr := cmd.Run()
+
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "{"):
+			fmt.Fprintln(os.Stdout, relativizeFinding(line))
+		default:
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if runErr == nil {
+		return 0
+	}
+	if ee, ok := runErr.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	fmt.Fprintln(os.Stderr, runErr)
+	return 1
+}
+
+// relativizeFinding rewrites a JSON finding's file path to be relative to the
+// invocation directory. Per-package tool runs only know absolute positions;
+// the standalone front-end is the one place that knows where the user (or CI,
+// which feeds these paths to GitHub annotations) actually stands. Lines that
+// do not parse pass through untouched.
+func relativizeFinding(line string) string {
+	var f jsonFinding
+	if err := json.Unmarshal([]byte(line), &f); err != nil || f.File == "" {
+		return line
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return line
+	}
+	rel, err := filepath.Rel(cwd, f.File)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return line
+	}
+	f.File = rel
+	out, err := json.Marshal(f)
+	if err != nil {
+		return line
+	}
+	return string(out)
 }
 
 // printVersion implements -V=full: the go command parses the line
@@ -103,14 +247,15 @@ func printVersion(progname, mode string) {
 }
 
 // printFlags implements -flags: go vet reads this JSON to learn which
-// analyzer flags the tool accepts.
+// analyzer flags the tool accepts. -jsonout is advertised (rather than
+// -json) because go vet claims -json for its own output framing.
 func printFlags() {
 	type jsonFlag struct {
 		Name  string
 		Bool  bool
 		Usage string
 	}
-	var out []jsonFlag
+	out := []jsonFlag{{Name: "jsonout", Bool: true, Usage: "print findings as newline-delimited JSON on stdout"}}
 	for _, a := range analysis.All() {
 		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
 	}
@@ -174,10 +319,12 @@ type vetConfig struct {
 }
 
 // analyzeConfig loads one vet.cfg, typechecks the package it describes and
-// runs the analyzers over it. The VetxOutput file is written unconditionally
-// (we export no facts, but the go command caches vet results by its
-// presence); VetxOnly packages — dependencies analyzed only for facts — are
-// not analyzed at all.
+// runs the analyzers over it. The dependencies' facts are decoded from their
+// PackageVetx files; the package's own exported facts are serialized into
+// VetxOutput (which the go command caches and hands to importers). A VetxOnly
+// package — a dependency vetted only so its facts exist — is analyzed with
+// its findings discarded: they are reported when that package is the vet
+// target itself. Standard-library VetxOnly packages get an empty stamp.
 func analyzeConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -187,13 +334,19 @@ func analyzeConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.D
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, err
+	stamp := func(facts []byte) error {
+		if cfg.VetxOutput == "" {
+			return nil
 		}
+		return os.WriteFile(cfg.VetxOutput, facts, 0o666)
 	}
-	if cfg.VetxOnly {
-		return nil, nil
+	// A VetxOnly dependency outside the module under vet (ModulePath is empty
+	// for the standard library and external deps) carries no facts we need:
+	// the cross-package analyzers only consume facts from this repository's
+	// packages. Stamp it empty and move on rather than typechecking the
+	// whole standard library.
+	if cfg.VetxOnly && (cfg.ModulePath == "" || cfg.Standard[cfg.ImportPath]) {
+		return nil, stamp(nil)
 	}
 
 	fset := token.NewFileSet()
@@ -204,8 +357,8 @@ func analyzeConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.D
 		}
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+			if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+				return nil, stamp(nil)
 			}
 			return nil, err
 		}
@@ -243,11 +396,32 @@ func analyzeConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.D
 	}
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+			return nil, stamp(nil)
 		}
 		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
 
-	return analysis.Run(fset, files, pkg, info, analyzers), nil
+	// Decode the dependencies' facts. PackageVetx keys are import paths; a
+	// file that fails to decode (an old empty stamp, a different tool) is
+	// treated as fact-free rather than an error.
+	imported := make(analysis.FactStore)
+	for path, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue
+		}
+		if fs, ok := analysis.DecodeFacts(data); ok {
+			imported[path] = fs
+		}
+	}
+
+	diags, exported := analysis.Run(fset, files, pkg, info, analyzers, imported)
+	if err := stamp(exported.Encode()); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	return diags, nil
 }

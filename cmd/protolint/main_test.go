@@ -71,8 +71,9 @@ func TestAnalyzeConfig(t *testing.T) {
 		t.Errorf("vetx output was not written: %v", err)
 	}
 
-	// A VetxOnly package (a dependency analyzed only for facts) is stamped
-	// but not analyzed.
+	// A VetxOnly dependency outside the module (ModulePath empty, as the go
+	// command writes for stdlib and external deps) is stamped with an empty
+	// fact set and not analyzed.
 	cfg.VetxOnly = true
 	cfg.VetxOutput = filepath.Join(dir, "vetonly.out")
 	data, err = json.Marshal(cfg)
@@ -91,6 +92,90 @@ func TestAnalyzeConfig(t *testing.T) {
 	}
 	if _, err := os.Stat(cfg.VetxOutput); err != nil {
 		t.Errorf("VetxOnly output was not written: %v", err)
+	}
+}
+
+// TestVetxFactsFlow checks the driver's side of the fact channel: an
+// in-module VetxOnly package is analyzed for facts, its exported facts land
+// in the VetxOutput file, and they decode under the current version tag.
+func TestVetxFactsFlow(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "base.go")
+	const baseSrc = `package base
+
+//caa:noalloc
+func Fast() int { return 1 }
+`
+	if err := os.WriteFile(src, []byte(baseSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "vet.out")
+	cfg := vetConfig{
+		ID:         "repro/internal/base",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "repro/internal/base",
+		ModulePath: "repro",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+		VetxOnly:   true,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := analyzeConfig(cfgPath, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("VetxOnly package produced findings: %v", diags)
+	}
+	raw, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatalf("vetx output was not written: %v", err)
+	}
+	fs, ok := analysis.DecodeFacts(raw)
+	if !ok {
+		t.Fatalf("vetx output does not decode as facts: %q", raw)
+	}
+	if _, ok := fs.Facts["noalloc"]["Fast"]; !ok {
+		t.Errorf("noalloc fact for Fast not exported; got %v", fs.Facts)
+	}
+}
+
+func TestRelativizeFinding(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := json.Marshal(jsonFinding{
+		File: filepath.Join(cwd, "internal", "x.go"), Line: 3, Col: 1,
+		Analyzer: "seam", Message: "m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out jsonFinding
+	if err := json.Unmarshal([]byte(relativizeFinding(string(in))), &out); err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join("internal", "x.go"); out.File != want {
+		t.Errorf("File = %q, want %q", out.File, want)
+	}
+
+	// Paths outside the invocation directory and non-JSON lines pass through.
+	outside := `{"file":"/nowhere/else/x.go","line":1,"col":1,"analyzer":"seam","message":"m","suppressed":false}`
+	if got := relativizeFinding(outside); got != outside {
+		t.Errorf("outside path rewritten: %s", got)
+	}
+	if got := relativizeFinding("not json"); got != "not json" {
+		t.Errorf("non-JSON line rewritten: %s", got)
 	}
 }
 
@@ -114,13 +199,13 @@ func TestSelectAnalyzers(t *testing.T) {
 		return names(selectAnalyzers(fs, toggles))
 	}
 
-	if got := run(); got != "exhaustive,msgkind,viewkind,determinism,seam,locksend" {
+	if got := run(); got != "exhaustive,msgkind,viewkind,determinism,seam,locksend,lockorder,resetcheck,noalloc" {
 		t.Errorf("default selection = %s", got)
 	}
 	if got := run("-exhaustive", "-seam"); got != "exhaustive,seam" {
 		t.Errorf("positive selection = %s", got)
 	}
-	if got := run("-locksend=false"); got != "exhaustive,msgkind,viewkind,determinism,seam" {
+	if got := run("-locksend=false"); got != "exhaustive,msgkind,viewkind,determinism,seam,lockorder,resetcheck,noalloc" {
 		t.Errorf("negative selection = %s", got)
 	}
 }

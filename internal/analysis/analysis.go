@@ -1,7 +1,8 @@
 // Package analysis is protolint's home: a family of custom static analyzers
 // that mechanically enforce the repository's protocol invariants — the
 // properties the paper's correctness argument rests on but which, before this
-// package, were only checked dynamically (tests and protocol.Explore).
+// package, were only checked dynamically (tests, -race runs, AllocsPerRun
+// gates and protocol.Explore).
 //
 // The analyzers are:
 //
@@ -21,21 +22,39 @@
 //   - seam:        outside internal/transport and internal/netsim, no raw
 //     message channels or netsim endpoint use — cross-object messaging
 //     goes through transport.Transport.
-//   - locksend:    no channel send or blocking delivery call while holding
-//     a sync.Mutex/RWMutex.
+//   - locksend:    no channel send or blocking delivery call (including
+//     SendTagged) while holding a sync.Mutex/RWMutex.
+//   - lockorder:   the lock-acquisition graph across all analyzed packages
+//     (which mutex class is held when another is acquired, propagated
+//     through exported-function facts) must be acyclic — a cycle is a
+//     static deadlock.
+//   - resetcheck:  pool-recycled types (anything passed to sync.Pool.Put,
+//     or carrying a Reset method) must assign or clear every struct field
+//     in Reset, so a newly added field cannot leak state across pooled
+//     sessions.
+//   - noalloc:     functions annotated //caa:noalloc may not contain
+//     allocating constructs (escaping composite literals, capturing
+//     closures, interface boxing, fmt calls, un-presized append/make,
+//     string<->[]byte conversions), turning the AllocsPerRun bench gates
+//     into build-time errors.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
-// Pass, diagnostics, testdata fixtures) but is built on the standard library
-// only, so the module stays dependency-free. cmd/protolint adapts the suite to
-// the `go vet -vettool` protocol.
+// Pass, diagnostics, facts, testdata fixtures) but is built on the standard
+// library only, so the module stays dependency-free. cmd/protolint adapts the
+// suite to the `go vet -vettool` protocol and serializes each package's
+// exported facts (see facts.go) into the vetx cache slot the go command
+// maintains per package, so cross-package analyzers see their dependencies'
+// summaries without re-analyzing them.
 //
 // A finding is suppressed by a comment of the form
 //
 //	//protolint:allow <analyzer> <reason>
 //
-// on the flagged line or the line directly above it. The reason is mandatory
-// by convention (reviewers should see why the rule does not apply), though the
-// suppressor only matches the analyzer name.
+// on the flagged line or the line directly above it. The reason is mandatory:
+// a bare "//protolint:allow <analyzer>" suppresses nothing and is itself
+// reported, so reviewers always see why the rule does not apply. Suppressed
+// findings are retained (marked Suppressed, with the reason) so the -json
+// driver output can surface them.
 package analysis
 
 import (
@@ -62,6 +81,11 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding covered by a reasoned //protolint:allow
+	// comment; SuppressReason carries the comment's justification. Suppressed
+	// findings do not fail the build but are surfaced by `protolint -json`.
+	Suppressed     bool
+	SuppressReason string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -75,10 +99,14 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Imported holds the fact sets of previously analyzed packages, keyed by
+	// import path. Nil when the driver has no facts (a fresh cache).
+	Imported FactStore
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
-	allowed  map[string]map[int]bool // filename -> lines carrying an allow comment for this analyzer
+	exported *FactSet
+	allowed  map[string]map[int]string // filename -> line -> suppression reason
 }
 
 // PkgName returns the package's declared name (not its import path). The
@@ -86,19 +114,23 @@ type Pass struct {
 // the real tree and to the self-contained fixtures under testdata/src.
 func (p *Pass) PkgName() string { return p.Pkg.Name() }
 
-// Reportf records a finding unless an allow comment suppresses it.
+// Reportf records a finding. A reasoned allow comment on the same or the
+// preceding line marks it suppressed instead of dropping it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if lines := p.allowed[position.Filename]; lines != nil {
-		if lines[position.Line] || lines[position.Line-1] {
-			return
-		}
-	}
-	*p.diags = append(*p.diags, Diagnostic{
+	d := Diagnostic{
 		Analyzer: p.analyzer.Name,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if lines := p.allowed[position.Filename]; lines != nil {
+		if reason, ok := lines[position.Line]; ok {
+			d.Suppressed, d.SuppressReason = true, reason
+		} else if reason, ok := lines[position.Line-1]; ok {
+			d.Suppressed, d.SuppressReason = true, reason
+		}
+	}
+	*p.diags = append(*p.diags, d)
 }
 
 // InTestFile reports whether pos lies in a _test.go file. Some analyzers
@@ -108,21 +140,28 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
-// Run applies the given analyzers to one typechecked package and returns the
-// surviving findings sorted by position.
-func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+// Run applies the given analyzers to one typechecked package, resolving
+// cross-package facts from imported, and returns the findings sorted by
+// position (suppressed ones included, marked) together with the package's
+// exported fact set.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, imported FactStore) ([]Diagnostic, *FactSet) {
 	var diags []Diagnostic
+	exported := NewFactSet()
 	for _, a := range analyzers {
+		allowed, bare := allowIndex(fset, files, a.Name)
 		pass := &Pass{
 			Fset:     fset,
 			Files:    files,
 			Pkg:      pkg,
 			Info:     info,
+			Imported: imported,
 			analyzer: a,
 			diags:    &diags,
-			allowed:  allowIndex(fset, files, a.Name),
+			exported: exported,
+			allowed:  allowed,
 		}
 		a.Run(pass)
+		diags = append(diags, bare...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -134,7 +173,7 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 		}
 		return a.Column < b.Column
 	})
-	return diags
+	return diags, exported
 }
 
 // All returns the full protolint suite in reporting order.
@@ -146,13 +185,19 @@ func All() []*Analyzer {
 		DeterminismAnalyzer,
 		SeamAnalyzer,
 		LockSendAnalyzer,
+		LockOrderAnalyzer,
+		ResetCheckAnalyzer,
+		NoAllocAnalyzer,
 	}
 }
 
-// allowIndex maps filename -> set of lines carrying "//protolint:allow <name>"
-// for the given analyzer.
-func allowIndex(fset *token.FileSet, files []*ast.File, name string) map[string]map[int]bool {
-	idx := make(map[string]map[int]bool)
+// allowIndex maps filename -> line -> reason for every reasoned
+// "//protolint:allow <name> <reason>" comment naming the given analyzer. A
+// bare allow (no reason text) suppresses nothing; it is returned as a
+// diagnostic instead, so the missing justification is itself a finding.
+func allowIndex(fset *token.FileSet, files []*ast.File, name string) (map[string]map[int]string, []Diagnostic) {
+	idx := make(map[string]map[int]string)
+	var bare []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -177,14 +222,25 @@ func allowIndex(fset *token.FileSet, files []*ast.File, name string) map[string]
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				if idx[pos.Filename] == nil {
-					idx[pos.Filename] = make(map[int]bool)
+				reason := strings.Join(fields[1:], " ")
+				if reason == "" {
+					bare = append(bare, Diagnostic{
+						Analyzer: name,
+						Pos:      pos,
+						Message: fmt.Sprintf("suppression %q is missing its reason: "+
+							"write //protolint:allow %s <why the rule does not apply> (bare suppressions suppress nothing)",
+							strings.TrimSpace(c.Text), name),
+					})
+					continue
 				}
-				idx[pos.Filename][pos.Line] = true
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = make(map[int]string)
+				}
+				idx[pos.Filename][pos.Line] = reason
 			}
 		}
 	}
-	return idx
+	return idx, bare
 }
 
 // namedOf unwraps pointers and reports the (package name, type name) of a

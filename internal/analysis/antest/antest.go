@@ -30,16 +30,55 @@ import (
 
 // Run applies the analyzer to each fixture package (an import path under
 // dir/src) and checks the findings against the fixtures' want comments.
+//
+// Cross-package facts flow exactly as they do under the real driver: before a
+// fixture package is analyzed, its fixture imports are analyzed first (in
+// dependency order, memoized) and their exported fact sets handed to the pass
+// as the imported FactStore. Suppressed findings are dropped, matching the
+// driver's pass/fail view; a finding that should be suppressed therefore shows
+// up as "expected finding, got none" if its allow comment were honored — keep
+// want comments on unsuppressed lines.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	l := &loader{root: filepath.Join(dir, "src"), fset: token.NewFileSet(), pkgs: make(map[string]*fixturePkg)}
+	facts := make(analysis.FactStore)
+	done := make(map[string]bool)
 	for _, path := range pkgPaths {
 		p, err := l.load(path)
 		if err != nil {
 			t.Fatalf("loading fixture package %s: %v", path, err)
 		}
-		diags := analysis.Run(l.fset, p.files, p.pkg, p.info, []*analysis.Analyzer{a})
-		checkWants(t, l.fset, path, p.files, diags)
+		analyzeDeps(t, l, p.pkg, a, facts, done)
+		diags, exported := analysis.Run(l.fset, p.files, p.pkg, p.info, []*analysis.Analyzer{a}, facts)
+		facts[p.pkg.Path()] = exported
+		done[p.pkg.Path()] = true
+		var visible []analysis.Diagnostic
+		for _, d := range diags {
+			if !d.Suppressed {
+				visible = append(visible, d)
+			}
+		}
+		checkWants(t, l.fset, path, p.files, visible)
+	}
+}
+
+// analyzeDeps runs the analyzer over pkg's fixture imports in dependency
+// order, populating facts. Findings in dependencies are discarded here: each
+// fixture package asserts its own findings when it is Run directly.
+func analyzeDeps(t *testing.T, l *loader, pkg *types.Package, a *analysis.Analyzer, facts analysis.FactStore, done map[string]bool) {
+	t.Helper()
+	for _, imp := range pkg.Imports() {
+		if done[imp.Path()] {
+			continue
+		}
+		done[imp.Path()] = true
+		analyzeDeps(t, l, imp, a, facts, done)
+		p, ok := l.pkgs[imp.Path()]
+		if !ok {
+			continue
+		}
+		_, exported := analysis.Run(l.fset, p.files, p.pkg, p.info, []*analysis.Analyzer{a}, facts)
+		facts[imp.Path()] = exported
 	}
 }
 

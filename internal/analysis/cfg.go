@@ -1,0 +1,274 @@
+package analysis
+
+import "go/ast"
+
+// CFG is a lightweight intra-function control-flow graph: basic blocks of
+// statements and header expressions connected by successor edges. It exists
+// so flow-sensitive analyzers (lockorder's held-lock tracking) can run a
+// worklist dataflow instead of re-deriving control flow from the AST shape,
+// while staying far smaller than a full SSA construction.
+//
+// Statements that transfer control (if/for/range/switch/select) contribute
+// their init statements and condition/tag expressions as nodes of the block
+// where they are evaluated; their bodies become separate blocks. All other
+// statements are carried whole — analyzers walk each node with ast.Inspect
+// and are expected to skip *ast.FuncLit interiors, which execute on their own
+// schedule.
+//
+// The graph is conservative rather than exact: labeled branches resolve to
+// the innermost matching loop when the label is tracked, `goto` falls back to
+// an edge to Exit, and `fallthrough` links adjacent switch bodies. For
+// may-analyses (anything joined by set union) those approximations only add
+// paths, never hide one.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Block is one basic block.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// BuildCFG constructs the CFG of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = &Block{}
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	b.edge(b.cur, b.cfg.Exit)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+type loopFrame struct {
+	label     string
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	cfg   *CFG
+	cur   *Block
+	loops []loopFrame // innermost last
+	brks  []*Block    // break targets incl. switch/select, innermost last
+	label string      // pending label for the next loop/switch statement
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// The pending label only applies to the statement immediately following
+	// the LabeledStmt; clear it for everything else.
+	label := b.label
+	b.label = ""
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		b.edge(cond, then)
+		after := b.newBlock()
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		b.add(s.Init)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(s.Cond)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			b.cur = post
+			b.add(s.Post)
+			b.edge(post, head)
+		}
+		b.pushLoop(label, after, post)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, post)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.caseBodies(label, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.caseBodies(label, s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		b.caseBodies(label, s.Body.List, nil)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		b.add(s)
+		name := ""
+		if s.Label != nil {
+			name = s.Label.Name
+		}
+		b.branch(s, name)
+		b.cur = b.newBlock() // unreachable continuation
+
+	default:
+		// Assignments, calls, sends, declarations, defer, go: one node.
+		b.add(s)
+	}
+}
+
+// caseBodies builds the blocks of a switch/type-switch/select body: every
+// clause starts from the dispatch block and joins at a common after block,
+// with fallthrough linking adjacent bodies. break inside targets after.
+func (b *cfgBuilder) caseBodies(label string, clauses []ast.Stmt, _ *Block) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.pushLoop(label, after, nil)
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(dispatch, bodies[i])
+	}
+	for i, c := range clauses {
+		b.cur = bodies[i]
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				b.add(e)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			b.add(c.Comm)
+			list = c.Body
+		}
+		fallsThrough := false
+		if n := len(list); n > 0 {
+			if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				fallsThrough = true
+				list = list[:n-1]
+			}
+		}
+		b.stmts(list)
+		if fallsThrough && i+1 < len(bodies) {
+			b.edge(b.cur, bodies[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.loops = append(b.loops, loopFrame{label: label, brk: brk, cont: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.loops = b.loops[:len(b.loops)-1]
+}
+
+// branch wires a break/continue/goto statement to its target.
+func (b *cfgBuilder) branch(s *ast.BranchStmt, label string) {
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if f.brk != nil && (label == "" || f.label == label) {
+				b.edge(b.cur, f.brk)
+				return
+			}
+		}
+	case "continue":
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if f.cont != nil && (label == "" || f.label == label) {
+				b.edge(b.cur, f.cont)
+				return
+			}
+		}
+	}
+	// goto, or an unresolved label: conservatively leave the function.
+	b.edge(b.cur, b.cfg.Exit)
+}

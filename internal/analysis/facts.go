@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FactsVersion stamps the serialized fact format. Decoders reject anything
+// else, so a vetx file written by an older protolint (or the empty stamp the
+// pre-facts driver wrote) degrades to "no facts" instead of misparsing.
+const FactsVersion = "protolint-facts/1"
+
+// A FactSet holds the facts one package's analysis run exported: for each
+// analyzer, a map from object key (ObjKey) to the analyzer-defined JSON
+// payload. The empty string key carries the analyzer's package-level fact.
+//
+// Facts are the cross-package channel of the suite: the driver serializes a
+// package's FactSet into its vetx file (the cache slot the go command already
+// maintains per package), and hands importing packages the decoded sets of
+// their dependencies. JSON keeps the format stdlib-only and diffable; maps
+// marshal with sorted keys, so identical analyses produce identical bytes and
+// the vet cache stays stable.
+type FactSet struct {
+	Version string                                `json:"version"`
+	Facts   map[string]map[string]json.RawMessage `json:"facts,omitempty"`
+}
+
+// NewFactSet returns an empty fact set stamped with the current version.
+func NewFactSet() *FactSet {
+	return &FactSet{Version: FactsVersion, Facts: make(map[string]map[string]json.RawMessage)}
+}
+
+// Encode serializes the fact set for a vetx file.
+func (fs *FactSet) Encode() []byte {
+	data, err := json.Marshal(fs)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// DecodeFacts parses a serialized fact set, reporting ok=false for empty or
+// foreign data (an empty vetx stamp, a different tool's output).
+func DecodeFacts(data []byte) (*FactSet, bool) {
+	if len(data) == 0 {
+		return nil, false
+	}
+	var fs FactSet
+	if err := json.Unmarshal(data, &fs); err != nil || fs.Version != FactsVersion {
+		return nil, false
+	}
+	if fs.Facts == nil {
+		fs.Facts = make(map[string]map[string]json.RawMessage)
+	}
+	return &fs, true
+}
+
+// A FactStore maps package import paths to their decoded fact sets. The
+// driver populates it from the dependencies' vetx files; antest populates it
+// by analyzing fixture dependencies first.
+type FactStore map[string]*FactSet
+
+// ObjKey returns the stable fact key of a package-level object: the
+// function's package-qualified-name-without-the-path ("F", "(*Engine).Reset")
+// for functions and methods, the plain name for everything else.
+func ObjKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		name := fn.FullName()
+		if pkg := fn.Pkg(); pkg != nil {
+			name = strings.TrimPrefix(name, pkg.Path()+".")
+		}
+		return name
+	}
+	return obj.Name()
+}
+
+// ExportFact records a fact of the current package under the running
+// analyzer's namespace. key is usually ObjKey(obj); "" is the package-level
+// slot. The fact must marshal to JSON.
+func (p *Pass) ExportFact(key string, fact any) {
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return
+	}
+	m := p.exported.Facts[p.analyzer.Name]
+	if m == nil {
+		m = make(map[string]json.RawMessage)
+		p.exported.Facts[p.analyzer.Name] = m
+	}
+	m[key] = data
+}
+
+// ImportFact unmarshals the running analyzer's fact for (pkgPath, key) into
+// out, reporting whether one was found. Facts of the package being analyzed
+// resolve to what the analyzer exported so far in this run.
+func (p *Pass) ImportFact(pkgPath, key string, out any) bool {
+	var m map[string]json.RawMessage
+	if pkgPath == p.Pkg.Path() {
+		m = p.exported.Facts[p.analyzer.Name]
+	} else if fs := p.Imported[pkgPath]; fs != nil {
+		m = fs.Facts[p.analyzer.Name]
+	}
+	raw, ok := m[key]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// HasFactsFor reports whether facts for pkgPath are available — i.e. the
+// package was analyzed by the suite (its vetx carried a fact set), as opposed
+// to a standard-library dependency that was only stamped.
+func (p *Pass) HasFactsFor(pkgPath string) bool {
+	if pkgPath == p.Pkg.Path() {
+		return true
+	}
+	_, ok := p.Imported[pkgPath]
+	return ok
+}
+
+// FactPackages returns the sorted import paths with available facts.
+func (p *Pass) FactPackages() []string {
+	paths := make([]string, 0, len(p.Imported))
+	for path := range p.Imported {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	return paths
+}

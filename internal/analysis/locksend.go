@@ -11,7 +11,7 @@ import (
 // lock striping exists to avoid: the pump that would drain the fabric is
 // blocked on the very lock the sender holds.
 var blockingSendMethods = map[string]bool{
-	"Send": true, "SendTo": true, "Multicast": true,
+	"Send": true, "SendTo": true, "SendTagged": true, "Multicast": true,
 	"Publish": true, "Deliver": true,
 }
 

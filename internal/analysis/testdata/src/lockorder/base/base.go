@@ -1,0 +1,19 @@
+// Package base is the bottom of the cross-package lockorder fixture: a table
+// with an exported embedded mutex, so importers can lock it directly and the
+// lock class (base.Table.Mutex) crosses package boundaries through facts.
+package base
+
+import "sync"
+
+type Table struct {
+	sync.Mutex
+	n int
+}
+
+// Lookup acquires the table lock; the acquisition is exported as a fact on
+// (*Table).Lookup for importing packages.
+func (t *Table) Lookup() int {
+	t.Lock()
+	defer t.Unlock()
+	return t.n
+}

@@ -1,0 +1,29 @@
+// Package mid holds its cache lock across a base.Table lookup, establishing
+// the edge Cache.mu -> Table.Mutex. On its own that is a consistent order;
+// the cycle only appears when package top locks the table first.
+package mid
+
+import (
+	"sync"
+
+	"lockorder/base"
+)
+
+type Cache struct {
+	mu   sync.Mutex
+	hits int
+}
+
+// Get holds the cache lock across the table lookup: Cache.mu -> Table.Mutex.
+func (c *Cache) Get(t *base.Table) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return t.Lookup()
+}
+
+// Bump touches only the cache lock.
+func (c *Cache) Bump() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// Package top closes a cross-package deadlock: it locks base.Table and then
+// calls into mid, whose Cache.mu is elsewhere held across a Table lock. The
+// edge created here (Table.Mutex -> Cache.mu) meets mid's exported
+// Cache.mu -> Table.Mutex edge fact, and the cycle is reported at the call
+// that completes it.
+package top
+
+import (
+	"lockorder/base"
+	"lockorder/mid"
+)
+
+func Refresh(t *base.Table, c *mid.Cache) {
+	t.Lock()
+	defer t.Unlock()
+	c.Bump() // want `lock ordering cycle`
+}
+
+// Warm uses the same packages in the consistent order (nothing held across
+// the calls): clean.
+func Warm(t *base.Table, c *mid.Cache) int {
+	c.Bump()
+	return c.Get(t)
+}

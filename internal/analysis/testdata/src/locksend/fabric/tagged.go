@@ -1,0 +1,29 @@
+package fabric
+
+import "sync"
+
+// Transport models the action-server seam: SendTagged is a blocking delivery
+// call (inbox backpressure), so holding even a read lock across it can
+// deadlock against the pump that would drain the inbox.
+type Transport struct{ ch chan int }
+
+func (t *Transport) SendTagged(tag, v int) { t.ch <- tag + v }
+
+type router struct {
+	mu sync.RWMutex
+	tr *Transport
+	to int
+}
+
+func (r *router) badTagged(v int) {
+	r.mu.RLock()
+	r.tr.SendTagged(r.to, v) // want `SendTagged call while holding r.mu`
+	r.mu.RUnlock()
+}
+
+func (r *router) goodTagged(v int) {
+	r.mu.RLock()
+	tr, to := r.tr, r.to
+	r.mu.RUnlock()
+	tr.SendTagged(to, v)
+}

@@ -1,0 +1,37 @@
+// Package protocol mirrors the real pooled engine's Reset topology: part of
+// the work delegated to a same-receiver helper, an atomic-style field cleared
+// through a method call, shards cleared through an address alias — and one
+// scratch field whose assignment has been deleted, the mutation resetcheck
+// exists to catch.
+package protocol
+
+type resolution struct{ votes int }
+
+type atomicInt struct{ v int }
+
+func (a *atomicInt) Store(v int) { a.v = v }
+
+type shard struct{ events []int }
+
+type Engine struct {
+	state   int
+	res     resolution
+	seq     atomicInt
+	shards  [4]shard
+	scratch []int // want `Reset does not clear field scratch`
+	_       [8]byte
+}
+
+func (e *Engine) Reset() {
+	e.state = 0
+	e.clearResolution()
+	e.seq.Store(0)
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.events = s.events[:0]
+	}
+}
+
+func (e *Engine) clearResolution() {
+	e.res = resolution{}
+}

@@ -1,5 +1,6 @@
 // Package sync is a minimal stand-in for the standard library's sync package:
-// the locksend analyzer matches Mutex and RWMutex by package and type name.
+// the locksend and lockorder analyzers match Mutex and RWMutex by package and
+// type name, and resetcheck matches Pool.
 package sync
 
 type Mutex struct{}
@@ -10,7 +11,16 @@ func (m *Mutex) TryLock() bool { return true }
 
 type RWMutex struct{}
 
-func (m *RWMutex) Lock()    {}
-func (m *RWMutex) Unlock()  {}
-func (m *RWMutex) RLock()   {}
-func (m *RWMutex) RUnlock() {}
+func (m *RWMutex) Lock()          {}
+func (m *RWMutex) Unlock()        {}
+func (m *RWMutex) RLock()         {}
+func (m *RWMutex) RUnlock()       {}
+func (m *RWMutex) TryLock() bool  { return true }
+func (m *RWMutex) TryRLock() bool { return true }
+
+type Pool struct {
+	New func() any
+}
+
+func (p *Pool) Get() any  { return nil }
+func (p *Pool) Put(x any) {}

@@ -101,7 +101,8 @@ type Engine struct {
 	replayScratch []Msg
 	nameScratch   []string
 	raiserScratch []ident.ObjectID
-	sizedFor      int // widest membership the lists are pre-sized for
+	//protolint:allow resetcheck the capacity watermark must survive Reset so a pooled engine keeps its pre-sized ledgers
+	sizedFor int // widest membership the lists are pre-sized for
 }
 
 // NewEngine creates an engine for one participating object.
@@ -230,12 +231,15 @@ func (e *Engine) presizeFor(n int) {
 // takeReplay borrows the replay scratch buffer; a reentrant replay (a replayed
 // message triggering another replay) finds it nil and falls back to a fresh
 // allocation.
+//
+//caa:noalloc
 func (e *Engine) takeReplay() []Msg {
 	s := e.replayScratch
 	e.replayScratch = nil
 	return s[:0]
 }
 
+//caa:noalloc
 func (e *Engine) putReplay(s []Msg) { e.replayScratch = s }
 
 // LeaveAction pops the innermost action ("delete last element in SA_i"). The
@@ -281,6 +285,8 @@ func (e *Engine) LeaveAction(a ident.ActionID) error {
 // object is already in an exceptional/suspended state for a resolution
 // covering the active action — the detected error will be subsumed by the
 // resolution already under way.
+//
+//caa:noalloc
 func (e *Engine) RaiseLocal(exc string) (bool, error) {
 	if len(e.stack) == 0 {
 		return false, ErrNotInAction
@@ -384,6 +390,8 @@ func (e *Engine) Expelled() []ident.ObjectID {
 }
 
 // HandleMessage processes one incoming protocol message.
+//
+//caa:noalloc
 func (e *Engine) HandleMessage(m Msg) {
 	e.log(trace.Event{Kind: trace.EvRecv, Object: e.self, Peer: m.From,
 		Action: m.Action, Label: m.Kind, Detail: m.Exc})
@@ -401,6 +409,7 @@ func (e *Engine) HandleMessage(m Msg) {
 	}
 }
 
+//caa:noalloc
 func (e *Engine) handleExceptionOrHaveNested(m Msg) {
 	idx := e.frameIndex(m.Action)
 	if idx < 0 {
@@ -467,6 +476,8 @@ func (e *Engine) handleExceptionOrHaveNested(m Msg) {
 
 // escalateTo aborts every action nested within frame (at stack index idx) and
 // performs the HaveNested / NestedCompleted exchange.
+//
+//caa:noalloc
 func (e *Engine) escalateTo(idx int, frame Frame) {
 	// Abandon any deeper resolution — but a Commit stashed for THIS action
 	// (a degraded-mode Commit that outran the local expulsion, above) must
@@ -517,6 +528,7 @@ func (e *Engine) escalateTo(idx int, frame Frame) {
 	}
 }
 
+//caa:noalloc
 func (e *Engine) handleNestedCompleted(m Msg) {
 	if m.Action != e.resAction {
 		// Stale or post-commit: still acknowledge so the sender can finish.
@@ -531,6 +543,7 @@ func (e *Engine) handleNestedCompleted(m Msg) {
 	e.maybeReady()
 }
 
+//caa:noalloc
 func (e *Engine) handleAck(m Msg) {
 	if m.Action != e.resAction {
 		return // stale ACK from an abandoned nested resolution
@@ -539,6 +552,7 @@ func (e *Engine) handleAck(m Msg) {
 	e.maybeReady()
 }
 
+//caa:noalloc
 func (e *Engine) handleCommit(m Msg) {
 	if _, done := e.committed[m.Action]; done {
 		return
@@ -579,6 +593,8 @@ func (e *Engine) handleCommit(m Msg) {
 // raiser of the current resolution has been expelled, nobody will ever send
 // that Commit, so the survivors take the degraded path: they reach R from
 // Suspended and the biggest surviving member acts as chooser.
+//
+//caa:noalloc
 func (e *Engine) maybeReady() {
 	if e.resAction == 0 {
 		return
@@ -636,6 +652,7 @@ func (e *Engine) maybeReady() {
 	}
 	if e.hooks.Log != nil {
 		e.log(trace.Event{Kind: trace.EvCommitChosen, Object: e.self,
+			//protolint:allow noalloc tracing is opt-in (hooks.Log != nil) and off on the steady-state path
 			Action: frame.Action, Label: resolved, Detail: fmt.Sprintf("LE=%v", e.le)})
 	}
 	e.multicast(frame, Msg{
@@ -650,6 +667,8 @@ func (e *Engine) maybeReady() {
 
 // finish completes the resolution: record the committed exception, clear the
 // lists and start the handler.
+//
+//caa:noalloc
 func (e *Engine) finish(a ident.ActionID, exc string) {
 	e.committed[a] = exc
 	e.clearResolution()
@@ -665,6 +684,8 @@ func (e *Engine) finish(a ident.ActionID, exc string) {
 // keeps its capacity — so the next resolution over the same membership
 // allocates nothing (the regression is guarded by TestEngineCommitCycleAllocs
 // and visible in BENCH_4.json's baseline-vs-optimised delta).
+//
+//caa:noalloc
 func (e *Engine) clearResolution() {
 	e.le = e.le[:0]
 	clear(e.lo)
@@ -681,6 +702,8 @@ func (e *Engine) clearResolution() {
 // capacity. This is what makes pooling engines across actions cheap — a
 // server draining thousands of short-lived actions reuses one warm engine
 // per participant slot instead of reallocating the ledgers each time.
+//
+//caa:noalloc
 func (e *Engine) Reset(self ident.ObjectID, hooks Hooks) {
 	e.self = self
 	e.hooks = hooks
@@ -694,12 +717,20 @@ func (e *Engine) Reset(self ident.ObjectID, hooks Hooks) {
 	e.chooserGroup = 0
 	e.suspendedAt = 0
 	clear(e.expelled)
+	// Truncate the scratch buffers too (keeping their capacity, which is the
+	// point of pooling): no stale replay message or raiser ID from the
+	// previous session is reachable through a reset engine.
+	e.replayScratch = e.replayScratch[:0]
+	e.nameScratch = e.nameScratch[:0]
+	e.raiserScratch = e.raiserScratch[:0]
 }
 
 // degradedMode reports whether the current resolution can only be concluded
 // by survivors: members have been expelled, exceptions are on record, and
 // every raiser among them is expelled. (With no expulsions this is always
 // false, keeping non-partition runs on the unmodified state machine.)
+//
+//caa:noalloc
 func (e *Engine) degradedMode() bool {
 	if len(e.expelled) == 0 || len(e.le) == 0 {
 		return false
@@ -719,6 +750,8 @@ func (e *Engine) degradedMode() bool {
 // Expelled raisers cannot choose; when expulsion has removed every raiser,
 // the biggest surviving member of the resolution frame takes over (the
 // degraded-mode counterpart of the "biggest raiser" rule).
+//
+//caa:noalloc
 func (e *Engine) isChooser() bool {
 	rs := e.raiserScratch[:0]
 	for _, r := range e.le {
@@ -765,6 +798,8 @@ func (e *Engine) isChooser() bool {
 // dropPendingNestedIn removes parked messages whose action is nested within
 // a, filtering the pending list in place (no reentrancy here: dropping only
 // logs).
+//
+//caa:noalloc
 func (e *Engine) dropPendingNestedIn(a ident.ActionID) {
 	keep := e.pending[:0]
 	for _, m := range e.pending {
@@ -780,6 +815,7 @@ func (e *Engine) dropPendingNestedIn(a ident.ActionID) {
 	e.pending = keep
 }
 
+//caa:noalloc
 func (e *Engine) frameIndex(a ident.ActionID) int {
 	for i := range e.stack {
 		if e.stack[i].Action == a {
@@ -789,6 +825,7 @@ func (e *Engine) frameIndex(a ident.ActionID) int {
 	return -1
 }
 
+//caa:noalloc
 func (e *Engine) setState(s State, a ident.ActionID) {
 	if e.state == s {
 		return
@@ -797,6 +834,7 @@ func (e *Engine) setState(s State, a ident.ActionID) {
 	e.log(trace.Event{Kind: trace.EvState, Object: e.self, Action: a, Label: s.String()})
 }
 
+//caa:noalloc
 func (e *Engine) suspend(a ident.ActionID) {
 	if e.suspendedAt == a {
 		return
@@ -809,6 +847,8 @@ func (e *Engine) suspend(a ident.ActionID) {
 
 // multicast sends m to every member of the frame except self, optionally
 // registering that each peer owes us an ACK.
+//
+//caa:noalloc
 func (e *Engine) multicast(frame Frame, m Msg, wantAck bool) {
 	for _, peer := range frame.Members {
 		if peer == e.self {
@@ -821,6 +861,7 @@ func (e *Engine) multicast(frame Frame, m Msg, wantAck bool) {
 	}
 }
 
+//caa:noalloc
 func (e *Engine) send(to ident.ObjectID, m Msg) {
 	e.log(trace.Event{Kind: trace.EvSend, Object: e.self, Peer: to,
 		Action: m.Action, Label: m.Kind, Detail: m.Exc})
@@ -829,6 +870,7 @@ func (e *Engine) send(to ident.ObjectID, m Msg) {
 	}
 }
 
+//caa:noalloc
 func (e *Engine) log(ev trace.Event) {
 	if e.hooks.Log != nil {
 		e.hooks.Log(ev)

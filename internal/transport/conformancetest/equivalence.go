@@ -232,6 +232,7 @@ func fabricResolution(t *testing.T, factory Factory, n, p, q int) map[ident.Obje
 	// goroutine and wedges the deferred Close.
 	raiseErrs := make([]error, p)
 	for i := 0; i < p; i++ {
+		//protolint:allow lockorder the barrier locks same-class instances in the fixed all[i] order, so every holder agrees on the global order
 		engines[all[i]].mu.Lock()
 	}
 	for i := 0; i < p; i++ {
@@ -268,6 +269,7 @@ func fabricResolution(t *testing.T, factory Factory, n, p, q int) map[ident.Obje
 	got := make(map[ident.ObjectID]string, n)
 	for _, obj := range all {
 		le := engines[obj]
+		//protolint:allow lockorder the raise-barrier locks were all released by the unlock loop above; may-hold cannot correlate the two loop bounds
 		le.mu.Lock()
 		if exc, ok := le.e.CommittedAt(1); ok {
 			got[obj] = exc
@@ -362,6 +364,7 @@ func multiplexedResolution(t *testing.T, factory Factory, n, p, q, k int) []map[
 	raiseErrs := make([]error, k*p)
 	for f := 0; f < k; f++ {
 		for i := 0; i < p; i++ {
+			//protolint:allow lockorder the barrier locks same-class instances in the fixed (fleet, all[i]) order, so every holder agrees on the global order
 			engines[f][all[i]].mu.Lock()
 		}
 	}
@@ -407,6 +410,7 @@ func multiplexedResolution(t *testing.T, factory Factory, n, p, q, k int) []map[
 		got[f] = make(map[ident.ObjectID]string, n)
 		for _, obj := range all {
 			le := engines[f][obj]
+			//protolint:allow lockorder the raise-barrier locks were all released by the unlock loop above; may-hold cannot correlate the two loop bounds
 			le.mu.Lock()
 			if exc, ok := le.e.CommittedAt(rootID(f)); ok {
 				got[f][obj] = exc

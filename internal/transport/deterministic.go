@@ -48,6 +48,7 @@ type ring struct {
 
 func (r *ring) len() int { return r.n }
 
+//caa:noalloc
 func (r *ring) push(m Message) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -56,6 +57,7 @@ func (r *ring) push(m Message) {
 	r.n++
 }
 
+//caa:noalloc
 func (r *ring) pop() Message {
 	m := r.buf[r.head]
 	r.buf[r.head] = Message{} // release payload references
@@ -68,6 +70,8 @@ func (r *ring) pop() Message {
 }
 
 // at returns the i-th queued message (0 = oldest) without removing it.
+//
+//caa:noalloc
 func (r *ring) at(i int) Message { return r.buf[(r.head+i)%len(r.buf)] }
 
 // removeAt removes and returns the i-th queued message, shifting the
@@ -159,6 +163,8 @@ func (d *Deterministic) SetFilter(f func(m Message) bool) { d.filter = f }
 
 // Send accepts a message: the codec encodes its payload, the fault policy
 // decides its fate, and surviving copies join the pair's FIFO queue.
+//
+//caa:noalloc
 func (d *Deterministic) Send(m Message) error {
 	if d.closed {
 		return ErrClosed
@@ -197,6 +203,7 @@ func (d *Deterministic) Send(m Message) error {
 	return nil
 }
 
+//caa:noalloc
 func (d *Deterministic) enqueue(m Message) {
 	if d.opts.Discipline == DisciplineGlobalFIFO {
 		d.global.push(m)
@@ -207,7 +214,7 @@ func (d *Deterministic) enqueue(m Message) {
 	if q == nil {
 		// A drained ring stays in the map so its buffer is reused; only a
 		// pair's first-ever message allocates.
-		q = &ring{}
+		q = &ring{} //protolint:allow noalloc only a pair's first-ever message allocates; the drained ring is reused
 		d.queues[key] = q
 	}
 	if q.len() == 0 {
@@ -241,6 +248,8 @@ func (d *Deterministic) Pending() int {
 // Under DisciplinePairActivation the pair is picked by the chooser (default:
 // first in activation order); under DisciplineGlobalFIFO the globally oldest
 // message is delivered.
+//
+//caa:noalloc
 func (d *Deterministic) Step() bool {
 	if d.opts.Discipline == DisciplineGlobalFIFO {
 		if d.global.len() == 0 {
@@ -272,6 +281,8 @@ func (d *Deterministic) Step() bool {
 
 // deliver applies the delivery-time filter and codec, then invokes the
 // destination handler.
+//
+//caa:noalloc
 func (d *Deterministic) deliver(m Message) {
 	if d.filter != nil && !d.filter(m) {
 		if d.opts.Sink != nil {

@@ -30,6 +30,8 @@ func (t *seqTable) init() {
 
 // next increments and returns the 1-based sequence number of the ordered
 // pair.
+//
+//caa:noalloc
 func (t *seqTable) next(key pair) uint64 {
 	shard := &t.shards[uint64(splitmix64(uint64(key.from)<<32|uint64(uint32(key.to))))%pairShardCount]
 	shard.mu.Lock()
@@ -41,6 +43,8 @@ func (t *seqTable) next(key pair) uint64 {
 
 // verdictCopies draws the fault verdict for m against the policy using the
 // table's per-pair sequence state, returning how many copies to deliver.
+//
+//caa:noalloc
 func (t *seqTable) verdictCopies(policy FaultPolicy, m Message) int {
 	key := pair{from: m.From, to: m.To}
 	switch policy(m.From, m.To, t.next(key), m) {

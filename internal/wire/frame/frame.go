@@ -90,8 +90,11 @@ type Frame struct {
 
 // Append serialises f (length prefix included) onto dst and returns the
 // extended slice.
+//
+//caa:noalloc
 func Append(dst []byte, f Frame) ([]byte, error) {
 	if len(f.Kind)+len(f.Payload)+headerSize+32 > MaxFrameSize {
+		//protolint:allow noalloc oversize-frame failure path, never taken by well-formed traffic
 		return dst, fmt.Errorf("%w: kind %d + payload %d bytes", ErrFrameTooLarge, len(f.Kind), len(f.Payload))
 	}
 	start := len(dst)
@@ -115,6 +118,7 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 	dst = append(dst, f.Payload...)
 	body := len(dst) - start - headerSize
 	if body > MaxFrameSize {
+		//protolint:allow noalloc oversize-frame failure path, never taken by well-formed traffic
 		return dst[:start], fmt.Errorf("%w: body %d bytes", ErrFrameTooLarge, body)
 	}
 	binary.BigEndian.PutUint32(dst[start:], uint32(body))
