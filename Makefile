@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-json race bench-smoke
+.PHONY: build test lint lint-json race bench-smoke fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,21 @@ race:
 
 bench-smoke:
 	$(GO) run ./cmd/bench -smoke -label local-smoke -out bench-local.json
+
+# Long-running scenario fuzzing: seeded random action programs checked by the
+# cross-backend differential oracle (see docs/FUZZING.md). Shrunk repros of
+# any divergence land in internal/scengen/testdata/corpus, where the plain
+# test suite replays them forever. Override e.g. FUZZ_DURATION=1h.
+FUZZ_DURATION ?= 10m
+FUZZ_JOBS ?= 4
+# Fresh seeds every run — the generator is fully deterministic per seed, so
+# restarting from a fixed seed would re-explore the same programs. A failure
+# report names its seed, which IS the repro.
+FUZZ_SEED ?= $(shell date +%s)
+fuzz:
+	$(GO) run ./cmd/scenfuzz -duration $(FUZZ_DURATION) -jobs $(FUZZ_JOBS) \
+		-seed $(FUZZ_SEED) -out internal/scengen/testdata/corpus
+
+# The 30-second native-fuzzer smoke CI runs on every PR.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzScenario -fuzztime=30s ./internal/scengen

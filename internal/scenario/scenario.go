@@ -118,6 +118,27 @@ func (s Spec) Validate() error {
 	if s.Q > 0 && s.Depth < 1 {
 		return errors.New("scenario: Depth must be >= 1 when Q > 0")
 	}
+	if s.Depth < 0 {
+		return errors.New("scenario: Depth must not be negative")
+	}
+	if s.Batch < 0 {
+		return errors.New("scenario: Batch must not be negative")
+	}
+	for _, d := range []struct {
+		name string
+		val  time.Duration
+	}{
+		{"RaiseDelay", s.RaiseDelay},
+		{"AbortionCost", s.AbortionCost},
+		{"Latency", s.Latency},
+		{"Retransmit", s.Retransmit},
+		{"Timeout", s.Timeout},
+		{"PartitionDelay", s.PartitionDelay},
+	} {
+		if d.val < 0 {
+			return fmt.Errorf("scenario: %s must not be negative", d.name)
+		}
+	}
 	if len(s.Partition) > 0 {
 		if !s.Membership {
 			return errors.New("scenario: Partition requires Membership")

@@ -8,28 +8,7 @@ import (
 	"repro/internal/protocol"
 )
 
-func TestSpecValidate(t *testing.T) {
-	tests := []struct {
-		name  string
-		give  Spec
-		isErr bool
-	}{
-		{name: "ok", give: Spec{N: 3, P: 1, Q: 1, Depth: 1}},
-		{name: "zero N", give: Spec{N: 0}, isErr: true},
-		{name: "P too big", give: Spec{N: 2, P: 3}, isErr: true},
-		{name: "P+Q too big", give: Spec{N: 3, P: 2, Q: 2, Depth: 1}, isErr: true},
-		{name: "Q without depth", give: Spec{N: 3, P: 1, Q: 1}, isErr: true},
-		{name: "no exception", give: Spec{N: 3}},
-	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			err := tt.give.Validate()
-			if (err != nil) != tt.isErr {
-				t.Errorf("Validate(%+v) = %v", tt.give, err)
-			}
-		})
-	}
-}
+// Spec.Validate is covered by the table in validate_test.go.
 
 func TestRunSingleRaiser(t *testing.T) {
 	res, err := Run(Spec{N: 4, P: 1, Timeout: 20 * time.Second})

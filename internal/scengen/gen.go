@@ -1,0 +1,334 @@
+package scengen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// GenConfig bounds the generator. The zero value picks the defaults below;
+// the fuzz targets derive small variations from their mutated inputs.
+type GenConfig struct {
+	// MaxObjects caps a family's object count (default 10).
+	MaxObjects int
+	// MaxFamilies caps the number of concurrent sibling families (default 3).
+	MaxFamilies int
+	// MaxDepth caps action-tree nesting below the root (default 3).
+	MaxDepth int
+	// MaxExceptions caps the non-root exception count (default 8).
+	MaxExceptions int
+	// Partitions enables partition injection (single-family programs only).
+	Partitions bool
+	// StormBias, when set, makes every raise site a full storm (all members
+	// raise) — the §4 resolution stress shape.
+	StormBias bool
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MaxObjects <= 0 {
+		c.MaxObjects = 10
+	}
+	if c.MaxObjects < 2 {
+		c.MaxObjects = 2
+	}
+	if c.MaxFamilies <= 0 {
+		c.MaxFamilies = 3
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MaxExceptions <= 0 {
+		c.MaxExceptions = 8
+	}
+	return c
+}
+
+// KnobConfig derives a GenConfig from a compact knob byte, shared by the
+// fuzz targets and cmd/scenfuzz so a (seed, knobs) pair means the same
+// program everywhere: bit 0 forces raise storms, bit 1 enables partitions,
+// bit 2 pins single-family programs, bit 3 shrinks the size bounds.
+func KnobConfig(knobs uint8) GenConfig {
+	cfg := GenConfig{
+		StormBias:  knobs&1 != 0,
+		Partitions: knobs&2 != 0,
+	}
+	if knobs&4 != 0 {
+		cfg.MaxFamilies = 1
+	}
+	if knobs&8 != 0 {
+		cfg.MaxObjects = 4
+		cfg.MaxDepth = 2
+		cfg.MaxExceptions = 3
+	}
+	return cfg
+}
+
+// Generate derives a random program from the seed, fully deterministically:
+// the same seed and config produce byte-identical programs on every run,
+// platform and Go release (the PCG source is specified, and no map is ever
+// iterated). The result always validates.
+func Generate(seed uint64, cfg GenConfig) *Program {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(seed, 0x9E3779B97F4A7C15))
+	p := &Program{Version: Version, Seed: seed}
+
+	// Exception tree: "omega" root, E1..ET with random parents. Chains and
+	// bushes both happen, so resolutions exercise real least-common-ancestor
+	// work instead of always hitting the root.
+	t := 1 + rng.IntN(cfg.MaxExceptions)
+	p.Exceptions = append(p.Exceptions, ExcNode{Name: "omega"})
+	names := make([]string, 0, t)
+	for i := 1; i <= t; i++ {
+		name := fmt.Sprintf("E%d", i)
+		parent := "omega"
+		if len(names) > 0 && rng.IntN(2) == 0 {
+			parent = names[rng.IntN(len(names))]
+		}
+		p.Exceptions = append(p.Exceptions, ExcNode{Name: name, Parent: parent})
+		names = append(names, name)
+	}
+
+	// Families: usually one; sometimes several concurrent siblings, which
+	// either share the object namespace (stressing the multiplexing layers)
+	// or keep disjoint objects.
+	nFam := 1
+	if cfg.MaxFamilies > 1 && rng.IntN(5) < 2 {
+		nFam = 2 + rng.IntN(cfg.MaxFamilies-1)
+	}
+	sharedObjects := rng.IntN(2) == 0
+	for fi := 0; fi < nFam; fi++ {
+		base := 0
+		if !sharedObjects {
+			base = fi * 100
+		}
+		p.Families = append(p.Families, genFamily(rng, cfg, names, fi, base))
+	}
+
+	// Partition injection: single-family, root-raise-only programs with
+	// enough survivable objects. The cut is drawn from objects that are
+	// neither raisers nor inside nested actions, so the majority's
+	// expectations stay deterministic.
+	if cfg.Partitions && nFam == 1 && rng.IntN(4) == 0 {
+		fam := &p.Families[0]
+		if len(fam.Objects) >= 3 && len(fam.Belated) == 0 && rootRaisesOnly(fam) {
+			var cuttable []int
+			for _, o := range fam.Objects {
+				if fam.leafOf(o) == 0 && !isRaiser(fam, o) {
+					cuttable = append(cuttable, o)
+				}
+			}
+			maxCut := (len(fam.Objects) - 1) / 2
+			if len(cuttable) > 0 && maxCut > 0 {
+				want := 1 + rng.IntN(maxCut)
+				if want > len(cuttable) {
+					want = len(cuttable)
+				}
+				shuffled := shuffledInts(rng, cuttable)
+				cut := shuffled[:want]
+				sort.Ints(cut)
+				p.Partition = &Partition{Cut: cut, DelayMS: 20 + rng.IntN(20)}
+			}
+		}
+	}
+
+	if err := p.Validate(); err != nil {
+		// The construction above is correct by design; a validation failure
+		// here is a generator bug and must fail loudly.
+		panic(fmt.Sprintf("scengen: generated program invalid (seed %d): %v", seed, err))
+	}
+	return p
+}
+
+func isRaiser(f *Family, obj int) bool {
+	for _, r := range f.Raises {
+		if r.Obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func rootRaisesOnly(f *Family) bool {
+	for _, site := range f.RaiseSites() {
+		if site != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func shuffledInts(rng *rand.Rand, in []int) []int {
+	out := append([]int(nil), in...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// genFamily builds one family: objects base+1..base+n, a recursively
+// partitioned action tree, an antichain raise schedule, belated joins and
+// atomic-object traffic.
+func genFamily(rng *rand.Rand, cfg GenConfig, excs []string, fi, base int) Family {
+	n := 2 + rng.IntN(cfg.MaxObjects-1)
+	fam := Family{WaitForNested: rng.IntN(4) == 0}
+	for i := 1; i <= n; i++ {
+		fam.Objects = append(fam.Objects, base+i)
+	}
+	fam.Actions = []Action{{Parent: -1, Members: append([]int(nil), fam.Objects...)}}
+	growActions(rng, cfg, &fam, 0, 1)
+
+	// Raise sites: an ancestor-free antichain of 0..3 actions (zero raises
+	// exercises the no-exception path and arms the atomic-op sum check).
+	wantSites := 0
+	if rng.IntN(10) > 0 {
+		wantSites = 1 + rng.IntN(3)
+	}
+	var sites []int
+	for _, cand := range rng.Perm(len(fam.Actions)) {
+		if len(sites) == wantSites {
+			break
+		}
+		ok := true
+		for _, s := range sites {
+			if s == cand || fam.isAncestorAction(s, cand) || fam.isAncestorAction(cand, s) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sites = append(sites, cand)
+		}
+	}
+	sort.Ints(sites)
+	for _, site := range sites {
+		members := fam.Actions[site].Members
+		// Only objects whose LEAF is this action raise here (raises land at
+		// the raiser's innermost action).
+		var leaves []int
+		for _, m := range members {
+			if fam.leafOf(m) == site {
+				leaves = append(leaves, m)
+			}
+		}
+		if len(leaves) == 0 {
+			continue
+		}
+		nRaisers := 1
+		if cfg.StormBias || rng.IntN(5) == 0 {
+			nRaisers = len(leaves) // full multi-raiser storm
+		} else if len(leaves) > 1 && rng.IntN(3) == 0 {
+			nRaisers = 2 + rng.IntN(len(leaves)-1)
+		}
+		for _, obj := range shuffledInts(rng, leaves)[:nRaisers] {
+			delay := 0
+			if rng.IntN(3) == 0 {
+				delay = 1 + rng.IntN(3)
+			}
+			fam.Raises = append(fam.Raises, Raise{
+				Obj: obj, Exc: excs[rng.IntN(len(excs))], DelayMS: delay,
+			})
+		}
+	}
+
+	// Belated joins: non-raisers whose leaf has no raising ancestor may
+	// enter that leaf late. Entering a raise site itself late is the
+	// pending-replay stress and is deliberately allowed.
+	raiseSites := make(map[int]bool)
+	for _, s := range fam.RaiseSites() {
+		raiseSites[s] = true
+	}
+	for _, obj := range fam.Objects {
+		if isRaiser(&fam, obj) || rng.IntN(5) != 0 {
+			continue
+		}
+		leaf := fam.leafOf(obj)
+		if leaf == 0 {
+			continue // the root is never entered late
+		}
+		coveredByRaise := false
+		for anc := fam.Actions[leaf].Parent; anc >= 0; anc = fam.Actions[anc].Parent {
+			if raiseSites[anc] {
+				coveredByRaise = true
+				break
+			}
+		}
+		if coveredByRaise {
+			continue
+		}
+		fam.Belated = append(fam.Belated, Belated{Obj: obj, Action: leaf})
+	}
+
+	// Atomic-object traffic: per action, one shared counter some of the
+	// action's leaf objects bump inside the action's transaction. Actions
+	// at/below raise sites and belated objects are excluded so every op
+	// deterministically commits (see Validate).
+	belatedObjs := make(map[int]bool, len(fam.Belated))
+	for _, b := range fam.Belated {
+		belatedObjs[b.Obj] = true
+	}
+	for ai := range fam.Actions {
+		if rng.IntN(3) != 0 {
+			continue
+		}
+		if raiseSites[ai] {
+			continue
+		}
+		underRaise := false
+		for anc := fam.Actions[ai].Parent; anc >= 0; anc = fam.Actions[anc].Parent {
+			if raiseSites[anc] {
+				underRaise = true
+				break
+			}
+		}
+		if underRaise {
+			continue
+		}
+		key := fmt.Sprintf("f%d.a%d", fi, ai)
+		for _, m := range fam.Actions[ai].Members {
+			if fam.leafOf(m) != ai || isRaiser(&fam, m) || belatedObjs[m] || rng.IntN(2) == 0 {
+				continue
+			}
+			fam.Ops = append(fam.Ops, AtomicOp{Obj: m, Key: key, Add: 1 + rng.IntN(5)})
+		}
+	}
+	return fam
+}
+
+// growActions recursively partitions an action's members into child actions.
+func growActions(rng *rand.Rand, cfg GenConfig, fam *Family, parent, depth int) {
+	members := fam.Actions[parent].Members
+	if depth > cfg.MaxDepth || len(members) == 0 || rng.IntN(3) == 0 {
+		return
+	}
+	// How many members descend, and into how many sibling actions.
+	descending := rng.IntN(len(members) + 1)
+	if descending == 0 {
+		return
+	}
+	shuffled := shuffledInts(rng, members)[:descending]
+	nChildren := 1
+	if descending > 1 && rng.IntN(2) == 0 {
+		nChildren = 2
+	}
+	// Split the descending members into nChildren non-empty groups.
+	groups := make([][]int, nChildren)
+	for i, m := range shuffled {
+		groups[i%nChildren] = append(groups[i%nChildren], m)
+	}
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sort.Ints(g)
+		fam.Actions = append(fam.Actions, Action{Parent: parent, Members: g})
+		growActions(rng, cfg, fam, len(fam.Actions)-1, depth+1)
+	}
+}
+
+// isAncestorAction reports whether action a properly contains action b.
+func (f *Family) isAncestorAction(a, b int) bool {
+	for p := f.Actions[b].Parent; p >= 0; p = f.Actions[p].Parent {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}

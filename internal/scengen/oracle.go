@@ -1,0 +1,187 @@
+package scengen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/crbaseline"
+	"repro/internal/exception"
+	"repro/internal/ident"
+	"repro/internal/transport/conformancetest"
+)
+
+// Options tune one oracle run.
+type Options struct {
+	// Settle bounds the asynchronous protocol fabrics' settle wait
+	// (default 10s; the shrinker uses much less).
+	Settle time.Duration
+	// RunTimeout bounds each full-stack core run (default 20s).
+	RunTimeout time.Duration
+	// Linger is the leaf dwell of core-level bodies in raising families: it
+	// must comfortably exceed raise delivery on the slowest backend so the
+	// abort/commit structure never depends on timing (default 150ms).
+	Linger time.Duration
+	// CoreTCP also runs the core tier over real sockets when the program is
+	// small enough (the protocol tier always includes TCP).
+	CoreTCP bool
+	// SkipLeak disables the goroutine-leak check — required when several
+	// oracle runs share a process concurrently, since each run's transient
+	// goroutines would count as the others' leaks.
+	SkipLeak bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Settle == 0 {
+		o.Settle = 10 * time.Second
+	}
+	if o.RunTimeout == 0 {
+		o.RunTimeout = 20 * time.Second
+	}
+	if o.Linger == 0 {
+		o.Linger = 150 * time.Millisecond
+	}
+	return o
+}
+
+// Divergence is one oracle finding.
+type Divergence struct {
+	// Stage names the oracle stage that diverged (e.g. "proto/tcp",
+	// "core/raw-batch8/multi", "crbaseline", "leak").
+	Stage string
+	// Detail describes the divergence.
+	Detail string
+}
+
+// Report is the oracle's verdict on one program.
+type Report struct {
+	Seed        uint64
+	Divergences []Divergence
+}
+
+// Failed reports whether any stage diverged.
+func (r *Report) Failed() bool { return len(r.Divergences) > 0 }
+
+func (r *Report) add(stage, format string, args ...any) {
+	r.Divergences = append(r.Divergences, Divergence{Stage: stage, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Report) String() string {
+	if !r.Failed() {
+		return fmt.Sprintf("seed %d: ok", r.Seed)
+	}
+	out := fmt.Sprintf("seed %d: %d divergence(s)\n", r.Seed, len(r.Divergences))
+	for _, d := range r.Divergences {
+		out += fmt.Sprintf("  [%s] %s\n", d.Stage, d.Detail)
+	}
+	return out
+}
+
+// Check runs the full differential oracle on one program:
+//
+//  1. protocol tier — the program's resolution map on the deterministic
+//     reference (protocol.Sim) must be reproduced exactly by the
+//     Deterministic, Concurrent (Batch 0 and 8) and TCP fabrics, raises
+//     landing under the cross-engine raise barrier;
+//  2. CR tier — for every raise site, the reconstructed Campbell–Randell
+//     baseline with full reduced trees must converge to the same resolution
+//     (full trees mean no domino re-raises, so the algorithms must agree);
+//  3. core tier — the full stack (server, dispatchers, transactions) must
+//     complete every family with the reference resolutions, the exact
+//     atomic-object sums, and — for partition programs — exactly the cut
+//     expelled and the participant failure resolved;
+//  4. leak — no repository goroutine may outlive the run.
+func Check(p *Program, opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{Seed: p.Seed}
+	if err := p.Validate(); err != nil {
+		rep.add("validate", "%v", err)
+		return rep
+	}
+	var leak func() error
+	if !opts.SkipLeak {
+		leak = conformancetest.LeakCheckErr()
+	}
+
+	cp, err := p.ToProto()
+	if err != nil {
+		rep.add("proto/lower", "%v", err)
+		return rep
+	}
+	ref, err := conformancetest.ReferenceResolutions(cp)
+	if err != nil {
+		rep.add("proto/reference", "%v", err)
+		return rep
+	}
+	for _, b := range protoBackends() {
+		fab := b.make(opts.Settle)
+		got, err := conformancetest.FabricResolutions(fab, cp, len(ref))
+		fab.Close()
+		if err != nil {
+			rep.add(b.name, "%v", err)
+			continue
+		}
+		if d := ref.Diff(got); d != "" {
+			rep.add(b.name, "resolutions diverge from reference:\n%s", d)
+		}
+	}
+
+	checkCR(p, ref, rep)
+
+	if p.Partition != nil {
+		checkPartition(p, ref, opts, rep)
+	} else {
+		checkCore(p, ref, opts, rep)
+	}
+
+	if leak != nil {
+		if err := leak(); err != nil {
+			rep.add("leak", "%v", err)
+		}
+	}
+	return rep
+}
+
+// checkCR holds the reconstructed 1986 baseline to the reference: for every
+// raise site, CR participants with FULL reduced trees (everyone handles
+// everything, so no domino re-raises can widen the raise set) must converge
+// on exactly the resolution the new algorithm committed there.
+func checkCR(p *Program, ref conformancetest.Resolutions, rep *Report) {
+	tree, err := p.Tree()
+	if err != nil {
+		rep.add("crbaseline", "exception tree: %v", err)
+		return
+	}
+	full, err := exception.NewReducedTree(tree, tree.Names()...)
+	if err != nil {
+		rep.add("crbaseline", "full reduced tree: %v", err)
+		return
+	}
+	for fi := range p.Families {
+		fam := &p.Families[fi]
+		for _, site := range fam.RaiseSites() {
+			raises := fam.raisersAt(site)
+			if len(raises) == 0 {
+				continue
+			}
+			var parts []crbaseline.Participant
+			for _, m := range fam.Actions[site].Members {
+				parts = append(parts, crbaseline.Participant{ID: ident.ObjectID(m), Reduced: full})
+			}
+			initial := make(map[ident.ObjectID]string, len(raises))
+			for _, r := range raises {
+				initial[ident.ObjectID(r.Obj)] = r.Exc
+			}
+			res, err := crbaseline.Run(crbaseline.Config{Tree: tree, Participants: parts}, initial)
+			if err != nil {
+				rep.add("crbaseline", "family %d site %d: %v", fi, site, err)
+				continue
+			}
+			want := ref[conformancetest.ResolutionKey{
+				Family: fi, Obj: ident.ObjectID(raises[0].Obj), Action: actionID(fi, site),
+			}]
+			if res.Final != want {
+				rep.add("crbaseline", "family %d site %d: CR converged on %q, reference committed %q", fi, site, res.Final, want)
+			}
+		}
+	}
+}

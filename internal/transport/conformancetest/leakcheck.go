@@ -1,6 +1,7 @@
 package conformancetest
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -18,9 +19,23 @@ import (
 // test-framework goroutines never trip it.
 func LeakCheck(t *testing.T) func() {
 	t.Helper()
-	baseline := stacks()
+	check := LeakCheckErr()
 	return func() {
 		t.Helper()
+		if err := check(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// LeakCheckErr is the testing-free form of LeakCheck, for drivers that are
+// not tests (the scenario fuzzer runs it after every generated case, so a
+// leaked dispatcher or session goroutine fails the oracle itself). It
+// snapshots the repository goroutines alive now and returns a function that
+// reports the ones still running when called, after the same grace period.
+func LeakCheckErr() func() error {
+	baseline := stacks()
+	return func() error {
 		deadline := time.Now().Add(2 * time.Second)
 		var leaked []string
 		for {
@@ -31,14 +46,14 @@ func LeakCheck(t *testing.T) func() {
 				}
 			}
 			if len(leaked) == 0 {
-				return
+				return nil
 			}
 			if time.Now().After(deadline) {
 				break
 			}
 			time.Sleep(10 * time.Millisecond)
 		}
-		t.Errorf("%d fabric goroutines leaked:\n%s", len(leaked), strings.Join(leaked, "\n---\n"))
+		return fmt.Errorf("%d fabric goroutines leaked:\n%s", len(leaked), strings.Join(leaked, "\n---\n"))
 	}
 }
 
