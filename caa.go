@@ -35,6 +35,7 @@
 package caa
 
 import (
+	"repro/internal/atomicobj"
 	"repro/internal/core"
 	"repro/internal/exception"
 	"repro/internal/ident"
@@ -112,6 +113,38 @@ type (
 	// TransportKind selects the messaging layer.
 	TransportKind = core.TransportKind
 )
+
+// Atomic-object operations (Context.Apply / TxnView.Apply).
+type (
+	// Op is a typed atomic-object operation carrying its commutativity
+	// class. Ops in the same commuting class on the same object commit
+	// without locking or wait-die conflicts.
+	Op = atomicobj.Op
+	// OpClass is an operation's commutativity class.
+	OpClass = atomicobj.Class
+)
+
+// Commutativity classes.
+const (
+	// OpReadWrite operations coordinate through strict 2PL (the default).
+	OpReadWrite = atomicobj.ReadWrite
+	// OpIncrement operations (AddOp) commute with each other.
+	OpIncrement = atomicobj.Increment
+	// OpSetInsert operations (InsertOp) commute with each other.
+	OpSetInsert = atomicobj.SetInsert
+)
+
+// AddOp returns an Increment-class operation adding delta to an integer
+// object (Context.Add is shorthand for Apply with an AddOp).
+func AddOp(delta int) Op { return atomicobj.AddOp(delta) }
+
+// InsertOp returns a SetInsert-class operation inserting elem into a
+// set-valued (map[string]bool) object.
+func InsertOp(elem string) Op { return atomicobj.InsertOp(elem) }
+
+// UpdateOp returns a ReadWrite-class operation applying f under the
+// object's lock, equivalent to Context.Update.
+func UpdateOp(f func(any) (any, error)) Op { return atomicobj.UpdateOp(f) }
 
 // Nested-action policies (Figure 1 of the paper).
 const (

@@ -10,9 +10,13 @@
 // The sales payroll and the engineering payroll each debit the shared
 // company account concurrently. Wait-die locking may refuse the younger
 // transaction's access; its body backs off and retries. Both actions commit
-// and the account reflects both debits — no lost update, no deadlock.
-// Finally, a third action overdraws, its handler cannot repair it, and the
-// signalled failure leaves the account untouched.
+// and the account reflects both debits — no lost update, no deadlock. Each
+// payroll also bumps a shared audit counter through the commutativity fast
+// path (Context.Add): increments commute, so the counter never causes a
+// conflict however the actions interleave. Finally, a third action
+// overdraws, its handler cannot repair it, and the signalled failure leaves
+// the account untouched — including its pending audit increment, which is
+// discarded with the aborted transaction.
 package main
 
 import (
@@ -79,18 +83,24 @@ func run() error {
 			return fmt.Errorf("%s payroll: %w", name, err)
 		}
 	}
-	balance := sys.Store().Snapshot()["company-account"].(int)
-	fmt.Printf("balance after both payrolls: %d (want 2500)\n\n", balance)
+	snap := sys.Store().Snapshot()
+	balance := snap["company-account"].(int)
+	fmt.Printf("balance after both payrolls: %d (want 2500)\n", balance)
+	fmt.Printf("payrolls-processed: %v (fast-path counter, one per payroll)\n\n",
+		snap["payrolls-processed"])
 
 	// A third action overdraws; its handlers give up and signal failure,
-	// so the transaction aborts and the balance is preserved.
+	// so the transaction aborts and the balance is preserved — and so is
+	// the audit counter: the failed payroll's pending increment dies with
+	// its transaction.
 	fmt.Println("an overdrawing payroll fails safely:")
 	out, err := sys.Run(payroll("contractors", 99_999))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  outcome: signalled=%q balance=%v (unchanged)\n",
-		out.Signalled, sys.Store().Snapshot()["company-account"])
+	snap = sys.Store().Snapshot()
+	fmt.Printf("  outcome: signalled=%q balance=%v payrolls-processed=%v (both unchanged)\n",
+		out.Signalled, snap["company-account"], snap["payrolls-processed"])
 	return nil
 }
 
@@ -111,6 +121,12 @@ func payroll(dept string, amount int) caa.Definition {
 		},
 		Bodies: map[caa.ObjectID]caa.Body{
 			clerk: func(ctx *caa.Context) error {
+				// Audit trail on the fast path: increments commute, so this
+				// never waits and never dies — and it is still transactional
+				// (discarded if the payroll aborts).
+				if err := ctx.Add("payrolls-processed", 1); err != nil {
+					return err
+				}
 				for {
 					err := ctx.Update("company-account", func(v any) (any, error) {
 						balance := v.(int)

@@ -11,12 +11,27 @@
 // Deadlocks between competing actions are avoided with the wait-die rule:
 // an older transaction waits for a younger lock holder, a younger one is
 // refused immediately (ErrWaitDie) and is expected to abort and retry.
+//
+// Two mechanisms keep coordination local instead of store-wide (see
+// docs/ATOMIC.md):
+//
+//   - The store is hash-sharded: each object lives on one of shardCount
+//     shards with its own mutex, and blocked transactions park on per-object
+//     wait lists with targeted wakeups — independent objects never contend
+//     on a common lock and a release never wakes strangers.
+//
+//   - Operations that declare a commutativity class (Txn.Add, Txn.Apply —
+//     fastpath.go) skip 2PL entirely while every concurrent access to the
+//     object stays in the same class: they append to a per-object delta log
+//     under the shard latch and fold in at commit. Non-commuting access
+//     drains the log first, preserving strict serializability.
 package atomicobj
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by the store and transactions.
@@ -31,6 +46,10 @@ var (
 	// ErrActiveChildren is returned by Commit on a txn with live children
 	// (Abort instead cascades into them).
 	ErrActiveChildren = errors.New("atomicobj: transaction has active children")
+	// ErrClassMismatch is returned by Apply when an operation's commutativity
+	// class does not fit the object's committed value (e.g. an Increment
+	// against a string object).
+	ErrClassMismatch = errors.New("atomicobj: operation class does not fit the object's value")
 )
 
 // TxnState is the lifecycle state of a transaction.
@@ -57,68 +76,198 @@ func (s TxnState) String() string {
 	}
 }
 
+// shardCount is the number of store shards; a power of two so shardFor can
+// mask instead of mod.
+const shardCount = 64
+
+// shard is one hash shard of the store: a private mutex over a private
+// object map. Transactions touching disjoint shards share no lock at all.
+type shard struct {
+	mu      sync.Mutex
+	objects map[string]*object
+	_       [40]byte // keep neighbouring shard mutexes off one cache line
+}
+
+// obj returns the shard's record for key, creating an empty (non-existing)
+// one. Caller holds sh.mu.
+func (sh *shard) obj(key string) *object {
+	o, ok := sh.objects[key]
+	if !ok {
+		o = &object{}
+		sh.objects[key] = o
+	}
+	return o
+}
+
 type object struct {
 	value  any
 	exists bool
-	owner  *Txn // topmost lock acquirer; nil when free
+	// dirty marks an uncommitted in-place write: the value must stay out of
+	// Snapshot until the owning transaction's fate is decided. Cleared on
+	// lock release (commit folds first, abort restores first).
+	dirty bool
+	owner *Txn // topmost lock acquirer; nil when free
+
+	// pending is the commutativity fast path's delta log (fastpath.go):
+	// same-class operations append here without taking the lock and fold
+	// into the committed value when their transaction commits. All records
+	// share the class pclass. Invariant: owner != nil implies pending is
+	// empty — acquisition drains foreign records and materialises own-chain
+	// ones into the value.
+	pclass  Class
+	pending []pendingRec
+
+	// waiters are the transactions parked on this object, woken when the
+	// lock is released or the delta log drains — targeted wakeups, never a
+	// store-wide broadcast.
+	waiters []*waiter
+}
+
+// waiter parks one transaction on one object. wake closes the channel
+// exactly once; the object's releaser and the transaction's own abort may
+// race to call it.
+type waiter struct {
+	ch   chan struct{}
+	root int64
+	once sync.Once
+}
+
+func (w *waiter) wake() { w.once.Do(func() { close(w.ch) }) }
+
+// removeWaiter drops w from o's wait list if still present (a waiter woken
+// by its own abort removes itself; releases clear the list wholesale).
+// Caller holds the object's shard mutex.
+func (o *object) removeWaiter(w *waiter) {
+	for i, x := range o.waiters {
+		if x == w {
+			o.waiters = append(o.waiters[:i], o.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// wakeAllLocked wakes every transaction parked on o — only this object's
+// waiters. Caller holds the object's shard mutex.
+func (o *object) wakeAllLocked() {
+	for _, w := range o.waiters {
+		w.wake()
+	}
+	o.waiters = nil
+}
+
+// family is the mutex shared by a top-level transaction and all its nested
+// descendants: one CA action's transaction tree is one unit of concurrent
+// state (sibling nested transactions run on separate goroutines, and Abort
+// and State are called across goroutines). Keeping it per-family instead of
+// store-wide means independent actions share no coordination point.
+type family struct {
+	mu sync.Mutex
 }
 
 // Store is a transactional object store. The zero value is not usable;
 // construct with NewStore.
 type Store struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	objects map[string]*object
-	nextID  int64
+	nextID atomic.Int64
+	shards [shardCount]shard
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	s := &Store{objects: make(map[string]*object)}
-	s.cond = sync.NewCond(&s.mu)
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].objects = make(map[string]*object)
+	}
 	return s
 }
 
-// Begin starts a new top-level transaction.
+// shardFor hashes key onto its shard (FNV-1a).
+//
+//caa:noalloc
+func (s *Store) shardFor(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &s.shards[h&(shardCount-1)]
+}
+
+// Begin starts a new top-level transaction. It touches no shared lock:
+// transaction identity is an atomic counter and each top-level transaction
+// brings its own family mutex.
 func (s *Store) Begin() *Txn {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	return &Txn{store: s, id: s.nextID, root: s.nextID, state: TxnActive}
+	id := s.nextID.Add(1)
+	return &Txn{store: s, id: id, root: id, fam: &family{}, state: TxnActive}
 }
 
 // Snapshot returns a copy of the committed values of all existing objects.
-// Intended for tests and examples; it does not acquire locks and therefore
-// observes whatever the current (possibly uncommitted) state is.
+// Objects with uncommitted state — an in-place write under a live lock, or
+// pending commuting deltas — are skipped, so a snapshot never leaks
+// mid-transaction values. Each shard is copied under its own mutex; the
+// result is per-object committed, not a store-wide atomic cut.
 func (s *Store) Snapshot() map[string]any {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]any, len(s.objects))
-	for k, o := range s.objects {
-		if o.exists {
-			out[k] = o.value
+	out := make(map[string]any)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, o := range sh.objects {
+			if o.exists && !o.dirty && len(o.pending) == 0 {
+				out[k] = o.value
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
+}
+
+// waiterCount reports the parked waiters across all shards — test
+// instrumentation for the no-leaked-waiters property.
+func (s *Store) waiterCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, o := range sh.objects {
+			n += len(o.waiters)
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 type undoRec struct {
 	key     string
 	prev    any
 	existed bool
+	// repend holds the delta-log records consumed when this entry was taken
+	// (lock acquisition materialises the log, fastpath.go): an abort pushes
+	// back the records whose owners outlive it.
+	repend      []pendingRec
+	rependClass Class
 }
 
-// Txn is a (possibly nested) transaction. All methods are safe for use from
-// a single goroutine; a transaction must not be shared between goroutines.
+// Txn is a (possibly nested) transaction. A single transaction must not be
+// shared between goroutines, but siblings of one family may run concurrently
+// and Abort/State may be called from other goroutines (a CA action aborting
+// its nested actions); the family mutex guards the tree's shared fields.
 type Txn struct {
-	store    *Store
-	id       int64
-	root     int64 // root ancestor's id, used for wait-die priority
-	parent   *Txn
-	state    TxnState
-	undo     []undoRec
-	acquired []string // keys this txn newly locked
-	children []*Txn   // live (active) child transactions
+	store  *Store
+	id     int64
+	root   int64 // root ancestor's id, used for wait-die priority
+	parent *Txn
+	fam    *family
+
+	// All fields below are guarded by fam.mu.
+	state       TxnState
+	undo        []undoRec
+	acquired    []string // keys this txn newly locked
+	pendingKeys []string // keys holding delta-log records owned by this txn
+	children    []*Txn   // live (active) child transactions
+	waiter      *waiter  // set while parked, so an abort can wake this txn
 }
 
 // ID returns the transaction's unique identifier.
@@ -126,27 +275,27 @@ func (t *Txn) ID() int64 { return t.id }
 
 // State returns the lifecycle state.
 func (t *Txn) State() TxnState {
-	t.store.mu.Lock()
-	defer t.store.mu.Unlock()
+	t.fam.mu.Lock()
+	defer t.fam.mu.Unlock()
 	return t.state
 }
 
 // BeginChild starts a nested transaction. The child's effects become the
 // parent's on commit and vanish on abort.
 func (t *Txn) BeginChild() (*Txn, error) {
-	s := t.store
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	t.fam.mu.Lock()
+	defer t.fam.mu.Unlock()
 	if t.state != TxnActive {
 		return nil, ErrTxnDone
 	}
-	s.nextID++
-	child := &Txn{store: s, id: s.nextID, root: t.root, parent: t, state: TxnActive}
+	id := t.store.nextID.Add(1)
+	child := &Txn{store: t.store, id: id, root: t.root, parent: t, fam: t.fam, state: TxnActive}
 	t.children = append(t.children, child)
 	return child, nil
 }
 
-// dropChildLocked removes a finished child from t's live list.
+// dropChildLocked removes a finished child from t's live list. Caller holds
+// fam.mu.
 func (t *Txn) dropChildLocked(child *Txn) {
 	for i, c := range t.children {
 		if c == child {
@@ -159,16 +308,12 @@ func (t *Txn) dropChildLocked(child *Txn) {
 // Read returns the current value of key, acquiring its lock (reads lock
 // exclusively: the store provides strict isolation, not read sharing).
 func (t *Txn) Read(key string) (any, error) {
-	s := t.store
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if t.state != TxnActive {
-		return nil, ErrTxnDone
-	}
-	o, err := t.lockLocked(key)
+	sh, o, err := t.acquire(key)
 	if err != nil {
 		return nil, err
 	}
+	defer t.fam.mu.Unlock()
+	defer sh.mu.Unlock()
 	if !o.exists {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchObject, key)
 	}
@@ -177,19 +322,16 @@ func (t *Txn) Read(key string) (any, error) {
 
 // Write sets key to value, creating the object if necessary.
 func (t *Txn) Write(key string, value any) error {
-	s := t.store
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if t.state != TxnActive {
-		return ErrTxnDone
-	}
-	o, err := t.lockLocked(key)
+	sh, o, err := t.acquire(key)
 	if err != nil {
 		return err
 	}
 	t.undo = append(t.undo, undoRec{key: key, prev: o.value, existed: o.exists})
 	o.value = value
 	o.exists = true
+	o.dirty = true
+	sh.mu.Unlock()
+	t.fam.mu.Unlock()
 	return nil
 }
 
@@ -206,13 +348,13 @@ func (t *Txn) Update(key string, f func(any) (any, error)) error {
 	return t.Write(key, nv)
 }
 
-// Commit finishes the transaction. For a nested transaction the undo log and
-// lock ownership transfer to the parent; for a top-level transaction the
-// effects become permanent and all locks are released.
+// Commit finishes the transaction. For a nested transaction the undo log,
+// lock ownership and delta-log records transfer to the parent; for a
+// top-level transaction the pending deltas fold into the committed values
+// and all locks are released.
 func (t *Txn) Commit() error {
-	s := t.store
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	t.fam.mu.Lock()
+	defer t.fam.mu.Unlock()
 	if t.state != TxnActive {
 		return ErrTxnDone
 	}
@@ -221,31 +363,53 @@ func (t *Txn) Commit() error {
 	}
 	t.state = TxnCommitted
 	if t.parent != nil {
-		p := t.parent
-		p.dropChildLocked(t)
-		p.undo = append(p.undo, t.undo...)
-		for _, key := range t.acquired {
-			if o := s.objects[key]; o != nil && o.owner == t {
-				o.owner = p
-				p.acquired = append(p.acquired, key)
-			}
-		}
-		t.undo, t.acquired = nil, nil
+		t.absorbIntoParentLocked()
 		return nil
 	}
+	t.flushPendingLocked()
 	t.releaseLocked()
 	t.undo = nil
 	return nil
 }
 
+// absorbIntoParentLocked moves a committed child's undo log, lock ownership
+// and delta-log records to its parent — the child's effects become the
+// parent's, vanishing if the parent later aborts. Caller holds fam.mu.
+func (t *Txn) absorbIntoParentLocked() {
+	p := t.parent
+	p.dropChildLocked(t)
+	for i := range t.undo {
+		reownPending(t.undo[i].repend, t, p)
+	}
+	p.undo = append(p.undo, t.undo...)
+	for _, key := range t.acquired {
+		sh := t.store.shardFor(key)
+		sh.mu.Lock()
+		if o := sh.objects[key]; o != nil && o.owner == t {
+			o.owner = p
+			p.acquired = append(p.acquired, key)
+		}
+		sh.mu.Unlock()
+	}
+	for _, key := range t.pendingKeys {
+		sh := t.store.shardFor(key)
+		sh.mu.Lock()
+		if o := sh.objects[key]; o != nil {
+			reownPending(o.pending, t, p)
+		}
+		sh.mu.Unlock()
+	}
+	p.pendingKeys = append(p.pendingKeys, t.pendingKeys...)
+	t.undo, t.acquired, t.pendingKeys = nil, nil, nil
+}
+
 // Abort undoes every write made by this transaction (and by its committed
-// children) and releases the locks it acquired. Live nested transactions are
-// aborted first, innermost-first — aborting a CA action aborts everything
-// running inside it.
+// children), discards its pending deltas and releases the locks it acquired.
+// Live nested transactions are aborted first, innermost-first — aborting a
+// CA action aborts everything running inside it.
 func (t *Txn) Abort() error {
-	s := t.store
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	t.fam.mu.Lock()
+	defer t.fam.mu.Unlock()
 	if t.state != TxnActive {
 		return ErrTxnDone
 	}
@@ -254,53 +418,113 @@ func (t *Txn) Abort() error {
 }
 
 // abortLocked aborts t and, recursively, its live children. Caller holds
-// store.mu.
+// fam.mu.
 func (t *Txn) abortLocked() {
 	for len(t.children) > 0 {
 		t.children[len(t.children)-1].abortLocked()
 	}
 	t.state = TxnAborted
+	if t.waiter != nil {
+		// Parked on some object from another goroutine: wake it so the
+		// blocked operation returns ErrTxnDone.
+		t.waiter.wake()
+		t.waiter = nil
+	}
 	for i := len(t.undo) - 1; i >= 0; i-- {
-		rec := t.undo[i]
-		if o := t.store.objects[rec.key]; o != nil {
+		rec := &t.undo[i]
+		sh := t.store.shardFor(rec.key)
+		sh.mu.Lock()
+		if o := sh.objects[rec.key]; o != nil {
 			o.value = rec.prev
 			o.exists = rec.existed
+			rependLocked(o, rec, t)
 		}
+		sh.mu.Unlock()
 	}
 	t.undo = nil
+	t.discardPendingLocked()
 	if t.parent != nil {
 		t.parent.dropChildLocked(t)
 	}
 	t.releaseLocked()
 }
 
-// lockLocked acquires key's lock for t (wait-die). Caller holds store.mu.
-func (t *Txn) lockLocked(key string) (*object, error) {
-	s := t.store
-	o, ok := s.objects[key]
-	if !ok {
-		o = &object{}
-		s.objects[key] = o
-	}
+// acquire takes key's lock for t under strict 2PL with wait-die, draining
+// the object's foreign delta log first (commuting deltas and ReadWrite
+// access do not commute — the path-incompatible rule falls back to
+// coordination). On success BOTH fam.mu and the key's shard mutex are held
+// and the object's own-chain delta log has been materialised into its value;
+// on error neither lock is held.
+func (t *Txn) acquire(key string) (*shard, *object, error) {
+	sh := t.store.shardFor(key)
+	var parked *waiter
+	var parkedOn *object
 	for {
-		switch {
-		case o.owner == nil:
-			o.owner = t
-			t.acquired = append(t.acquired, key)
-			return o, nil
-		case o.owner == t || t.hasAncestor(o.owner):
-			return o, nil
-		case t.root < o.owner.root:
-			// Older transaction waits for the younger holder.
-			s.cond.Wait()
-			if t.state != TxnActive {
-				return nil, ErrTxnDone
-			}
-		default:
-			// Younger transaction dies rather than waits.
-			return nil, fmt.Errorf("%w: key %q held by txn %d", ErrWaitDie, key, o.owner.id)
+		if parked != nil {
+			sh.mu.Lock()
+			parkedOn.removeWaiter(parked)
+			sh.mu.Unlock()
+			parked, parkedOn = nil, nil
 		}
+		t.fam.mu.Lock()
+		t.waiter = nil
+		if t.state != TxnActive {
+			t.fam.mu.Unlock()
+			return nil, nil, ErrTxnDone
+		}
+		sh.mu.Lock()
+		o := sh.obj(key)
+		holder := o.owner
+		if holder == nil || holder == t || t.hasAncestor(holder) {
+			minRoot, foreign := o.foreignPending(t)
+			if !foreign {
+				if holder == nil {
+					o.owner = t
+					t.acquired = append(t.acquired, key)
+				}
+				t.materializeLocked(o, key)
+				return sh, o, nil
+			}
+			if t.root < minRoot {
+				// Older than every foreign delta owner: wait for the drain.
+				parked, parkedOn = t.enqueueWaiterLocked(o), o
+				sh.mu.Unlock()
+				t.fam.mu.Unlock()
+				<-parked.ch
+				continue
+			}
+			sh.mu.Unlock()
+			t.fam.mu.Unlock()
+			return nil, nil, fmt.Errorf("%w: key %q has pending deltas of txn root %d", ErrWaitDie, key, minRoot)
+		}
+		if t.root < holder.root {
+			// Older transaction waits for the younger holder.
+			parked, parkedOn = t.enqueueWaiterLocked(o), o
+			sh.mu.Unlock()
+			t.fam.mu.Unlock()
+			<-parked.ch
+			continue
+		}
+		// Younger transaction dies rather than waits.
+		holderID := holder.id
+		sh.mu.Unlock()
+		t.fam.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: key %q held by txn %d", ErrWaitDie, key, holderID)
 	}
+}
+
+// enqueueWaiterLocked registers t on o's wait list for a targeted wakeup
+// (lock release, delta-log drain, or t's own abort). Caller holds fam.mu and
+// the object's shard mutex and must release BOTH before blocking on the
+// returned waiter's channel; the unlocks stay in the caller so the lock-order
+// analysis sees the loop's back edge holds nothing. A woken waiter may still
+// sit on o's list (abort-path wakeup) and must be removed before parking
+// again.
+func (t *Txn) enqueueWaiterLocked(o *object) *waiter {
+	w := &waiter{ch: make(chan struct{}), root: t.root}
+	o.waiters = append(o.waiters, w)
+	t.waiter = w
+	return w
 }
 
 // hasAncestor reports whether a is an ancestor of t.
@@ -313,13 +537,19 @@ func (t *Txn) hasAncestor(a *Txn) bool {
 	return false
 }
 
-// releaseLocked frees every lock acquired by t. Caller holds store.mu.
+// releaseLocked frees every lock t acquired, clearing the dirty mark (the
+// value underneath is final: commit folds first, abort restores first) and
+// waking exactly the freed objects' waiters. Caller holds fam.mu.
 func (t *Txn) releaseLocked() {
 	for _, key := range t.acquired {
-		if o := t.store.objects[key]; o != nil && o.owner == t {
+		sh := t.store.shardFor(key)
+		sh.mu.Lock()
+		if o := sh.objects[key]; o != nil && o.owner == t {
 			o.owner = nil
+			o.dirty = false
+			o.wakeAllLocked()
 		}
+		sh.mu.Unlock()
 	}
 	t.acquired = nil
-	t.store.cond.Broadcast()
 }

@@ -69,6 +69,47 @@ func BenchmarkNestedCommitChain(b *testing.B) {
 	}
 }
 
+func BenchmarkAddCommit(b *testing.B) {
+	s := NewStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin()
+		if err := tx.Add("ctr", 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContentionFastPath is the commuting twin of
+// BenchmarkContentionRetry: same hot counter, but increments ride the
+// pending-delta log, so no transaction ever aborts or retries.
+func BenchmarkContentionFastPath(b *testing.B) {
+	s := NewStore()
+	seed := s.Begin()
+	if err := seed.Write("ctr", 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tx := s.Begin()
+			if err := tx.Add("ctr", 1); err != nil {
+				b.Error(err)
+				_ = tx.Abort()
+				continue
+			}
+			if err := tx.Commit(); err != nil {
+				b.Error(err)
+			}
+		}
+	})
+}
+
 func BenchmarkContentionRetry(b *testing.B) {
 	s := NewStore()
 	seed := s.Begin()

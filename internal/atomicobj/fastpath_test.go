@@ -1,0 +1,568 @@
+package atomicobj
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAddCommitCreatesAndMerges(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	if err := tx.Add("ctr", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add("ctr", 4); err != nil {
+		t.Fatal(err)
+	}
+	// Pending deltas are invisible until commit.
+	if _, ok := s.Snapshot()["ctr"]; ok {
+		t.Error("pending delta leaked into Snapshot")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot()["ctr"]; got != 7 {
+		t.Errorf("ctr = %v, want 7", got)
+	}
+}
+
+func TestAddAbortDiscards(t *testing.T) {
+	s := NewStore()
+	seed := s.Begin()
+	if err := seed.Write("ctr", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	if err := tx.Add("ctr", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add("fresh", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap["ctr"] != 10 {
+		t.Errorf("ctr = %v, want 10 (delta must vanish on abort)", snap["ctr"])
+	}
+	if _, ok := snap["fresh"]; ok {
+		t.Error("aborted delta created an object")
+	}
+}
+
+// TestConcurrentAddsNeverDie: the headline property — commuting increments
+// from many concurrent transactions on one hot counter never hit wait-die
+// and the final value is the exact sum.
+func TestConcurrentAddsNeverDie(t *testing.T) {
+	s := NewStore()
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tx := s.Begin()
+				if err := tx.Add("hot", 1); err != nil {
+					errs[w] = err
+					_ = tx.Abort()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v (the fast path must not die)", w, err)
+		}
+	}
+	if got := s.Snapshot()["hot"]; got != workers*perWorker {
+		t.Errorf("hot = %v, want %d", got, workers*perWorker)
+	}
+}
+
+// TestOwnReadMaterializesPending: a transaction that Reads a key it has
+// pending deltas on sees them folded in (materialised under its fresh lock),
+// and commit keeps the folded value.
+func TestOwnReadMaterializesPending(t *testing.T) {
+	s := NewStore()
+	seed := s.Begin()
+	if err := seed.Write("ctr", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	if err := tx.Add("ctr", 7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.Read("ctr")
+	if err != nil || v != 107 {
+		t.Fatalf("read = %v, %v; want 107", v, err)
+	}
+	// Further Adds go in place under the now-held lock.
+	if err := tx.Add("ctr", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot()["ctr"]; got != 108 {
+		t.Errorf("ctr = %v, want 108", got)
+	}
+}
+
+// TestMaterializeRepend: a child materialises an ancestor's pending delta
+// (by Reading the key) and then aborts — the restore must push the
+// ancestor's record back so the ancestor's commit still applies it.
+func TestMaterializeRepend(t *testing.T) {
+	s := NewStore()
+	parent := s.Begin()
+	if err := parent.Add("ctr", 5); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.BeginChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := child.Read("ctr")
+	if err != nil || v != 5 {
+		t.Fatalf("child read = %v, %v; want 5", v, err)
+	}
+	if err := child.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot()["ctr"]; got != 5 {
+		t.Errorf("ctr = %v, want 5 (parent's delta must survive the child abort)", got)
+	}
+}
+
+// TestNestedAddAbsorb: a committed child's deltas become the parent's —
+// merged on parent commit, discarded on parent abort.
+func TestNestedAddAbsorb(t *testing.T) {
+	for _, parentCommits := range []bool{true, false} {
+		s := NewStore()
+		parent := s.Begin()
+		child, err := parent.BeginChild()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := child.Add("ctr", 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := child.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if parentCommits {
+			if err := parent.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Snapshot()["ctr"]; got != 3 {
+				t.Errorf("ctr = %v, want 3 after parent commit", got)
+			}
+		} else {
+			if err := parent.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Snapshot()["ctr"]; ok {
+				t.Error("absorbed delta survived the parent abort")
+			}
+		}
+	}
+}
+
+// TestNestedAddAbortDiscards: a child's own pending deltas vanish when the
+// child aborts, leaving the parent untouched.
+func TestNestedAddAbortDiscards(t *testing.T) {
+	s := NewStore()
+	parent := s.Begin()
+	if err := parent.Add("ctr", 1); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.BeginChild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Add("ctr", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot()["ctr"]; got != 1 {
+		t.Errorf("ctr = %v, want 1", got)
+	}
+}
+
+// TestDrainOlderReaderWaits: an older transaction's ReadWrite access to an
+// object with a younger transaction's pending deltas blocks until the log
+// drains, then sees the merged value.
+func TestDrainOlderReaderWaits(t *testing.T) {
+	s := NewStore()
+	older := s.Begin()
+	younger := s.Begin()
+	if err := younger.Add("ctr", 4); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan any, 1)
+	go func() {
+		v, err := older.Read("ctr")
+		if err != nil {
+			got <- err
+			return
+		}
+		got <- v
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("older read should block on the pending delta, returned %v", v)
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := younger.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 4 {
+			t.Fatalf("older read = %v, want 4", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("older reader was not woken by the log drain")
+	}
+	_ = older.Abort()
+}
+
+// TestDrainYoungerReaderDies: a younger ReadWrite access to an object with
+// an older transaction's pending deltas dies under wait-die.
+func TestDrainYoungerReaderDies(t *testing.T) {
+	s := NewStore()
+	older := s.Begin()
+	younger := s.Begin()
+	if err := older.Add("ctr", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := younger.Read("ctr"); !errors.Is(err, ErrWaitDie) {
+		t.Fatalf("younger read should die on the older delta, got %v", err)
+	}
+	_ = younger.Abort()
+	if err := older.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddOnLockedObject: Adds against a foreign lock behave like any other
+// access — younger dies, older waits for release and then appends.
+func TestAddOnLockedObject(t *testing.T) {
+	s := NewStore()
+	older := s.Begin()
+	younger := s.Begin()
+	if err := older.Write("ctr", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := younger.Add("ctr", 1); !errors.Is(err, ErrWaitDie) {
+		t.Fatalf("younger add against a lock should die, got %v", err)
+	}
+	_ = younger.Abort()
+	if err := older.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Older-waits: begin the waiter before the holder.
+	done := make(chan error, 1)
+	s2 := NewStore()
+	w := s2.Begin()
+	h := s2.Begin()
+	if err := h.Write("ctr", 1); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		done <- w.Add("ctr", 2)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("older add should wait for the lock, returned %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := h.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("older add after release: %v", err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Snapshot()["ctr"]; got != 3 {
+		t.Errorf("ctr = %v, want 3", got)
+	}
+}
+
+func TestClassMismatch(t *testing.T) {
+	s := NewStore()
+	seed := s.Begin()
+	if err := seed.Write("name", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	if err := tx.Add("name", 1); !errors.Is(err, ErrClassMismatch) {
+		t.Fatalf("Add on a string object: %v, want ErrClassMismatch", err)
+	}
+	if err := tx.Insert("name", "x"); !errors.Is(err, ErrClassMismatch) {
+		t.Fatalf("Insert on a string object: %v, want ErrClassMismatch", err)
+	}
+	_ = tx.Abort()
+}
+
+// TestMixedClassFallsBackToLock: a transaction mixing two commuting classes
+// on one key coordinates through the lock; the second class then fails the
+// type check against the first class's materialised value.
+func TestMixedClassFallsBackToLock(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	if err := tx.Add("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("k", "e"); !errors.Is(err, ErrClassMismatch) {
+		t.Fatalf("Insert after Add on one key: %v, want ErrClassMismatch", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot()["k"]; got != 1 {
+		t.Errorf("k = %v, want 1", got)
+	}
+}
+
+func TestSetInsertMergesUnion(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for _, e := range []string{"a", "b", "c", "d"} {
+		wg.Add(1)
+		go func(e string) {
+			defer wg.Done()
+			tx := s.Begin()
+			if err := tx.Insert("set", e); err != nil {
+				t.Errorf("insert %q: %v", e, err)
+				_ = tx.Abort()
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("commit %q: %v", e, err)
+			}
+		}(e)
+	}
+	wg.Wait()
+	set, ok := s.Snapshot()["set"].(map[string]bool)
+	if !ok || len(set) != 4 {
+		t.Fatalf("set = %v, want union of 4 elements", s.Snapshot()["set"])
+	}
+	for _, e := range []string{"a", "b", "c", "d"} {
+		if !set[e] {
+			t.Errorf("set missing %q", e)
+		}
+	}
+}
+
+func TestSetInsertAbortDiscards(t *testing.T) {
+	s := NewStore()
+	seed := s.Begin()
+	if err := seed.Insert("set", "keep"); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	if err := tx.Insert("set", "drop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	set, _ := s.Snapshot()["set"].(map[string]bool)
+	if !set["keep"] || set["drop"] {
+		t.Errorf("set = %v, want {keep}", set)
+	}
+}
+
+func TestUpdateOpRoutesThroughLock(t *testing.T) {
+	s := NewStore()
+	seed := s.Begin()
+	if err := seed.Write("k", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	op := UpdateOp(func(v any) (any, error) { return v.(int) * 2, nil })
+	if op.Class() != ReadWrite {
+		t.Errorf("UpdateOp class = %v", op.Class())
+	}
+	if err := tx.Apply("k", op); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot()["k"]; got != 20 {
+		t.Errorf("k = %v, want 20", got)
+	}
+	if err := s.Begin().Apply("k", Op{}); err == nil {
+		t.Error("zero ReadWrite op without update function must error")
+	}
+}
+
+func TestWriteThenAddInPlace(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	if err := tx.Write("k", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add("k", 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.Read("k")
+	if err != nil || v != 8 {
+		t.Fatalf("read = %v, %v; want 8", v, err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Snapshot()["k"]; ok {
+		t.Error("aborted in-place add left the object behind")
+	}
+}
+
+// TestSnapshotSkipsUncommitted: the satellite fix — Snapshot promises
+// committed values, so in-flight writes and pending deltas stay invisible.
+func TestSnapshotSkipsUncommitted(t *testing.T) {
+	s := NewStore()
+	seed := s.Begin()
+	if err := seed.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	writer := s.Begin()
+	if err := writer.Write("a", 999); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Write("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	adder := s.Begin()
+	if err := adder.Add("c", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := s.Snapshot()
+	if _, ok := snap["a"]; ok {
+		t.Errorf("a = %v: uncommitted overwrite must hide the object", snap["a"])
+	}
+	if _, ok := snap["b"]; ok {
+		t.Error("b: uncommitted creation leaked into Snapshot")
+	}
+	if _, ok := snap["c"]; ok {
+		t.Error("c: pending delta leaked into Snapshot")
+	}
+
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := adder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap = s.Snapshot()
+	if snap["a"] != 999 || snap["b"] != 2 || snap["c"] != 3 {
+		t.Errorf("after commits snapshot = %v", snap)
+	}
+}
+
+// TestFastPathProperty: random interleavings of Add/commit/abort across many
+// transactions; the final counter must equal the sum of committed deltas.
+func TestFastPathProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		want := map[string]int{}
+		open := []*Txn{}
+		openSum := []map[string]int{}
+		for step := 0; step < 60; step++ {
+			switch {
+			case len(open) == 0 || rng.Intn(3) == 0:
+				open = append(open, s.Begin())
+				openSum = append(openSum, map[string]int{})
+			case rng.Intn(2) == 0:
+				i := rng.Intn(len(open))
+				key := fmt.Sprintf("k%d", rng.Intn(3))
+				d := 1 + rng.Intn(9)
+				if err := open[i].Add(key, d); err != nil {
+					return false
+				}
+				openSum[i][key] += d
+			default:
+				i := rng.Intn(len(open))
+				if rng.Intn(2) == 0 {
+					if err := open[i].Commit(); err != nil {
+						return false
+					}
+					for k, v := range openSum[i] {
+						want[k] += v
+					}
+				} else if err := open[i].Abort(); err != nil {
+					return false
+				}
+				open = append(open[:i], open[i+1:]...)
+				openSum = append(openSum[:i], openSum[i+1:]...)
+			}
+		}
+		for i, tx := range open {
+			if err := tx.Commit(); err != nil {
+				return false
+			}
+			for k, v := range openSum[i] {
+				want[k] += v
+			}
+		}
+		snap := s.Snapshot()
+		for k, v := range want {
+			got, _ := snap[k].(int)
+			if got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -40,6 +40,23 @@ func TestDefaultSuiteSmoke(t *testing.T) {
 	}
 }
 
+// TestContentionFastPathNoAborts is the fast path's gate: the commuting
+// contention workload must finish with exactly zero wait-die aborts and an
+// exact sum, at both sweep sizes. The 2PL twin is exercised (and its sum
+// verified) by TestDefaultSuiteSmoke; its abort count is load-dependent, so
+// only the fast path pins a number.
+func TestContentionFastPathNoAborts(t *testing.T) {
+	for _, g := range []int{8, 32} {
+		aborts, err := contentionCase(g, 2, 200, true)
+		if err != nil {
+			t.Fatalf("G=%d: %v", g, err)
+		}
+		if aborts != 0 {
+			t.Errorf("G=%d: fast path hit %d wait-die aborts, want 0", g, aborts)
+		}
+	}
+}
+
 // TestFileRoundTrip checks the BENCH_*.json read/append/write cycle.
 func TestFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")

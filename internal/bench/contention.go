@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/atomicobj"
+)
+
+// contentionCase hammers a tiny set of shared counters from many concurrent
+// transactions — the external-atomic-object worst case. Each transaction
+// increments every counter, yielding between accesses the way a real action
+// body computes between its object touches (the yield is what lets the
+// scheduler interleave transactions at all on few cores). In fast mode the
+// increments ride the commutativity fast path (Txn.Add), so no transaction
+// ever conflicts no matter how the scheduler interleaves them; in 2PL mode
+// the same increments go through Update under strict locking, so
+// interleaved transactions collide on the shared counters and retry through
+// wait-die. The returned count is the total number of wait-die aborts (the
+// Msgs column of the contention rows), and the final sums are verified
+// exactly before returning.
+func contentionCase(goroutines, keys, opsPer int, fast bool) (aborts int, err error) {
+	s := atomicobj.NewStore()
+	seed := s.Begin()
+	keyName := make([]string, keys)
+	for k := 0; k < keys; k++ {
+		keyName[k] = fmt.Sprintf("ctr%d", k)
+		if err := seed.Write(keyName[k], 0); err != nil {
+			return 0, err
+		}
+	}
+	if err := seed.Commit(); err != nil {
+		return 0, err
+	}
+
+	var died atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				for {
+					tx := s.Begin()
+					var opErr error
+					for k := 0; k < keys && opErr == nil; k++ {
+						key := keyName[(g+k)%keys]
+						if fast {
+							opErr = tx.Add(key, 1)
+						} else {
+							opErr = tx.Update(key, func(v any) (any, error) {
+								return v.(int) + 1, nil
+							})
+						}
+						runtime.Gosched() // "compute" while the op's effects are in flight
+					}
+					if opErr == nil {
+						if opErr = tx.Commit(); opErr == nil {
+							break
+						}
+					} else {
+						_ = tx.Abort()
+					}
+					if !errors.Is(opErr, atomicobj.ErrWaitDie) {
+						errs[g] = opErr
+						return
+					}
+					died.Add(1)
+					runtime.Gosched()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return 0, e
+		}
+	}
+
+	snap := s.Snapshot()
+	total := 0
+	for k := 0; k < keys; k++ {
+		n, _ := snap[keyName[k]].(int)
+		total += n
+	}
+	if want := goroutines * opsPer * keys; total != want {
+		return 0, fmt.Errorf("contention sum %d, want %d (lost or phantom updates)", total, want)
+	}
+	return int(died.Load()), nil
+}

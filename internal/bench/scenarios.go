@@ -13,8 +13,10 @@ import (
 
 // Default returns the standard suite: the storm N-sweep (§4.4 case 3, all N
 // raise), the nesting-depth sweep, the New-vs-Campbell–Randell comparison
-// (E5's domino scenario) and full-stack concurrent runs with and without
-// batched delivery.
+// (E5's domino scenario), full-stack concurrent runs with and without
+// batched delivery, and the atomic-object contention sweep (strict 2PL vs
+// the commutativity fast path on shared hot counters; the Msgs column is
+// the wait-die abort count).
 func Default() []Scenario {
 	var out []Scenario
 	for _, n := range []int{8, 16, 32, 64} {
@@ -64,6 +66,16 @@ func Default() []Scenario {
 			Name: fmt.Sprintf("stack/partition/N=%d/cut=2", n),
 			Run:  func() (int, error) { return partitionCase(n, 2) },
 		})
+	}
+	for _, g := range []int{8, 32} {
+		g := g
+		for _, mode := range []string{"2pl", "fastpath"} {
+			fast := mode == "fastpath"
+			out = append(out, Scenario{
+				Name: fmt.Sprintf("atomicobj/contention/%s/G=%d/K=2", mode, g),
+				Run:  func() (int, error) { return contentionCase(g, 2, 200, fast) },
+			})
+		}
 	}
 	for _, rate := range []int{1000, 4000} {
 		rate := rate

@@ -206,3 +206,103 @@ func TestManyCompetingActionsThroughput(t *testing.T) {
 		t.Errorf("ctr = %v, want %d", got, actions)
 	}
 }
+
+// TestCompetingActionsFastPath: the commuting twin of
+// TestManyCompetingActionsThroughput — concurrent actions incrementing one
+// hot counter through ctx.Add need no retry loop at all, because
+// Increment-class operations never conflict with each other.
+func TestCompetingActionsFastPath(t *testing.T) {
+	sys := newTestSystem(t)
+
+	const actions = 8
+	var wg sync.WaitGroup
+	errs := make([]error, actions)
+	for i := 0; i < actions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			def := Definition{
+				Spec: ActionSpec{
+					Name: fmt.Sprintf("add-%d", i), Tree: testTree("f"),
+					Members:  []ident.ObjectID{1},
+					Handlers: map[ident.ObjectID]HandlerSet{1: defaultOnly(noopHandler)},
+				},
+				Bodies: map[ident.ObjectID]Body{
+					1: func(ctx *Context) error {
+						if err := ctx.Add("ctr", 2); err != nil {
+							return err
+						}
+						return ctx.Apply("set", atomicobj.InsertOp(fmt.Sprintf("a%d", i)))
+					},
+				},
+			}
+			out, err := sys.Run(def)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !out.Completed {
+				errs[i] = fmt.Errorf("outcome %+v", out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("action %d: %v (fast path must not conflict)", i, err)
+		}
+	}
+	snap := sys.Store().Snapshot()
+	if got := snap["ctr"]; got != 2*actions {
+		t.Errorf("ctr = %v, want %d", got, 2*actions)
+	}
+	set, _ := snap["set"].(map[string]bool)
+	if len(set) != actions {
+		t.Errorf("set = %v, want %d distinct elements", set, actions)
+	}
+}
+
+// TestFastPathDeltaDiscardedOnSignalledFailure: an action whose handler
+// signals failure aborts its transaction; pending fast-path deltas must
+// vanish with it.
+func TestFastPathDeltaDiscardedOnSignalledFailure(t *testing.T) {
+	sys := newTestSystem(t)
+	seed := sys.Store().Begin()
+	if err := seed.Write("audit", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	members := []ident.ObjectID{1}
+	doomed := Definition{
+		Spec: ActionSpec{
+			Name: "doomed-add", Tree: testTree("fault"), Members: members,
+			Handlers: uniformHandlers(members, HandlerSet{
+				Default: func(*RecoveryContext, exception.Exception) (string, error) {
+					return "fault", nil // signal failure: transaction aborts
+				},
+			}),
+		},
+		Bodies: map[ident.ObjectID]Body{
+			1: func(ctx *Context) error {
+				if err := ctx.Add("audit", 100); err != nil {
+					return err
+				}
+				ctx.Raise("fault")
+				return nil
+			},
+		},
+	}
+	out, err := sys.Run(doomed)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Signalled != "fault" {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if got := sys.Store().Snapshot()["audit"]; got != 5 {
+		t.Errorf("audit = %v, want 5 (aborted delta must be discarded)", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/atomicobj"
 	"repro/internal/ident"
 	"repro/internal/trace"
 )
@@ -135,6 +136,25 @@ func (c *Context) Write(key string, value any) error {
 func (c *Context) Update(key string, f func(any) (any, error)) error {
 	c.Checkpoint()
 	return c.inst.txnUpdate(key, f)
+}
+
+// Add increments an external atomic object on the commutativity fast path:
+// the delta joins the object's pending log without taking its lock, so
+// concurrent actions incrementing the same counter never conflict. The
+// delta becomes visible when the action's transaction commits and is
+// discarded exactly if it aborts.
+func (c *Context) Add(key string, delta int) error {
+	c.Checkpoint()
+	return c.inst.txnAdd(key, delta)
+}
+
+// Apply applies a typed operation to an external atomic object. Operations
+// whose commutativity class admits it (AddOp, InsertOp) ride the lock-free
+// fast path; ReadWrite operations (UpdateOp) coordinate through 2PL like
+// Update.
+func (c *Context) Apply(key string, op atomicobj.Op) error {
+	c.Checkpoint()
+	return c.inst.txnApply(key, op)
 }
 
 // Note records a free-form trace event, useful in examples and tests.

@@ -195,6 +195,24 @@ func (i *instance) txnUpdate(key string, f func(any) (any, error)) error {
 	return i.txn.Update(key, f)
 }
 
+func (i *instance) txnAdd(key string, delta int) error {
+	i.txmu.Lock()
+	defer i.txmu.Unlock()
+	if i.txnDone {
+		return ErrActionFinished
+	}
+	return i.txn.Add(key, delta)
+}
+
+func (i *instance) txnApply(key string, op atomicobj.Op) error {
+	i.txmu.Lock()
+	defer i.txmu.Unlock()
+	if i.txnDone {
+		return ErrActionFinished
+	}
+	return i.txn.Apply(key, op)
+}
+
 // abortTxn aborts the instance's transaction (idempotent). Used when
 // abortion handlers run and when a resolution handler signals failure.
 func (i *instance) abortTxn() {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/atomicobj"
 	"repro/internal/exception"
 	"repro/internal/ident"
 )
@@ -203,6 +204,16 @@ func (v *TxnView) Write(key string, value any) error {
 // Update applies f to the current value and writes the result back.
 func (v *TxnView) Update(key string, f func(any) (any, error)) error {
 	return v.inst.txnUpdate(key, f)
+}
+
+// Add increments an external atomic object on the commutativity fast path.
+func (v *TxnView) Add(key string, delta int) error {
+	return v.inst.txnAdd(key, delta)
+}
+
+// Apply applies a typed operation; commuting classes skip 2PL.
+func (v *TxnView) Apply(key string, op atomicobj.Op) error {
+	return v.inst.txnApply(key, op)
 }
 
 // RecoveryContext is the environment handlers and abortion handlers run in.

@@ -1,0 +1,120 @@
+package scengen
+
+import "testing"
+
+// TestContentionOracleAbortPath runs the full differential oracle on a
+// hand-built high-contention program: two concurrent families hammer one
+// hot counter with fast (Increment-class) ops from several actions at once,
+// and each family also carries a fast delta strictly below a raise site —
+// family 0 under the abort policy (the delta must be discarded with the
+// nested transaction), family 1 under WaitForNested (the delta must
+// commit). The exact-sum check across all backends is the correctness proof
+// for the commutativity fast path, abort paths included.
+func TestContentionOracleAbortPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full oracle run is seconds-long; skipped in -short")
+	}
+	p := &Program{
+		Version: Version,
+		Exceptions: []ExcNode{
+			{Name: "omega"},
+			{Name: "E1", Parent: "omega"},
+		},
+		Families: []Family{
+			{
+				// Abort policy: action 1 is the raise site (object 2), and
+				// object 3's fast ops sit in action 2 strictly below it — the
+				// hot delta and the private delta both abort with the nested
+				// transaction.
+				Objects: []int{1, 2, 3},
+				Actions: []Action{
+					{Parent: -1, Members: []int{1, 2, 3}},
+					{Parent: 0, Members: []int{2, 3}},
+					{Parent: 1, Members: []int{3}},
+				},
+				Raises: []Raise{{Obj: 2, Exc: "E1"}},
+				Ops: []AtomicOp{
+					{Obj: 1, Key: "hot0", Add: 5, Fast: true},
+					{Obj: 3, Key: "hot0", Add: 7, Fast: true},
+					{Obj: 3, Key: "f0.private", Add: 3, Fast: true},
+				},
+			},
+			{
+				// WaitForNested: object 3's fast ops below the site commit.
+				Objects: []int{1, 2, 3},
+				Actions: []Action{
+					{Parent: -1, Members: []int{1, 2, 3}},
+					{Parent: 0, Members: []int{2, 3}},
+					{Parent: 1, Members: []int{3}},
+				},
+				Raises:        []Raise{{Obj: 2, Exc: "E1"}},
+				WaitForNested: true,
+				Ops: []AtomicOp{
+					{Obj: 1, Key: "hot0", Add: 2, Fast: true},
+					{Obj: 3, Key: "hot0", Add: 4, Fast: true},
+					{Obj: 3, Key: "f1.private", Add: 9, Fast: true},
+				},
+			},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("program invalid: %v", err)
+	}
+
+	// The oracle's own expectation must encode the policy split before we
+	// trust it to check the run.
+	want := expectedSums(p, []int{0, 1})
+	if want["hot0"] != 5+2+4 {
+		t.Fatalf("expected hot0 = %d, want 11 (aborted delta 7 excluded, waited-for 4 included)", want["hot0"])
+	}
+	if want["f0.private"] != 0 {
+		t.Fatalf("expected f0.private = %d, want 0 (discarded under the abort policy)", want["f0.private"])
+	}
+	if want["f1.private"] != 9 {
+		t.Fatalf("expected f1.private = %d, want 9", want["f1.private"])
+	}
+
+	if rep := Check(p, Options{}); rep.Failed() {
+		t.Fatalf("oracle divergence on the contention program:\n%s", rep)
+	}
+}
+
+// TestContentionKnobGenerates: the bit-4 knob must actually produce the
+// high-contention shape — cross-family fast ops on shared hot keys — and
+// those programs must pass the oracle end to end.
+func TestContentionKnobGenerates(t *testing.T) {
+	found := uint64(0)
+	for seed := uint64(1); seed < 200; seed++ {
+		p := Generate(seed, KnobConfig(16))
+		famsPerKey := make(map[string]map[int]bool)
+		for fi := range p.Families {
+			for _, op := range p.Families[fi].Ops {
+				if !op.Fast {
+					continue
+				}
+				if famsPerKey[op.Key] == nil {
+					famsPerKey[op.Key] = make(map[int]bool)
+				}
+				famsPerKey[op.Key][fi] = true
+			}
+		}
+		for _, fams := range famsPerKey {
+			if len(fams) > 1 {
+				found = seed
+			}
+		}
+		if found != 0 {
+			break
+		}
+	}
+	if found == 0 {
+		t.Fatal("no contention-knob program in 200 seeds had a cross-family hot key")
+	}
+	if testing.Short() {
+		t.Skip("oracle run is seconds-long; generation check done, skipped in -short")
+	}
+	p := Generate(found, KnobConfig(16))
+	if rep := Check(p, fuzzOpts); rep.Failed() {
+		t.Fatalf("seed %d (contention knob) diverges:\n%s", found, rep)
+	}
+}

@@ -142,6 +142,15 @@ func compileFamily(fi int, fam *Family, tree *exception.Tree, rec *recorder, t c
 		chain := chainOf(fam, obj)
 		atLeaf := func(ctx *core.Context) error {
 			for _, op := range opsOf[obj] {
+				if op.Fast {
+					// Commutativity fast path: the delta joins the pending
+					// log without locking, so fast keys may be hammered from
+					// several actions and families at once.
+					if err := ctx.Add(op.Key, op.Add); err != nil {
+						return err
+					}
+					continue
+				}
 				// Read-or-zero then write: the counter does not exist until
 				// the first member of the action bumps it.
 				n := 0
@@ -351,13 +360,30 @@ func checkFamilyOutcome(rep *Report, stage string, p *Program, tree *exception.T
 	}
 }
 
-// expectedSums computes the deterministic final store: validation keeps ops
-// away from raise sites, belated objects and aborted subtrees, so every op's
-// transaction commits and each key's value is the plain sum of its adds.
+// expectedSums computes the deterministic final store. Locking ops always
+// commit (validation keeps them away from raise sites, belated objects and
+// aborted subtrees), so they contribute their Add. A fast op strictly below
+// a raise site commits exactly when the family waits for nested actions
+// (Figure 1(a)); under the abort policy its pending delta is discarded with
+// the nested transaction and contributes zero — the key still appears in
+// the map so a wrongly-committed delta is caught, not skipped.
 func expectedSums(p *Program, families []int) map[string]int {
 	out := make(map[string]int)
 	for _, fi := range families {
-		for _, op := range p.Families[fi].Ops {
+		fam := &p.Families[fi]
+		underSite := func(action int) bool {
+			for _, site := range fam.RaiseSites() {
+				if fam.isAncestorAction(site, action) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, op := range fam.Ops {
+			if op.Fast && underSite(fam.leafOf(op.Obj)) && !fam.WaitForNested {
+				out[op.Key] += 0
+				continue
+			}
 			out[op.Key] += op.Add
 		}
 	}

@@ -10,7 +10,7 @@ import (
 // workflow rests on (a seed in a failure message IS the repro).
 func TestGenerateDeterministic(t *testing.T) {
 	for seed := uint64(0); seed < 200; seed++ {
-		knobs := uint8(seed % 16)
+		knobs := uint8(seed % 32)
 		a := Generate(seed, KnobConfig(knobs)).Bytes()
 		b := Generate(seed, KnobConfig(knobs)).Bytes()
 		if !bytes.Equal(a, b) {
@@ -23,7 +23,7 @@ func TestGenerateDeterministic(t *testing.T) {
 // the exact generated program.
 func TestEncodeRoundTrip(t *testing.T) {
 	for seed := uint64(0); seed < 100; seed++ {
-		p := Generate(seed, KnobConfig(uint8(seed%16)))
+		p := Generate(seed, KnobConfig(uint8(seed%32)))
 		q, err := Decode(p.Bytes())
 		if err != nil {
 			t.Fatalf("seed %d: decode: %v", seed, err)
@@ -56,13 +56,15 @@ func TestOracleVerdictDeterministic(t *testing.T) {
 
 // TestGrammarCoverage: across a modest seed range the generator must emit
 // every structural feature the oracle is built to stress — multi-family
-// programs, nesting, multi-raiser storms, belated joins, atomic ops and
-// partitions. A silent generator regression would otherwise hollow out the
-// fuzzer while every case still passes.
+// programs, nesting, multi-raiser storms, belated joins, atomic ops (locking
+// and fast, including cross-family hot keys and deltas pending under raises)
+// and partitions. A silent generator regression would otherwise hollow out
+// the fuzzer while every case still passes.
 func TestGrammarCoverage(t *testing.T) {
 	var multiFamily, nested, storm, belated, ops, partition, raiseFree bool
+	var fastOps, hotCrossFamily, fastUnderRaise bool
 	for seed := uint64(0); seed < 300; seed++ {
-		p := Generate(seed, KnobConfig(uint8(seed%16)))
+		p := Generate(seed, KnobConfig(uint8(seed%32)))
 		if len(p.Families) > 1 {
 			multiFamily = true
 		}
@@ -70,6 +72,7 @@ func TestGrammarCoverage(t *testing.T) {
 			partition = true
 		}
 		totalRaises := 0
+		keyFamilies := make(map[string]map[int]bool)
 		for fi := range p.Families {
 			fam := &p.Families[fi]
 			totalRaises += len(fam.Raises)
@@ -82,10 +85,31 @@ func TestGrammarCoverage(t *testing.T) {
 			if len(fam.Ops) > 0 {
 				ops = true
 			}
+			for _, op := range fam.Ops {
+				if !op.Fast {
+					continue
+				}
+				fastOps = true
+				if keyFamilies[op.Key] == nil {
+					keyFamilies[op.Key] = make(map[int]bool)
+				}
+				keyFamilies[op.Key][fi] = true
+				leaf := fam.leafOf(op.Obj)
+				for _, site := range fam.RaiseSites() {
+					if fam.isAncestorAction(site, leaf) {
+						fastUnderRaise = true
+					}
+				}
+			}
 			for _, site := range fam.RaiseSites() {
 				if len(fam.raisersAt(site)) > 1 {
 					storm = true
 				}
+			}
+		}
+		for _, fams := range keyFamilies {
+			if len(fams) > 1 {
+				hotCrossFamily = true
 			}
 		}
 		if totalRaises == 0 {
@@ -95,6 +119,8 @@ func TestGrammarCoverage(t *testing.T) {
 	for name, seen := range map[string]bool{
 		"multi-family": multiFamily, "nested": nested, "storm": storm,
 		"belated": belated, "ops": ops, "partition": partition, "raise-free": raiseFree,
+		"fast-ops": fastOps, "hot-cross-family": hotCrossFamily,
+		"fast-under-raise": fastUnderRaise,
 	} {
 		if !seen {
 			t.Errorf("no generated program in 300 seeds exercised %s", name)
@@ -106,7 +132,7 @@ func TestGrammarCoverage(t *testing.T) {
 // (it panics otherwise); sweep a wide seed range to hold it to that.
 func TestGeneratedProgramsValid(t *testing.T) {
 	for seed := uint64(0); seed < 1000; seed++ {
-		p := Generate(seed, KnobConfig(uint8(seed%16)))
+		p := Generate(seed, KnobConfig(uint8(seed%32)))
 		if err := p.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

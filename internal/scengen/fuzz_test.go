@@ -24,8 +24,9 @@ var fuzzOpts = Options{}
 //	go test -fuzz=FuzzScenario -fuzztime=30s ./internal/scengen
 func FuzzScenario(f *testing.F) {
 	// Seed corpus: one entry per knob shape so even a short -fuzztime run
-	// covers storms, partitions, single-family and small programs.
-	for knobs := 0; knobs < 16; knobs++ {
+	// covers storms, partitions, single-family, small and high-contention
+	// programs.
+	for knobs := 0; knobs < 32; knobs++ {
 		f.Add(uint64(1+knobs), uint8(knobs))
 	}
 	f.Fuzz(func(t *testing.T, seed uint64, knobs uint8) {
@@ -78,7 +79,7 @@ func TestOracleSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("oracle smoke is seconds-long; skipped in -short")
 	}
-	for knobs := uint8(0); knobs < 16; knobs += 5 {
+	for knobs := uint8(0); knobs < 32; knobs += 5 {
 		p := Generate(uint64(40+knobs), KnobConfig(knobs))
 		if rep := Check(p, fuzzOpts); rep.Failed() {
 			t.Fatalf("knobs %d: %s", knobs, rep)

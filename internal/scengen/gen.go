@@ -22,6 +22,10 @@ type GenConfig struct {
 	// StormBias, when set, makes every raise site a full storm (all members
 	// raise) — the §4 resolution stress shape.
 	StormBias bool
+	// Contention, when set, adds cross-family fast atomic ops on a small
+	// shared hot-key set — the commutativity fast path's high-contention
+	// shape, including deltas pending under raises.
+	Contention bool
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -46,11 +50,13 @@ func (c GenConfig) withDefaults() GenConfig {
 // KnobConfig derives a GenConfig from a compact knob byte, shared by the
 // fuzz targets and cmd/scenfuzz so a (seed, knobs) pair means the same
 // program everywhere: bit 0 forces raise storms, bit 1 enables partitions,
-// bit 2 pins single-family programs, bit 3 shrinks the size bounds.
+// bit 2 pins single-family programs, bit 3 shrinks the size bounds, bit 4
+// turns on high-contention hot-key fast ops.
 func KnobConfig(knobs uint8) GenConfig {
 	cfg := GenConfig{
 		StormBias:  knobs&1 != 0,
 		Partitions: knobs&2 != 0,
+		Contention: knobs&16 != 0,
 	}
 	if knobs&4 != 0 {
 		cfg.MaxFamilies = 1
@@ -102,6 +108,37 @@ func Generate(seed uint64, cfg GenConfig) *Program {
 			base = fi * 100
 		}
 		p.Families = append(p.Families, genFamily(rng, cfg, names, fi, base))
+	}
+
+	// High-contention hot keys: every family's eligible objects hammer a
+	// tiny shared key set with fast (Increment-class) ops, across actions
+	// and families at once — under raises too (strictly below a site the
+	// nested policy decides the delta's fate, so the sum stays exact). This
+	// is the workload shape the commutativity fast path exists for; with
+	// locking ops it would be a wait-die storm.
+	if cfg.Contention {
+		hotKeys := 1 + rng.IntN(3)
+		for fi := range p.Families {
+			fam := &p.Families[fi]
+			siteSet := make(map[int]bool)
+			for _, s := range fam.RaiseSites() {
+				siteSet[s] = true
+			}
+			belated := make(map[int]bool, len(fam.Belated))
+			for _, b := range fam.Belated {
+				belated[b.Obj] = true
+			}
+			for _, obj := range fam.Objects {
+				if isRaiser(fam, obj) || belated[obj] || siteSet[fam.leafOf(obj)] {
+					continue
+				}
+				if rng.IntN(3) == 0 {
+					continue
+				}
+				key := fmt.Sprintf("hot%d", rng.IntN(hotKeys))
+				fam.Ops = append(fam.Ops, AtomicOp{Obj: obj, Key: key, Add: 1 + rng.IntN(5), Fast: true})
+			}
+		}
 	}
 
 	// Partition injection: single-family, root-raise-only programs with
@@ -257,9 +294,12 @@ func genFamily(rng *rand.Rand, cfg GenConfig, excs []string, fi, base int) Famil
 	}
 
 	// Atomic-object traffic: per action, one shared counter some of the
-	// action's leaf objects bump inside the action's transaction. Actions
-	// at/below raise sites and belated objects are excluded so every op
-	// deterministically commits (see Validate).
+	// action's leaf objects bump inside the action's transaction. Whole keys
+	// flip to the commutativity fast path at random. Locking keys stay away
+	// from actions at/below raise sites and belated objects so every op
+	// deterministically commits (see Validate); fast keys additionally reach
+	// strictly below raise sites — the nested policy, not a race, decides
+	// whether those pending deltas commit.
 	belatedObjs := make(map[int]bool, len(fam.Belated))
 	for _, b := range fam.Belated {
 		belatedObjs[b.Obj] = true
@@ -278,7 +318,8 @@ func genFamily(rng *rand.Rand, cfg GenConfig, excs []string, fi, base int) Famil
 				break
 			}
 		}
-		if underRaise {
+		fast := rng.IntN(3) == 0
+		if underRaise && !fast {
 			continue
 		}
 		key := fmt.Sprintf("f%d.a%d", fi, ai)
@@ -286,7 +327,7 @@ func genFamily(rng *rand.Rand, cfg GenConfig, excs []string, fi, base int) Famil
 			if fam.leafOf(m) != ai || isRaiser(&fam, m) || belatedObjs[m] || rng.IntN(2) == 0 {
 				continue
 			}
-			fam.Ops = append(fam.Ops, AtomicOp{Obj: m, Key: key, Add: 1 + rng.IntN(5)})
+			fam.Ops = append(fam.Ops, AtomicOp{Obj: m, Key: key, Add: 1 + rng.IntN(5), Fast: fast})
 		}
 	}
 	return fam

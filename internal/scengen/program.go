@@ -70,17 +70,30 @@ type Belated struct {
 }
 
 // AtomicOp is one shared atomic-object access: the object adds Add to the
-// counter under Key within its leaf action's transaction. Keys are scoped
-// to one action of one family (and unique across families), so concurrent
-// transactions never deadlock on the store — contention inside an action is
-// the point, contention across transactions is the atomicobj suite's job.
-// Ops never sit at or below a raise site and never belong to belated or
-// raising objects, so every op's transaction deterministically commits and
-// the oracle can check the final store against the exact sum.
+// counter under Key within its leaf action's transaction.
+//
+// Locking ops (Fast false) go through Read+Write under strict 2PL. Their
+// keys are scoped to one action of one family (and unique across families),
+// so concurrent transactions never deadlock on the store — contention
+// inside an action is the point, contention across transactions is the
+// atomicobj suite's job — and they never sit at or below a raise site and
+// never belong to belated or raising objects, so every locking op's
+// transaction deterministically commits and the oracle can check the final
+// store against the exact sum.
+//
+// Fast ops ride the commutativity fast path (Context.Add): Increment-class
+// deltas commute, so a fast key MAY span actions and families — that is the
+// high-contention shape the fast path exists for — and a fast op MAY sit
+// strictly below a raise site, where its transaction's fate is still
+// deterministic (aborted under the Figure 1(b) abort policy, committed
+// under WaitForNested), keeping the expected sum exact. A key must be
+// all-fast or all-locking; fast ops still never sit AT a raise site and
+// never belong to belated or raising objects.
 type AtomicOp struct {
-	Obj int    `json:"obj"`
-	Key string `json:"key"`
-	Add int    `json:"add"`
+	Obj  int    `json:"obj"`
+	Key  string `json:"key"`
+	Add  int    `json:"add"`
+	Fast bool   `json:"fast,omitempty"`
 }
 
 // Family is one independent top-level CA action: an action tree over its
@@ -292,7 +305,9 @@ func (p *Program) Validate() error {
 	if len(p.Families) == 0 {
 		return errors.New("scengen: no families")
 	}
-	keyOwner := make(map[string]string) // op key -> "family/action" claim
+	keyOwner := make(map[string]string) // locking-op key -> "family/action" claim
+	fastKeys := make(map[string]bool)   // key -> carries fast ops
+	slowKeys := make(map[string]bool)   // key -> carries locking ops
 	for fi, fam := range p.Families {
 		if len(fam.Objects) == 0 {
 			return fmt.Errorf("scengen: family %d has no objects", fi)
@@ -341,6 +356,10 @@ func (p *Program) Validate() error {
 			}
 			return false
 		}
+		raiseSiteSet := make(map[int]bool)
+		for _, s := range fam.RaiseSites() {
+			raiseSiteSet[s] = true
+		}
 		for _, op := range fam.Ops {
 			leaf := fam.leafOf(op.Obj)
 			if leaf < 0 {
@@ -352,16 +371,29 @@ func (p *Program) Validate() error {
 			if op.Add < 1 || op.Add > 1000 {
 				return fmt.Errorf("scengen: family %d op add %d out of [1, 1000]", fi, op.Add)
 			}
-			// Deterministic commitment: an op at or below a raise site could
-			// be rolled back — or not — depending on whether the abort beats
-			// the body, and a belated object's op races the resolution its
-			// late entry replays into. Keeping ops away from both makes the
-			// final store an exact, checkable sum.
-			if underRaise(leaf) {
-				return fmt.Errorf("scengen: family %d op on %d sits at/below a raise site", fi, op.Obj)
-			}
 			if belatedObjs[op.Obj] {
 				return fmt.Errorf("scengen: family %d op on belated object %d", fi, op.Obj)
+			}
+			if op.Fast {
+				// Fast ops commute, so the key may span actions and families,
+				// and a delta strictly below a raise site is still
+				// deterministic: the nested policy decides its fate, not the
+				// abort/body race. AT a site the op's own transaction races
+				// the resolution, so that stays out; a raiser's leaf is a
+				// site by definition.
+				if raiseSiteSet[leaf] {
+					return fmt.Errorf("scengen: family %d fast op on %d sits at a raise site", fi, op.Obj)
+				}
+				fastKeys[op.Key] = true
+				continue
+			}
+			// Deterministic commitment: a locking op at or below a raise site
+			// could be rolled back — or not — depending on whether the abort
+			// beats the body, and a belated object's op races the resolution
+			// its late entry replays into. Keeping ops away from both makes
+			// the final store an exact, checkable sum.
+			if underRaise(leaf) {
+				return fmt.Errorf("scengen: family %d op on %d sits at/below a raise site", fi, op.Obj)
 			}
 			// One key, one action (globally): members of an action share its
 			// transaction, so intra-action contention is serialised; keys
@@ -372,6 +404,15 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("scengen: op key %q spans %s and %s", op.Key, prev, claim)
 			}
 			keyOwner[op.Key] = claim
+			slowKeys[op.Key] = true
+		}
+	}
+	// A key is all-fast or all-locking: mixing would make a locking access
+	// drain another family's pending deltas (or die trying), reintroducing
+	// the lock-grant timing dependence the claims above rule out.
+	for k := range fastKeys {
+		if slowKeys[k] {
+			return fmt.Errorf("scengen: op key %q mixes fast and locking ops", k)
 		}
 	}
 	if p.Partition != nil {
