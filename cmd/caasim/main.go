@@ -8,6 +8,8 @@
 //	caasim -n 6 -p 1 -q 3 -depth 2     # 3 objects nested two deep
 //	caasim -n 4 -p 1 -latency 2ms      # with network latency
 //	caasim -n 3 -p 1 -policy wait -timeout 1s -belated
+//	caasim -n 5 -partition 4,5 -virtual # membership run on the virtual clock
+//	caasim -n 5 -churn 3 -virtual       # 3 partition/heal/rejoin cycles
 package main
 
 import (
@@ -67,6 +69,9 @@ func run(args []string) error {
 		showTrace  = fs.Bool("trace", false, "print the full event trace (paper-style message log)")
 		partition  = fs.String("partition", "", "comma-separated object numbers to cut away mid-run (enables membership monitoring, e.g. -partition 4,5)")
 		partDelay  = fs.Duration("partition-delay", 0, "delay before the partition cut (0 = scenario default)")
+		virtual    = fs.Bool("virtual", false, "run on an auto-advancing virtual clock (netsim transports only): timeouts cost virtual time, not wall clock")
+		churn      = fs.Int("churn", 0, "run this many partition/heal/rejoin cycles on one persistent group (uses -n, -partition as the victim set, -lease, -virtual)")
+		leaseTerm  = fs.Duration("lease", 200*time.Millisecond, "quorum-lease term protecting the view chooser during -churn (0 disables leases)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +99,17 @@ func run(args []string) error {
 
 	if *procs {
 		return runProcs(*n, *p, *q, *timeout)
+	}
+
+	if *churn > 0 {
+		var victims []int
+		if *partition != "" {
+			var err error
+			if victims, err = parsePartition(*partition); err != nil {
+				return err
+			}
+		}
+		return runChurn(*n, victims, *churn, *leaseTerm, *virtual, *timeout)
 	}
 
 	if *belated {
@@ -125,6 +141,7 @@ func run(args []string) error {
 		spec.Partition = cut
 		spec.PartitionDelay = *partDelay
 	}
+	spec.Virtual = *virtual
 	if *concurrent > 1 {
 		if spec.Membership {
 			return errors.New("-concurrent and -partition are mutually exclusive (membership runs need a private directory)")
@@ -162,6 +179,37 @@ func run(args []string) error {
 		fmt.Println("\nevent trace:")
 		fmt.Print(res.Trace)
 	}
+	return nil
+}
+
+// runChurn is the -churn mode: one persistent group survives a sequence of
+// partition/heal/rejoin cycles, each expelling the victim set and readmitting
+// it via petition, quorum-leased view change and state transfer, then a final
+// whole-group exception run proves the rejoined members resolve again.
+func runChurn(n int, victims []int, cycles int, lease time.Duration, virtual bool, timeout time.Duration) error {
+	res, err := scenario.RunChurn(scenario.ChurnSpec{
+		N:       n,
+		Victims: victims,
+		Cycles:  cycles,
+		Lease:   lease,
+		Virtual: virtual,
+		Timeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if len(victims) == 0 {
+		victims = []int{n}
+	}
+	fmt.Printf("churn: N=%d victims=%v cycles=%d lease=%v virtual=%v\n",
+		n, victims, res.Cycles, lease, virtual)
+	fmt.Printf("expelled=%d rejoined=%d final-epoch=%d\n",
+		res.Expelled, res.Rejoined, res.FinalEpoch)
+	fmt.Printf("post-heal: resolved=%q with %d/%d rejoined members participating\n",
+		res.PostHealResolved, res.PostHealParticipants, len(victims))
+	fmt.Printf("elapsed: %v (%v per cycle)\n",
+		res.Elapsed.Round(time.Microsecond),
+		(res.Elapsed / time.Duration(res.Cycles)).Round(time.Microsecond))
 	return nil
 }
 

@@ -22,6 +22,10 @@
 //   - seam:        outside internal/transport and internal/netsim, no raw
 //     message channels or netsim endpoint use — cross-object messaging
 //     goes through transport.Transport.
+//   - timeseam:    the clock-seam packages (netsim, membership, transport,
+//     core) arm every timer through vclock.Clock — no direct
+//     time.Now/Sleep/After/NewTimer/NewTicker — so an injected
+//     vclock.Virtual puts whole partition/churn scenarios on virtual time.
 //   - locksend:    no channel send or blocking delivery call (including
 //     SendTagged) while holding a sync.Mutex/RWMutex.
 //   - lockorder:   the lock-acquisition graph across all analyzed packages
@@ -184,6 +188,7 @@ func All() []*Analyzer {
 		ViewKindAnalyzer,
 		DeterminismAnalyzer,
 		SeamAnalyzer,
+		TimeSeamAnalyzer,
 		LockSendAnalyzer,
 		LockOrderAnalyzer,
 		ResetCheckAnalyzer,

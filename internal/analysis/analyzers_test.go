@@ -35,6 +35,11 @@ func TestSeam(t *testing.T) {
 		"seam/app", "seam/transport", "seam/netsim")
 }
 
+func TestTimeSeam(t *testing.T) {
+	antest.Run(t, "testdata", analysis.TimeSeamAnalyzer,
+		"timeseam/membership", "timeseam/conformancetest", "timeseam/app")
+}
+
 func TestLockSend(t *testing.T) {
 	antest.Run(t, "testdata", analysis.LockSendAnalyzer, "locksend/fabric")
 }

@@ -30,9 +30,12 @@ var validKindNames = func() map[string]bool {
 		crbaseline.KindRaise, crbaseline.KindAck, crbaseline.KindResolve,
 
 		// Membership-layer wire kinds: heartbeats, the reliable layer's
-		// envelope, and view installation. They share the fabric with the
-		// protocol messages, so census lookups may count them too.
+		// envelope, view installation, and the rejoin/lease protocols. They
+		// share the fabric with the protocol messages, so census lookups may
+		// count them too.
 		group.KindHeartbeat, group.KindEnvelope, membership.KindView,
+		membership.KindRejoinRequest, membership.KindWelcome,
+		membership.KindLeaseRequest, membership.KindLeaseGrant,
 	} {
 		m[k] = true
 	}
@@ -238,5 +241,7 @@ func sortedKindNames() []string {
 		protocol.KindCException, protocol.KindCProbe, protocol.KindCStatus, protocol.KindCCommit,
 		crbaseline.KindRaise, crbaseline.KindResolve,
 		group.KindHeartbeat, group.KindEnvelope, membership.KindView,
+		membership.KindRejoinRequest, membership.KindWelcome,
+		membership.KindLeaseRequest, membership.KindLeaseGrant,
 	}
 }

@@ -1,0 +1,9 @@
+// Package app is outside the clock seam: benchmarks, CLIs and scenario
+// drivers measure real elapsed time legitimately.
+package app
+
+import "time"
+
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }
+
+func Pace() { time.Sleep(time.Duration(1)) }

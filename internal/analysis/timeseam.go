@@ -1,0 +1,64 @@
+package analysis
+
+import "go/ast"
+
+// timeseamPkgs are the clock-seam packages: every duration they wait out —
+// heartbeat and poll tickers, failure-detector timeouts, reconnect backoff,
+// run timeouts, link latency — must be armed through vclock.Clock, so an
+// injected vclock.Virtual puts the whole stack on virtual time and a
+// partition/churn scenario that waits out tens of detector periods costs
+// microseconds of wall clock. One direct time.Sleep hidden anywhere on that
+// path silently reintroduces the wall-clock wait the virtual rows claim to
+// have eliminated.
+//
+// vclock itself implements the seam (its Real clock is the one place the
+// runtime timers belong), and transport/conformancetest is a test harness
+// that legitimately paces real backends; both sit outside this set, as does
+// every _test.go file.
+var timeseamPkgs = map[string]bool{
+	"netsim":     true,
+	"membership": true,
+	"transport":  true,
+	"core":       true,
+}
+
+// bannedSeamTimeFuncs are the time-package calls that read the wall clock or
+// arm a runtime timer directly. Pure value constructors (time.Duration
+// arithmetic, time.Unix) stay legal: they wait for nothing.
+var bannedSeamTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// TimeSeamAnalyzer keeps the clock-seam packages on vclock.Clock: no direct
+// time.Now/Sleep/After/NewTimer/NewTicker (and friends) outside test files.
+var TimeSeamAnalyzer = &Analyzer{
+	Name: "timeseam",
+	Doc: "clock-seam packages (netsim, membership, transport, core) must arm " +
+		"timers through vclock.Clock, never the time package directly",
+	Run: runTimeSeam,
+}
+
+func runTimeSeam(pass *Pass) {
+	if !timeseamPkgs[pass.PkgName()] {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgFunc(pass.Info, call, "time"); ok && bannedSeamTimeFuncs[name] {
+				pass.Reportf(call.Pos(),
+					"call to time.%s in clock-seam package %s bypasses the virtual-time seam; take a vclock.Clock and use its Now/Sleep/NewTimer/NewTicker/After",
+					name, pass.PkgName())
+			}
+			return true
+		})
+	}
+}

@@ -67,6 +67,21 @@ func Default() []Scenario {
 			Run:  func() (int, error) { return partitionCase(n, 2) },
 		})
 	}
+	// N=5 only: the virtual clock's win is waiting-time, and quiesce settling
+	// is CPU-bound per node, so the advantage narrows as N grows (see
+	// docs/VCLOCK.md). The N=5 pair against stack/partition/N=5 is the
+	// apples-to-apples measurement.
+	out = append(out, Scenario{
+		Name: "membership/partition-virtual/N=5/cut=2",
+		Run:  func() (int, error) { return partitionVirtualCase(5, 2) },
+	})
+	for _, cycles := range []int{1, 3} {
+		cycles := cycles
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("membership/churn/N=5/cycles=%d", cycles),
+			Run:  func() (int, error) { return churnCase(5, cycles) },
+		})
+	}
 	for _, g := range []int{8, 32} {
 		g := g
 		for _, mode := range []string{"2pl", "fastpath"} {
@@ -196,6 +211,62 @@ func partitionCase(n, cut int) (int, error) {
 			n, res.Outcome.Expelled, cut)
 	}
 	return res.Total, nil
+}
+
+// partitionVirtualCase is partitionCase on the virtual clock: the identical
+// workload — same delays, same detector timings, now in virtual time — so
+// the row pair measures exactly what auto-advance buys. The wall-clock rows
+// in BENCH_5 sat at ~45 ms/op; these must run at least an order of magnitude
+// faster (gated by TestVirtualPartitionSpeedGate).
+func partitionVirtualCase(n, cut int) (int, error) {
+	island := make([]int, cut)
+	for i := range island {
+		island[i] = n - i
+	}
+	res, err := scenario.Run(scenario.Spec{
+		N:          n,
+		P:          1,
+		RaiseDelay: 30 * time.Millisecond,
+		Membership: true,
+		Partition:  island,
+		Virtual:    true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !res.Outcome.Completed {
+		return 0, fmt.Errorf("virtual partition run N=%d cut=%d did not complete", n, cut)
+	}
+	if len(res.Outcome.Expelled) != cut {
+		return 0, fmt.Errorf("virtual partition run N=%d expelled %v, want %d members",
+			n, res.Outcome.Expelled, cut)
+	}
+	return res.Total, nil
+}
+
+// churnCase runs the full partition/heal/rejoin lifecycle on the virtual
+// clock: one persistent group, `cycles` expel-and-readmit rounds, a final
+// whole-group resolution with the rejoined member participating. The Msgs
+// column reports successful rejoins (want == cycles).
+func churnCase(n, cycles int) (int, error) {
+	res, err := scenario.RunChurn(scenario.ChurnSpec{
+		N:       n,
+		Cycles:  cycles,
+		Lease:   200 * time.Millisecond,
+		Virtual: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.Rejoined != cycles || res.Expelled != cycles {
+		return 0, fmt.Errorf("churn N=%d cycles=%d: expelled=%d rejoined=%d, want %d each",
+			n, cycles, res.Expelled, res.Rejoined, cycles)
+	}
+	if res.PostHealParticipants != 1 {
+		return 0, fmt.Errorf("churn N=%d: rejoined member missed the post-heal resolution (%q)",
+			n, res.PostHealResolved)
+	}
+	return res.Rejoined, nil
 }
 
 // stackCase runs the full concurrent stack (core runtime over netsim) for

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestVirtualPartitionSpeedGate is the virtual-clock regression gate: the
+// partition scenario that costs ~45 ms/op on the wall clock (the BENCH_5
+// stack/partition rows — all real heartbeat waiting) must run an order of
+// magnitude faster on the auto-advancing virtual clock, sub-5 ms/op. Best of
+// three damps scheduler noise; the gate skips under the race detector, whose
+// instrumentation slows the quiesce detector itself.
+func TestVirtualPartitionSpeedGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock gate is meaningless under the race detector")
+	}
+	const bound = 5 * time.Millisecond
+	best := time.Hour
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := partitionVirtualCase(5, 2); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	if best > bound {
+		t.Fatalf("virtual partition run took %v, want < %v (>= 10x over the ~45ms wall-clock row)", best, bound)
+	}
+
+	// The recorded baseline, when present, pins the >= 10x claim to the
+	// actual BENCH_5 figure rather than a constant.
+	f, err := ReadFile("../../BENCH_5.json")
+	if err != nil {
+		t.Logf("no BENCH_5.json baseline (%v); absolute bound only", err)
+		return
+	}
+	for _, run := range f.Runs {
+		for _, m := range run.Scenarios {
+			if m.Name == "stack/partition/N=5/cut=2" {
+				if wall := time.Duration(m.NsPerOp); best > wall/10 {
+					t.Fatalf("virtual run %v is not 10x faster than the recorded wall-clock row %v", best, wall)
+				}
+				return
+			}
+		}
+	}
+}
+
+// TestChurnSpeedGate bounds the per-cycle cost of the full
+// partition/heal/rejoin lifecycle on the virtual clock. Each cycle is two
+// complete runs (an expelling cut run and a state-transfer rejoin run), so
+// the bound is per constituent run, matching the partition gate's unit.
+func TestChurnSpeedGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock gate is meaningless under the race detector")
+	}
+	const perRun = 5 * time.Millisecond
+	const cycles = 3
+	best := time.Hour
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := churnCase(5, cycles); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	// cycles cut+rejoin pairs plus the post-heal resolution run.
+	runs := time.Duration(2*cycles + 1)
+	if best > runs*perRun {
+		t.Fatalf("churn of %d cycles took %v, want < %v (%v per constituent run)",
+			cycles, best, runs*perRun, perRun)
+	}
+}

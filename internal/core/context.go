@@ -82,9 +82,11 @@ func (c *Context) Raise(name string) {
 	panic(sentinel{level: lvl})
 }
 
-// Sleep pauses the body, remaining responsive to suspension.
+// Sleep pauses the body, remaining responsive to suspension. The deadline
+// runs on the server's clock seam, so bodies sleeping on a virtual clock
+// wake as soon as time advances past them.
 func (c *Context) Sleep(d time.Duration) {
-	deadline := time.NewTimer(d)
+	deadline := c.p.run.sys.clk.NewTimer(d)
 	defer deadline.Stop()
 	for {
 		lvl, ch := c.p.suspendSnapshot()
@@ -92,7 +94,7 @@ func (c *Context) Sleep(d time.Duration) {
 			panic(sentinel{level: lvl})
 		}
 		select {
-		case <-deadline.C:
+		case <-deadline.C():
 			return
 		case <-ch:
 		case <-c.p.quit:

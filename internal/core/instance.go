@@ -40,6 +40,14 @@ type run struct {
 	expelled  map[ident.ObjectID]bool // members removed by the membership service
 	cancelled bool
 
+	// Rejoin-mode state. preExpelled is the admission decision: members the
+	// persistent group excluded when the run started; fixed before any body
+	// launches and immutable after. rejoined and snapshots record mid-run
+	// readmissions and the state-transfer snapshots they installed.
+	preExpelled map[ident.ObjectID]bool
+	rejoined    map[ident.ObjectID]bool
+	snapshots   map[ident.ObjectID]any
+
 	top          *instance
 	participants map[ident.ObjectID]*participant
 	attempt      int

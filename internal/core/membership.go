@@ -34,6 +34,21 @@ type MembershipOptions struct {
 	Timeout time.Duration
 	// Poll is the view monitor's suspicion-polling period (default Heartbeat).
 	Poll time.Duration
+	// Rejoin makes the group persistent across runs and view-synchronously
+	// readmittable: the server remembers which members the group expelled, a
+	// new run excludes them from its action frames (they owe the group an
+	// admission first), and — once the partition heals — the excluded
+	// member's monitor petitions the surviving coordinator, catches up via a
+	// state-transfer snapshot of the group's resolution history, and re-enters
+	// the next epoch view, so subsequent actions include it again. Off by
+	// default: expulsion stays permanent.
+	Rejoin bool
+	// Lease, when > 0 (requires Rejoin semantics to matter, but is honoured
+	// independently), protects view proposals with quorum leases of that
+	// term: a coordinator must hold unexpired grants from a majority of the
+	// base membership before proposing, so a stale coordinator and a freshly
+	// healed one can never elect concurrently.
+	Lease time.Duration
 }
 
 func (o MembershipOptions) withDefaults() MembershipOptions {
@@ -47,6 +62,107 @@ func (o MembershipOptions) withDefaults() MembershipOptions {
 		o.Poll = o.Heartbeat
 	}
 	return o
+}
+
+// GroupSnapshot is the state a welcoming coordinator transfers to a
+// rejoining member: the persistent group's view epoch plus its resolution
+// history (the exceptions resolved by runs the rejoiner missed).
+type GroupSnapshot struct {
+	Epoch    uint64
+	Resolved []string
+}
+
+// groupState is the server-persistent membership record, maintained across
+// runs in rejoin mode. The excluded set is derived, not stored: a base member
+// absent from the current view owes the group a readmission. Guarded by
+// Server.mu.
+type groupState struct {
+	base    []ident.ObjectID
+	view    membership.View
+	history []string
+}
+
+// ensureGroup initialises the persistent group on the first rejoin-mode run.
+// The base membership is fixed then; later runs are assumed to name the same
+// group (rejoin mode models one long-lived group per server).
+func (s *Server) ensureGroup(members []ident.ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.group != nil {
+		return
+	}
+	base := append([]ident.ObjectID(nil), members...)
+	s.group = &groupState{
+		base: base,
+		view: membership.View{Epoch: 0, Members: append([]ident.ObjectID(nil), base...)},
+	}
+}
+
+// GroupView returns the persistent group's current view (rejoin mode). The
+// zero View is returned before the first rejoin-mode run.
+func (s *Server) GroupView() membership.View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.group == nil {
+		return membership.View{}
+	}
+	return s.group.view.Clone()
+}
+
+// noteGroupView folds a freshly installed view into the persistent record.
+// Monitors of every surviving participant report the same views, so the fold
+// is idempotent by epoch.
+func (s *Server) noteGroupView(v membership.View) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.group == nil || v.Epoch <= s.group.view.Epoch {
+		return
+	}
+	s.group.view = v.Clone()
+}
+
+// appendHistory records one run's resolved exception in the state-transfer
+// history.
+func (s *Server) appendHistory(resolved string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.group != nil {
+		s.group.history = append(s.group.history, resolved)
+	}
+}
+
+// groupSnapshot builds the Welcome payload a coordinator ships to a
+// rejoiner.
+func (s *Server) groupSnapshot() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.group == nil {
+		return GroupSnapshot{}
+	}
+	return GroupSnapshot{
+		Epoch:    s.group.view.Epoch,
+		Resolved: append([]string(nil), s.group.history...),
+	}
+}
+
+// excludedOf returns the subset of members the persistent group currently
+// excludes (expelled and not yet readmitted), or nil outside rejoin mode.
+func (s *Server) excludedOf(members []ident.ObjectID) map[ident.ObjectID]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.group == nil {
+		return nil
+	}
+	var out map[ident.ObjectID]bool
+	for _, m := range members {
+		if !s.group.view.Contains(m) {
+			if out == nil {
+				out = make(map[ident.ObjectID]bool)
+			}
+			out[m] = true
+		}
+	}
+	return out
 }
 
 // validateMembership gates membership-enabled runs: the socket transport's
@@ -112,25 +228,114 @@ func (p *participant) startMembership() {
 	}
 	cfg := mo.withDefaults()
 	members := p.run.def.Spec.Members
-	p.detector = group.NewFedDetector(p.transport, members, cfg.Heartbeat, cfg.Timeout, nil)
-	p.monitor = membership.NewMonitor(membership.Config{
+	clk := p.run.sys.clk
+	p.detector = group.NewFedDetector(p.transport, members, cfg.Heartbeat, cfg.Timeout, clk)
+	mcfg := membership.Config{
 		Self:      p.obj,
 		Members:   members,
 		Suspector: p.detector,
 		Send:      p.transport.Send,
 		Poll:      cfg.Poll,
-	})
+		Clock:     clk,
+		Lease:     mo.Lease,
+	}
+	if mo.Rejoin {
+		// The monitor joins the server's persistent group mid-history: it
+		// continues the group's epoch numbering, and a member the group
+		// expelled in an earlier run starts in petitioner mode.
+		view := p.run.sys.GroupView()
+		mcfg.Initial = &view
+		mcfg.Rejoin = true
+		mcfg.Isolated = p.run.preExpelled[p.obj]
+		mcfg.Snapshot = p.run.sys.groupSnapshot
+		obj := p.obj
+		mcfg.Install = func(snap any) { p.run.noteInstalled(obj, snap) }
+	}
+	p.monitor = membership.NewMonitor(mcfg)
 	p.monitor.Subscribe(p.viewChanged)
 }
 
 // viewChanged runs on the monitor's goroutine whenever a view installs:
-// every member the new view dropped is expelled at the run level.
+// every member the new view dropped is expelled at the run level, every
+// member it (re)gained is readmitted, and in rejoin mode the persistent
+// group record follows the installed epochs.
 func (p *participant) viewChanged(old, new membership.View) {
+	if p.run.sys.opts.Membership.Rejoin {
+		p.run.sys.noteGroupView(new)
+	}
 	for _, m := range old.Members {
 		if !new.Contains(m) {
 			p.run.expel(m)
 		}
 	}
+	for _, m := range new.Members {
+		if !old.Contains(m) {
+			p.run.readmit(m)
+		}
+	}
+}
+
+// readmit records the membership service's decision to welcome obj back,
+// exactly once per run even though every survivor's monitor reports the same
+// view change. The member stays out of this run's action frames — view
+// synchrony admits it to subsequent actions, not half-finished ones — but the
+// outcome reports the rejoin.
+func (r *run) readmit(obj ident.ObjectID) {
+	r.mu.Lock()
+	if !r.preExpelled[obj] && !r.expelled[obj] {
+		r.mu.Unlock()
+		return // was never out: plain installation noise
+	}
+	if r.rejoined == nil {
+		r.rejoined = make(map[ident.ObjectID]bool)
+	}
+	if r.rejoined[obj] {
+		r.mu.Unlock()
+		return
+	}
+	r.rejoined[obj] = true
+	r.mu.Unlock()
+	r.sys.log.Record(trace.Event{Kind: trace.EvNote, Object: obj, Label: "participant-rejoined"})
+}
+
+// rejoinedMembers returns the members readmitted during this run, unordered.
+func (r *run) rejoinedMembers() []ident.ObjectID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ident.ObjectID, 0, len(r.rejoined))
+	for obj := range r.rejoined {
+		out = append(out, obj)
+	}
+	return out
+}
+
+// noteInstalled records the state-transfer snapshot a rejoining participant
+// installed from its Welcome.
+func (r *run) noteInstalled(obj ident.ObjectID, snap any) {
+	r.mu.Lock()
+	if r.snapshots == nil {
+		r.snapshots = make(map[ident.ObjectID]any)
+	}
+	r.snapshots[obj] = snap
+	r.mu.Unlock()
+}
+
+// frameMembers filters an action's member list by the run's admission
+// decision: members the persistent group excluded when the run started never
+// appear in protocol frames, so engines neither wait for their ACKs nor
+// count them as resolution parties. The pre-expelled set is fixed before any
+// body launches, so every participant filters identically.
+func (r *run) frameMembers(ms []ident.ObjectID) []ident.ObjectID {
+	if len(r.preExpelled) == 0 {
+		return ms
+	}
+	out := make([]ident.ObjectID, 0, len(ms))
+	for _, m := range ms {
+		if !r.preExpelled[m] {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // expel processes the membership service's verdict on obj, exactly once per

@@ -199,11 +199,10 @@ func (p *participant) handleDelivery(d group.Delivery) {
 			p.detector.Observe(d.From)
 		}
 		return
-	case membership.KindView:
+	case membership.KindView, membership.KindRejoinRequest, membership.KindWelcome,
+		membership.KindLeaseRequest, membership.KindLeaseGrant:
 		if p.monitor != nil {
-			if v, ok := d.Payload.(membership.View); ok {
-				p.monitor.Deliver(v)
-			}
+			p.monitor.DeliverMessage(d.From, d.Kind, d.Payload)
 		}
 		return
 	}
@@ -469,7 +468,7 @@ func (p *participant) enterInstance(bodyLevel int, inst *instance) error {
 		frame := protocol.Frame{
 			Action:  inst.id,
 			Path:    inst.path,
-			Members: inst.spec.Members,
+			Members: p.run.frameMembers(inst.spec.Members),
 			Tree:    inst.spec.Tree,
 		}
 		if inst.spec.Policy == WaitForNestedActions {

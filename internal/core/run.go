@@ -18,8 +18,17 @@ type ParticipantResult struct {
 	Signalled        string
 	AcceptanceFailed bool
 	// Expelled is true when the membership service removed this participant
-	// from the group mid-run; its other fields are then meaningless.
+	// from the group — mid-run, or (in rejoin mode) in an earlier run whose
+	// expulsion still stood when this run was admitted; its other result
+	// fields are then meaningless.
 	Expelled bool
+	// Rejoined is true when the membership service readmitted this (expelled)
+	// participant during the run: it re-entered the group's view and will
+	// participate in subsequent actions.
+	Rejoined bool
+	// Snapshot is the state-transfer payload this participant installed from
+	// its rejoin Welcome (a GroupSnapshot in rejoin mode), nil otherwise.
+	Snapshot any
 	Err      error
 }
 
@@ -42,6 +51,10 @@ type Outcome struct {
 	// excluded from the Completed and disagreement aggregation: the
 	// surviving majority's outcome is the action's outcome.
 	Expelled []ident.ObjectID
+	// Rejoined lists the members the membership service readmitted during
+	// the run (rejoin mode only), sorted. A rejoined member caught up via
+	// state transfer and participates in subsequent actions.
+	Rejoined []ident.ObjectID
 	// PerObject holds each participant's view.
 	PerObject map[ident.ObjectID]ParticipantResult
 }
@@ -88,6 +101,21 @@ func (s *System) runAttempt(def Definition, timeout time.Duration, attempt int) 
 	}
 	r := newRun(s, &def)
 	r.attempt = attempt
+	if s.opts.Membership != nil && s.opts.Membership.Rejoin {
+		// Admission: members the persistent group expelled in earlier runs
+		// stay out of this action's frames until they rejoin (view synchrony
+		// admits them to the next action, never a half-entered one). Their
+		// participants still start — detector, monitor and transport — so
+		// their rejoin petitions can flow during the run.
+		s.ensureGroup(def.Spec.Members)
+		r.preExpelled = s.excludedOf(def.Spec.Members)
+		if len(r.preExpelled) > 0 {
+			r.expelled = make(map[ident.ObjectID]bool, len(r.preExpelled))
+			for obj := range r.preExpelled {
+				r.expelled[obj] = true
+			}
+		}
+	}
 	s.mu.Lock()
 	s.curRun = r
 	s.mu.Unlock()
@@ -120,16 +148,24 @@ func (s *System) runAttempt(def Definition, timeout time.Duration, attempt int) 
 		r.participants[obj] = p
 	}
 
-	var timer *time.Timer
 	timedOut := false
 	var timedOutMu sync.Mutex
 	if timeout > 0 {
-		timer = time.AfterFunc(timeout, func() {
-			timedOutMu.Lock()
-			timedOut = true
-			timedOutMu.Unlock()
-			r.cancel()
-		})
+		// The deadline runs on the server's clock seam: on a virtual clock a
+		// 30s timeout costs no wall-clock time unless it actually expires.
+		timer := s.clk.NewTimer(timeout)
+		cancelTimer := make(chan struct{})
+		go func() {
+			select {
+			case <-timer.C():
+				timedOutMu.Lock()
+				timedOut = true
+				timedOutMu.Unlock()
+				r.cancel()
+			case <-cancelTimer:
+			}
+		}()
+		defer close(cancelTimer)
 		defer timer.Stop()
 	}
 
@@ -139,6 +175,15 @@ func (s *System) runAttempt(def Definition, timeout time.Duration, attempt int) 
 		wg sync.WaitGroup
 	)
 	for _, obj := range members {
+		if r.preExpelled[obj] {
+			// Out of the group at admission: no body, no frames. The
+			// participant's membership machinery still runs (started in
+			// newParticipant), so the member can petition and rejoin.
+			mu.Lock()
+			results[obj] = ParticipantResult{Expelled: true}
+			mu.Unlock()
+			continue
+		}
 		p := r.participants[obj]
 		body := def.Bodies[obj]
 		wg.Add(1)
@@ -160,6 +205,10 @@ func (s *System) runAttempt(def Definition, timeout time.Duration, attempt int) 
 	for _, obj := range r.expelledMembers() {
 		expelled[obj] = true
 	}
+	rejoined := make(map[ident.ObjectID]bool)
+	for _, obj := range r.rejoinedMembers() {
+		rejoined[obj] = true
+	}
 
 	out := Outcome{Completed: true, PerObject: results}
 	var firstErr error
@@ -170,6 +219,13 @@ func (s *System) runAttempt(def Definition, timeout time.Duration, attempt int) 
 			// survivors' outcome stands regardless of how its body unwound.
 			res.Expelled = true
 			res.Err = nil
+			if rejoined[obj] {
+				res.Rejoined = true
+				r.mu.Lock()
+				res.Snapshot = r.snapshots[obj]
+				r.mu.Unlock()
+				out.Rejoined = append(out.Rejoined, obj) // members is sorted
+			}
 			results[obj] = res
 			out.Expelled = append(out.Expelled, obj) // members is sorted
 			continue
@@ -195,6 +251,9 @@ func (s *System) runAttempt(def Definition, timeout time.Duration, attempt int) 
 			}
 			out.Signalled = res.Signalled
 		}
+	}
+	if s.opts.Membership != nil && s.opts.Membership.Rejoin && out.Resolved != "" {
+		s.appendHistory(out.Resolved)
 	}
 	timedOutMu.Lock()
 	expired := timedOut

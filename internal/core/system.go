@@ -10,6 +10,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/protocol"
 	"repro/internal/trace"
+	"repro/internal/vclock"
 	"repro/internal/wire"
 )
 
@@ -75,6 +76,12 @@ type Options struct {
 	// preserved, so runs commit the same resolutions as unbatched ones;
 	// only scheduling granularity changes. Zero keeps per-message delivery.
 	Batch int
+	// Clock is the time seam for every timer the server arms: run timeouts,
+	// Context.Sleep deadlines, heartbeat and retransmission tickers, and
+	// (unless Network.Clock is set separately) netsim link latency. Nil means
+	// the real clock; a vclock.Virtual makes whole partition/churn scenarios
+	// run in microseconds of wall-clock time.
+	Clock vclock.Clock
 	// MaxInFlight caps the number of top-level actions executing
 	// concurrently on this server (0 = unlimited). Submissions beyond the
 	// cap follow the Overload policy.
@@ -94,10 +101,16 @@ type Options struct {
 // Create with NewServer, release with Close.
 type Server struct {
 	opts  Options
+	clk   vclock.Clock
 	net   *netsim.Network
 	dir   *group.Directory
 	store *atomicobj.Store
 	log   *trace.Log
+
+	// group is the server-persistent membership record, maintained across
+	// runs when Options.Membership.Rejoin is set (nil otherwise). Guarded by
+	// mu.
+	group *groupState
 
 	mu         sync.Mutex
 	cond       *sync.Cond // inflight or closed changed
@@ -126,9 +139,14 @@ func NewServer(opts Options) *Server {
 	if log == nil {
 		log = trace.NewLog()
 	}
+	clk := vclock.Or(opts.Clock)
+	if opts.Network.Clock == nil {
+		opts.Network.Clock = clk
+	}
 	net := netsim.New(opts.Network)
 	s := &Server{
 		opts:        opts,
+		clk:         clk,
 		store:       atomicobj.NewStore(),
 		log:         log,
 		net:         net,
@@ -272,13 +290,13 @@ func (s *Server) sharedBinder() group.Binder {
 func (s *System) newTransport(dir group.Binder, obj ident.ObjectID) (group.Transport, error) {
 	switch s.opts.Transport {
 	case TransportReliable:
-		return group.NewR3Transport(dir, obj, s.opts.Retransmit)
+		return group.NewR3TransportClock(dir, obj, s.opts.Retransmit, s.clk)
 	case TransportRaw:
 		return group.NewRawTransport(dir, obj)
 	case TransportTCP:
 		// The base fabric loses in-flight frames across reconnects, so the
 		// reliable layer is not optional here.
-		return group.NewR3Transport(dir, obj, s.opts.Retransmit)
+		return group.NewR3TransportClock(dir, obj, s.opts.Retransmit, s.clk)
 	default:
 		panic("core: unknown transport kind")
 	}

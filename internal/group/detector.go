@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/ident"
+	"repro/internal/vclock"
 )
 
 // Detector is a heartbeat failure detector, the missing half of the "group
@@ -22,7 +23,7 @@ type Detector struct {
 	peers     []ident.ObjectID
 	interval  time.Duration
 	timeout   time.Duration
-	now       func() time.Time
+	clk       vclock.Clock
 	fed       bool // receptions arrive via Observe, not the transport
 
 	mu       sync.Mutex
@@ -38,9 +39,10 @@ const KindHeartbeat = "group.heartbeat"
 
 // NewDetector creates a detector for the given peers. interval is the
 // heartbeat period; a peer is suspected when no heartbeat arrived for
-// timeout. now defaults to time.Now.
-func NewDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Duration, now func() time.Time) *Detector {
-	d := newDetector(t, peers, interval, timeout, now)
+// timeout. clk is the clock seam for both the beat ticker and staleness
+// cutoffs; nil means the real clock.
+func NewDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Duration, clk vclock.Clock) *Detector {
+	d := newDetector(t, peers, interval, timeout, clk)
 	go d.loop()
 	return d
 }
@@ -51,28 +53,26 @@ func NewDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Dur
 // fed in by the stream's owner via Observe. This lets membership traffic share
 // the participant's fabric attachment — and therefore its partition fate —
 // instead of requiring a second transport per object.
-func NewFedDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Duration, now func() time.Time) *Detector {
-	d := newDetector(t, peers, interval, timeout, now)
+func NewFedDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Duration, clk vclock.Clock) *Detector {
+	d := newDetector(t, peers, interval, timeout, clk)
 	d.fed = true
 	go d.loop()
 	return d
 }
 
-func newDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Duration, now func() time.Time) *Detector {
-	if now == nil {
-		now = time.Now
-	}
+func newDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Duration, clk vclock.Clock) *Detector {
+	clk = vclock.Or(clk)
 	d := &Detector{
 		transport: t,
 		peers:     append([]ident.ObjectID{}, peers...),
 		interval:  interval,
 		timeout:   timeout,
-		now:       now,
+		clk:       clk,
 		lastSeen:  make(map[ident.ObjectID]time.Time, len(peers)),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
-	start := now()
+	start := clk.Now()
 	for _, p := range d.peers {
 		if p != t.Self() {
 			d.lastSeen[p] = start // grace period: everyone starts alive
@@ -86,7 +86,7 @@ func newDetector(t Transport, peers []ident.ObjectID, interval, timeout time.Dur
 func (d *Detector) Observe(p ident.ObjectID) {
 	d.mu.Lock()
 	if _, known := d.lastSeen[p]; known {
-		d.lastSeen[p] = d.now()
+		d.lastSeen[p] = d.clk.Now()
 	}
 	d.mu.Unlock()
 }
@@ -101,7 +101,7 @@ func (d *Detector) Stop() {
 
 // Suspects returns the peers whose heartbeats have stopped, sorted.
 func (d *Detector) Suspects() []ident.ObjectID {
-	cutoff := d.now().Add(-d.timeout)
+	cutoff := d.clk.Now().Add(-d.timeout)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var out []ident.ObjectID
@@ -116,7 +116,7 @@ func (d *Detector) Suspects() []ident.ObjectID {
 
 // Alive returns the peers currently considered alive, sorted.
 func (d *Detector) Alive() []ident.ObjectID {
-	cutoff := d.now().Add(-d.timeout)
+	cutoff := d.clk.Now().Add(-d.timeout)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var out []ident.ObjectID
@@ -131,7 +131,7 @@ func (d *Detector) Alive() []ident.ObjectID {
 
 // Suspected reports whether one peer is currently suspected.
 func (d *Detector) Suspected(p ident.ObjectID) bool {
-	cutoff := d.now().Add(-d.timeout)
+	cutoff := d.clk.Now().Add(-d.timeout)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	seen, ok := d.lastSeen[p]
@@ -140,7 +140,7 @@ func (d *Detector) Suspected(p ident.ObjectID) bool {
 
 func (d *Detector) loop() {
 	defer close(d.done)
-	ticker := time.NewTicker(d.interval)
+	ticker := d.clk.NewTicker(d.interval)
 	defer ticker.Stop()
 	d.beat()
 	recv := d.transport.Recv()
@@ -151,7 +151,7 @@ func (d *Detector) loop() {
 		select {
 		case <-d.stop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			d.beat()
 		case msg, ok := <-recv:
 			if !ok {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ident"
 	"repro/internal/netsim"
+	"repro/internal/vclock"
 )
 
 // detectorCluster builds n detectors over one network, returning them plus
@@ -138,9 +139,11 @@ func TestNetworkIsolateDropsBothDirections(t *testing.T) {
 }
 
 // fakeClock is a manual clock for driving the detector's suspicion logic
-// deterministically: heartbeats still fly in real time, but staleness is
-// judged against fake time, so a test can age the world at will.
+// deterministically: timers and tickers still fly in real time (embedded
+// vclock.Real), but Now — and therefore staleness — is judged against fake
+// time, so a test can age the world at will without stalling heartbeats.
 type fakeClock struct {
+	vclock.Real
 	mu sync.Mutex
 	t  time.Time
 }
@@ -181,7 +184,7 @@ func TestDetectorSuspectResumeUnsuspectUnderJitter(t *testing.T) {
 			t.Fatal(err)
 		}
 		nodes[m] = node
-		detectors[i] = NewDetector(tr, members, time.Millisecond, timeout, clock.Now)
+		detectors[i] = NewDetector(tr, members, time.Millisecond, timeout, clock)
 		t.Cleanup(tr.Close)
 	}
 	defer func() {
@@ -236,7 +239,7 @@ func TestFedDetectorObserve(t *testing.T) {
 	}
 	defer tr.Close()
 
-	d := NewFedDetector(tr, []ident.ObjectID{1, 2}, time.Millisecond, timeout, clock.Now)
+	d := NewFedDetector(tr, []ident.ObjectID{1, 2}, time.Millisecond, timeout, clock)
 	defer d.Stop()
 
 	if d.Suspected(2) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ident"
+	"repro/internal/vclock"
 )
 
 // R3Transport ("reliable over unreliable") implements exactly-once FIFO
@@ -20,6 +21,7 @@ type R3Transport struct {
 	peers map[ident.ObjectID]*peerState
 
 	retransmit time.Duration
+	clk        vclock.Clock
 	out        chan Delivery
 	stop       chan struct{}
 	done       chan struct{}
@@ -65,6 +67,12 @@ const maxRTO = 50 * time.Millisecond
 // protocol loop. retransmit is the retransmission period for unacknowledged
 // messages. Any Binder works: the netsim Directory or the TCPDirectory.
 func NewR3Transport(dir Binder, obj ident.ObjectID, retransmit time.Duration) (*R3Transport, error) {
+	return NewR3TransportClock(dir, obj, retransmit, nil)
+}
+
+// NewR3TransportClock is NewR3Transport with an explicit clock seam for the
+// retransmission ticker and RTO timestamps; nil means the real clock.
+func NewR3TransportClock(dir Binder, obj ident.ObjectID, retransmit time.Duration, clk vclock.Clock) (*R3Transport, error) {
 	port, err := dir.Bind(obj)
 	if err != nil {
 		return nil, err
@@ -77,6 +85,7 @@ func NewR3Transport(dir Binder, obj ident.ObjectID, retransmit time.Duration) (*
 		port:       port,
 		peers:      make(map[ident.ObjectID]*peerState),
 		retransmit: retransmit,
+		clk:        vclock.Or(clk),
 		out:        make(chan Delivery),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
@@ -106,7 +115,7 @@ func (t *R3Transport) SendTagged(to ident.ObjectID, kind string, action ident.Ac
 	ps := t.peer(to)
 	ps.sendSeq++
 	env := envelope{From: t.self, Kind: kind, Action: action, Payload: payload, Seq: ps.sendSeq}
-	ps.unacked[env.Seq] = &outMsg{env: env, lastSent: time.Now(), rto: t.retransmit}
+	ps.unacked[env.Seq] = &outMsg{env: env, lastSent: t.clk.Now(), rto: t.retransmit}
 	t.mu.Unlock()
 	return memberErr(t.port.SendTagged(to, wireKind, action, env))
 }
@@ -136,13 +145,13 @@ func (t *R3Transport) peer(id ident.ObjectID) *peerState {
 func (t *R3Transport) loop() {
 	defer close(t.done)
 	defer close(t.out)
-	ticker := time.NewTicker(t.retransmit)
+	ticker := t.clk.NewTicker(t.retransmit)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-t.stop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			t.resendUnacked()
 		case m, ok := <-t.port.Recv():
 			if !ok {
@@ -216,7 +225,7 @@ func (t *R3Transport) handleAck(env envelope) {
 }
 
 func (t *R3Transport) resendUnacked() {
-	now := time.Now()
+	now := t.clk.Now()
 	t.mu.Lock()
 	type resend struct {
 		to  ident.ObjectID

@@ -1,0 +1,101 @@
+package membership
+
+import (
+	"time"
+
+	"repro/internal/ident"
+)
+
+// Wire kinds of the quorum-lease protocol.
+const (
+	// KindLeaseRequest carries a LeaseRequest from a would-be coordinator to
+	// the members it believes alive.
+	KindLeaseRequest = "membership.lease-request"
+	// KindLeaseGrant carries a LeaseGrant back from a grantor.
+	KindLeaseGrant = "membership.lease-grant"
+)
+
+// LeaseRequest asks a peer for a time-bounded proposal lease. Epoch is
+// advisory (grants are purely time-based; epochs never revoke them early).
+type LeaseRequest struct {
+	Candidate ident.ObjectID
+	Epoch     uint64
+}
+
+// LeaseGrant is one member's promise not to grant anyone else until Until.
+// A candidate holding unexpired grants from a majority of the base
+// membership holds the lease: any rival majority intersects this one, so no
+// second coordinator can assemble a quorum while the grants stand.
+type LeaseGrant struct {
+	Grantor   ident.ObjectID
+	Candidate ident.ObjectID
+	Until     time.Time
+}
+
+// grantState is the grantor-side record of the single outstanding grant.
+// The zero value means "never granted".
+type grantState struct {
+	holder ident.ObjectID
+	until  time.Time
+}
+
+// handleLeaseRequest is the grantor side: grant (or renew) if no conflicting
+// unexpired grant stands, refuse silently otherwise. Refusal-by-silence is
+// what makes a departed coordinator's lease a real wait: survivors simply
+// cannot assemble a quorum until it expires.
+func (m *Monitor) handleLeaseRequest(from ident.ObjectID, r LeaseRequest) {
+	if m.cfg.Lease <= 0 || r.Candidate != from || !m.isBaseMember(from) {
+		return
+	}
+	now := m.clk.Now()
+	m.mu.Lock()
+	ok := m.granted.holder == 0 || m.granted.holder == r.Candidate || !now.Before(m.granted.until)
+	if ok {
+		m.granted = grantState{holder: r.Candidate, until: now.Add(m.cfg.Lease)}
+	}
+	until := m.granted.until
+	m.mu.Unlock()
+	if ok && m.cfg.Send != nil {
+		_ = m.cfg.Send(from, KindLeaseGrant, LeaseGrant{
+			Grantor: m.cfg.Self, Candidate: r.Candidate, Until: until,
+		})
+	}
+}
+
+// handleLeaseGrant is the candidate side: collect the grant.
+func (m *Monitor) handleLeaseGrant(g LeaseGrant) {
+	if g.Candidate != m.cfg.Self {
+		return
+	}
+	m.mu.Lock()
+	if m.grants == nil {
+		m.grants = make(map[ident.ObjectID]time.Time)
+	}
+	m.grants[g.Grantor] = g.Until
+	m.mu.Unlock()
+}
+
+// leaseValidLocked reports whether self currently holds the quorum lease:
+// unexpired grants from a strict majority of the base membership (self's own
+// grant included). Caller holds m.mu.
+func (m *Monitor) leaseValidLocked(now time.Time) bool {
+	n := 0
+	for _, until := range m.grants {
+		if now.Before(until) {
+			n++
+		}
+	}
+	return 2*n > len(m.cfg.Members)
+}
+
+// HoldsLease reports whether this member currently holds the quorum lease.
+// Always false when leases are disabled.
+func (m *Monitor) HoldsLease() bool {
+	if m.cfg.Lease <= 0 {
+		return false
+	}
+	now := m.clk.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.leaseValidLocked(now)
+}

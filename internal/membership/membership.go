@@ -8,11 +8,29 @@
 // then raise the predefined participant-failure exception the paper's
 // Figure 1(b) abort-nested scenario needs.
 //
-// Decisions are deliberately one-way: a member expelled from a view is never
+// Decisions are one-way by default: a member expelled from a view is never
 // re-admitted, even if its partition heals, because the survivors have by then
 // resolved an exception on its behalf and committed an outcome it never saw.
 // Minority islands never install new views (the majority gate), so they stall
 // in degraded mode rather than diverge — the classic primary-partition rule.
+//
+// Two opt-in extensions relax that default without giving up its safety:
+//
+//   - Rejoin (Config.Rejoin): an expelled-then-healed member detects its own
+//     exclusion (it observed a minority island), petitions the current
+//     coordinator for readmission, and catches up via state transfer — the
+//     coordinator answers with a Welcome carrying the current view and a
+//     Snapshot of application state, installs the member into the next epoch
+//     view, and multicasts it, so subsequent actions include the rejoiner.
+//   - Quorum leases (Config.Lease): a coordinator may only propose views
+//     while it holds time-bounded grants from a majority of the base
+//     membership. Any two majorities intersect and a grantor never grants to
+//     a second candidate while an earlier grant stands, so a stale
+//     coordinator and a freshly healed one can never elect concurrently —
+//     the degraded biggest-surviving-member chooser is unique per lease term.
+//
+// All timers run on the vclock.Clock seam: with a vclock.Virtual the whole
+// suspicion/expel/heal/rejoin cycle executes in microseconds of real time.
 package membership
 
 import (
@@ -21,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/ident"
+	"repro/internal/vclock"
 )
 
 // KindView is the wire kind of view-installation messages.
@@ -69,6 +88,35 @@ type Config struct {
 	Send func(to ident.ObjectID, kind string, payload any) error
 	// Poll is the suspicion-polling period.
 	Poll time.Duration
+	// Clock is the seam for the poll ticker and lease expiry. Nil means the
+	// real clock.
+	Clock vclock.Clock
+	// Rejoin enables view-synchronous readmission: expelled members petition
+	// after their partition heals and the coordinator welcomes them back into
+	// the next epoch view with a state-transfer snapshot. Off by default —
+	// decisions stay one-way.
+	Rejoin bool
+	// Lease, when > 0, protects view proposals with quorum leases of that
+	// term: a coordinator must hold unexpired grants from a majority of the
+	// base membership before installing any view. Zero disables leases.
+	Lease time.Duration
+	// Snapshot, consulted by a welcoming coordinator, returns the
+	// application-state payload shipped to a rejoiner inside its Welcome.
+	// Nil sends a nil snapshot.
+	Snapshot func() any
+	// Install receives a Welcome's snapshot on the rejoining side, before
+	// the welcome view installs (so state is in place when view-change
+	// subscribers fire). Nil ignores snapshots.
+	Install func(snapshot any)
+	// Initial, when non-nil, seeds the monitor with an already-installed view
+	// instead of the epoch-zero base view — a member (re)starting inside a
+	// long-lived group continues the group's epoch numbering. The majority
+	// gate still measures against Members.
+	Initial *View
+	// Isolated seeds the isolated flag: a member that knows it was expelled
+	// before this monitor started (e.g. across runs of a persistent group)
+	// petitions for readmission as soon as it sees a healed majority.
+	Isolated bool
 }
 
 // Monitor drives view changes for one member. All members run one; only the
@@ -77,11 +125,22 @@ type Config struct {
 // locally (the coordinator's own proposal) or via Deliver (everyone else).
 type Monitor struct {
 	cfg Config
+	clk vclock.Clock
 
 	mu      sync.Mutex
 	cur     View
 	subs    []func(old, new View)
 	pending []viewChange // unbounded: install never blocks on dispatch
+
+	// Rejoin state: isolated is set when self observes a minority island
+	// (the primary partition may be expelling us) and cleared by a Welcome
+	// or by installing a view that contains self.
+	isolated bool
+	// Lease state. granted is the grantor side: the single outstanding
+	// grant this member has issued. grants is the candidate side: the
+	// unexpired grants this member has collected, keyed by grantor.
+	granted grantState
+	grants  map[ident.ObjectID]time.Time
 
 	// Callbacks fire from the monitor's own goroutine, never from the caller
 	// of Deliver — a subscriber may synchronously re-enter the participant
@@ -100,12 +159,18 @@ func NewMonitor(cfg Config) *Monitor {
 	base := append([]ident.ObjectID(nil), cfg.Members...)
 	sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
 	cfg.Members = base
+	cur := View{Epoch: 0, Members: base}
+	if cfg.Initial != nil {
+		cur = cfg.Initial.Clone()
+	}
 	m := &Monitor{
-		cfg:  cfg,
-		cur:  View{Epoch: 0, Members: base},
-		kick: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:      cfg,
+		clk:      vclock.Or(cfg.Clock),
+		cur:      cur,
+		isolated: cfg.Isolated,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	go m.loop()
 	return m
@@ -141,6 +206,7 @@ func (m *Monitor) Deliver(v View) {
 	if v.Epoch <= m.cur.Epoch || !v.Contains(m.cfg.Self) {
 		return
 	}
+	m.isolated = false // the group demonstrably includes us
 	m.installLocked(v.Clone())
 }
 
@@ -167,7 +233,7 @@ func (m *Monitor) installLocked(v View) {
 
 func (m *Monitor) loop() {
 	defer close(m.done)
-	ticker := time.NewTicker(m.cfg.Poll)
+	ticker := m.clk.NewTicker(m.cfg.Poll)
 	defer ticker.Stop()
 	for {
 		select {
@@ -177,7 +243,7 @@ func (m *Monitor) loop() {
 			return
 		case <-m.kick:
 			m.dispatch()
-		case <-ticker.C:
+		case <-ticker.C():
 			m.poll()
 			m.dispatch()
 		}
@@ -210,6 +276,10 @@ func (m *Monitor) poll() {
 	suspected := make(map[ident.ObjectID]bool)
 	for _, s := range m.cfg.Suspector.Suspects() {
 		suspected[s] = true
+	}
+	if m.cfg.Rejoin || m.cfg.Lease > 0 {
+		m.pollExtended(suspected)
+		return
 	}
 	if len(suspected) == 0 {
 		return

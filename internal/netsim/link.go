@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"sync"
-	"time"
 
 	"repro/internal/ident"
 )
@@ -62,7 +61,7 @@ func (l *link) run() {
 		l.mu.Unlock()
 
 		if d := l.net.cfg.Latency(l.from, l.to); d > 0 {
-			time.Sleep(d)
+			l.net.cfg.Clock.Sleep(d)
 		}
 
 		l.net.mu.Lock()

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/ident"
+	"repro/internal/vclock"
 )
 
 // Message is a unit of communication between two nodes. Payload is opaque to
@@ -99,6 +100,10 @@ type Config struct {
 	// bounded inboxes are opt-in and meant for workloads whose receivers
 	// always drain (see TestBoundedInboxStormNoDeadlock).
 	Bound int
+	// Clock is the time source used for link latency waits. Nil means the
+	// real clock; a vclock.Virtual makes latency deterministic and lets
+	// auto-advance skip over it.
+	Clock vclock.Clock
 }
 
 // ErrClosed is returned by Send after the network has been shut down.
@@ -133,6 +138,7 @@ func New(cfg Config) *Network {
 	if cfg.Latency == nil {
 		cfg.Latency = NoLatency
 	}
+	cfg.Clock = vclock.Or(cfg.Clock)
 	return &Network{
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestChurnSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ChurnSpec
+		ok   bool
+	}{
+		{"default victims", ChurnSpec{N: 5, Cycles: 1}, true},
+		{"explicit victims", ChurnSpec{N: 5, Cycles: 2, Victims: []int{4, 5}}, true},
+		{"too small", ChurnSpec{N: 2, Cycles: 1}, false},
+		{"no cycles", ChurnSpec{N: 5}, false},
+		{"victim out of range", ChurnSpec{N: 5, Cycles: 1, Victims: []int{6}}, false},
+		{"victim twice", ChurnSpec{N: 5, Cycles: 1, Victims: []int{4, 4}}, false},
+		{"no majority left", ChurnSpec{N: 4, Cycles: 1, Victims: []int{3, 4}}, false},
+		{"negative lease", ChurnSpec{N: 5, Cycles: 1, Lease: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: error expected", c.name)
+		}
+	}
+}
+
+func TestRunChurnVirtual(t *testing.T) {
+	res, err := RunChurn(ChurnSpec{
+		N:       5,
+		Victims: []int{5},
+		Cycles:  2,
+		Lease:   200 * time.Millisecond,
+		Virtual: true,
+	})
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	if res.Cycles != 2 || res.Expelled != 2 || res.Rejoined != 2 {
+		t.Fatalf("cycles=%d expelled=%d rejoined=%d, want 2/2/2", res.Cycles, res.Expelled, res.Rejoined)
+	}
+	if res.FinalEpoch < 4 {
+		t.Fatalf("final epoch %d, want >= 4 (two view changes per cycle)", res.FinalEpoch)
+	}
+	if res.PostHealResolved != "exc-churn" || res.PostHealParticipants != 1 {
+		t.Fatalf("post-heal resolved %q with %d rejoined participants, want exc-churn/1",
+			res.PostHealResolved, res.PostHealParticipants)
+	}
+}
+
+// TestRunVirtualPartition checks Spec.Virtual end to end: a membership run
+// whose 25ms detector timeout and hour-long idle bodies complete in virtual
+// time, with the same expulsion outcome as the real-clock partition tests.
+func TestRunVirtualPartition(t *testing.T) {
+	start := time.Now()
+	res, err := Run(Spec{
+		N:          5,
+		P:          0,
+		Membership: true,
+		Partition:  []int{4, 5},
+		Virtual:    true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := res.Outcome.Resolved; got != core.ExcParticipantFailure {
+		t.Fatalf("resolved %q, want %q", got, core.ExcParticipantFailure)
+	}
+	if len(res.Outcome.Expelled) != 2 {
+		t.Fatalf("expelled %v, want two members", res.Outcome.Expelled)
+	}
+	// Not a tight bound — just proof the hour-long sleeps didn't run on the
+	// wall clock.
+	if real := time.Since(start); real > 20*time.Second {
+		t.Fatalf("virtual run took %v of wall clock", real)
+	}
+}
+
+func TestRunVirtualRejectsTCP(t *testing.T) {
+	_, err := Run(Spec{N: 3, P: 1, Virtual: true, Transport: core.TransportTCP})
+	if err == nil {
+		t.Fatal("Virtual+TCP accepted, want validation error")
+	}
+}

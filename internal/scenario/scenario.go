@@ -23,6 +23,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/protocol"
 	"repro/internal/trace"
+	"repro/internal/vclock"
 )
 
 // Spec parameterises one measurement run.
@@ -80,6 +81,12 @@ type Spec struct {
 	// PartitionDelay postpones the cut after the run starts (default 20ms,
 	// giving participants time to bind and exchange first heartbeats).
 	PartitionDelay time.Duration
+	// Virtual runs the scenario on an auto-advancing virtual clock
+	// (vclock.Virtual): every timer in the stack — heartbeats, failure
+	// timeouts, body sleeps, the run deadline — fires in virtual time, so a
+	// partition that needs 25ms of detector silence costs microseconds of
+	// wall clock. Requires a netsim transport (real sockets do real waiting).
+	Virtual bool
 }
 
 // Result reports one run.
@@ -160,6 +167,9 @@ func (s Spec) Validate() error {
 	if s.Membership && s.Transport == core.TransportTCP {
 		return errors.New("scenario: Membership requires a netsim transport")
 	}
+	if s.Virtual && s.Transport == core.TransportTCP {
+		return errors.New("scenario: Virtual requires a netsim transport")
+	}
 	return nil
 }
 
@@ -189,6 +199,18 @@ func Run(spec Spec) (Result, error) {
 		Batch:      spec.Batch,
 		Trace:      log,
 	}
+	if spec.Virtual {
+		clk := vclock.NewVirtual()
+		// Coalesce auto-advance to the heartbeat period: the membership
+		// timings (1ms heartbeats, 25ms detector timeout) tolerate a
+		// millisecond of timer bunching, and one quiesce round per virtual
+		// millisecond instead of one per distinct deadline is what makes the
+		// virtual run an order of magnitude faster than the wall clock.
+		clk.SetQuantum(time.Millisecond)
+		clk.StartAuto(0)
+		defer clk.StopAuto()
+		opts.Clock = clk
+	}
 	if spec.Membership {
 		// Timings tuned for simulation runs: fast enough that a partition is
 		// decided well inside the default timeout, slow enough that jittered
@@ -212,8 +234,9 @@ func Run(spec Spec) (Result, error) {
 		if delay == 0 {
 			delay = 20 * time.Millisecond
 		}
+		clk := vclock.Or(opts.Clock)
 		go func() {
-			time.Sleep(delay)
+			clk.Sleep(delay)
 			// Best-effort: a run that finished before the delay has no fabric
 			// to cut, which is fine — the result then shows no expulsions.
 			_ = sys.Partition("storm", cut...)

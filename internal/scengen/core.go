@@ -12,6 +12,7 @@ import (
 	"repro/internal/exception"
 	"repro/internal/ident"
 	"repro/internal/transport/conformancetest"
+	"repro/internal/vclock"
 )
 
 // The core tier runs every generated program through the full stack — server,
@@ -553,18 +554,7 @@ func checkPartition(p *Program, ref conformancetest.Resolutions, opts Options, r
 	if !out.Completed {
 		rep.add(stage, "action did not complete")
 	}
-	wantCut := append([]ident.ObjectID(nil), cut...)
-	sort.Slice(wantCut, func(i, j int) bool { return wantCut[i] < wantCut[j] })
-	if len(out.Expelled) != len(wantCut) {
-		rep.add(stage, "expelled %v, want exactly the cut %v", out.Expelled, wantCut)
-	} else {
-		for i := range wantCut {
-			if out.Expelled[i] != wantCut[i] {
-				rep.add(stage, "expelled %v, want exactly the cut %v", out.Expelled, wantCut)
-				break
-			}
-		}
-	}
+	expectExpelled(rep, stage, out.Expelled, cut)
 	if len(fam.Raises) == 0 {
 		if out.Resolved != excParticipantFailure {
 			rep.add(stage, "crash-only partition resolved %q, want %q", out.Resolved, excParticipantFailure)
@@ -599,4 +589,190 @@ func checkPartition(p *Program, ref conformancetest.Resolutions, opts Options, r
 			rep.add(stage, "surviving object %d did not complete", obj)
 		}
 	}
+}
+
+// expectExpelled holds an outcome's expulsion list to exactly the cut.
+func expectExpelled(rep *Report, stage string, got, cut []ident.ObjectID) {
+	want := append([]ident.ObjectID(nil), cut...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	match := len(got) == len(want)
+	if match {
+		for i := range want {
+			if got[i] != want[i] {
+				match = false
+				break
+			}
+		}
+	}
+	if !match {
+		rep.add(stage, "expelled %v, want exactly the cut %v", got, want)
+	}
+}
+
+// checkChurn runs a heal-and-continue (Heal) or flapping-member (Flap > 0)
+// partition program through the persistent, rejoin-enabled stack: each cycle
+// the cut is partitioned away and expelled by the surviving majority, the
+// partition heals, and the expelled members rejoin view-synchronously via
+// petition and state transfer. Only after the last cycle do the program's own
+// raises fire, in a whole-group post-heal run held to the same expectations
+// as any partition-free family — plus the churn-specific one: every rejoined
+// member commits the post-heal resolution like everyone else. The whole
+// schedule runs on an auto-advancing virtual clock, so the detector timeouts
+// and lease terms cost virtual time only and a multi-cycle program stays
+// cheap enough for fuzz workers.
+func checkChurn(p *Program, ref conformancetest.Resolutions, opts Options, rep *Report) {
+	const stage = "core/churn"
+	tree, err := p.Tree()
+	if err != nil {
+		rep.add(stage, "exception tree: %v", err)
+		return
+	}
+	refSites := siteRef(p, ref, rep)
+	fam := &p.Families[0]
+
+	cut := make([]ident.ObjectID, len(p.Partition.Cut))
+	isCut := make(map[ident.ObjectID]bool, len(cut))
+	for i, c := range p.Partition.Cut {
+		cut[i] = ident.ObjectID(c)
+		isCut[cut[i]] = true
+	}
+	members := make([]ident.ObjectID, len(fam.Objects))
+	for i, o := range fam.Objects {
+		members[i] = ident.ObjectID(o)
+	}
+	var cutter ident.ObjectID // lowest survivor triggers each cut
+	for _, m := range members {
+		if !isCut[m] && (cutter == 0 || m < cutter) {
+			cutter = m
+		}
+	}
+	delay := time.Duration(p.Partition.DelayMS) * time.Millisecond
+	if delay == 0 {
+		delay = 20 * time.Millisecond
+	}
+
+	clk := vclock.NewVirtual()
+	clk.SetQuantum(time.Millisecond)
+	clk.StartAuto(0)
+	defer clk.StopAuto()
+	sys := core.NewServer(core.Options{
+		Transport: core.TransportRaw,
+		Clock:     clk,
+		Membership: &core.MembershipOptions{
+			Heartbeat: time.Millisecond,
+			Timeout:   25 * time.Millisecond,
+			Poll:      2 * time.Millisecond,
+			Rejoin:    true,
+			Lease:     200 * time.Millisecond,
+		},
+	})
+	defer sys.Close()
+
+	noop := core.HandlerSet{Default: func(*core.RecoveryContext, exception.Exception) (string, error) {
+		return "", nil
+	}}
+	handlers := make(map[ident.ObjectID]core.HandlerSet, len(members))
+	for _, m := range members {
+		handlers[m] = noop
+	}
+	idle := func(ctx *core.Context) error {
+		ctx.Sleep(time.Hour)
+		return nil
+	}
+	whole := func() bool {
+		v := sys.GroupView()
+		for _, c := range cut {
+			if !v.Contains(c) {
+				return false
+			}
+		}
+		return true
+	}
+	waitWhole := func(ctx *core.Context) error {
+		for i := 0; i < 50000; i++ {
+			if whole() {
+				return nil
+			}
+			ctx.Sleep(2 * time.Millisecond)
+		}
+		return fmt.Errorf("cut never rejoined: %v", sys.GroupView())
+	}
+
+	cycles := 1 + p.Partition.Flap
+	for cycle := 0; cycle < cycles; cycle++ {
+		cutName := fmt.Sprintf("churn-%d", cycle)
+		bodies := make(map[ident.ObjectID]core.Body, len(members))
+		for _, m := range members {
+			bodies[m] = idle
+		}
+		bodies[cutter] = func(ctx *core.Context) error {
+			ctx.Sleep(delay)
+			if err := sys.Partition(cutName, cut...); err != nil {
+				return err
+			}
+			ctx.Sleep(time.Hour)
+			return nil
+		}
+		out, err := sys.RunTimeout(core.Definition{
+			Spec:   core.ActionSpec{Name: cutName, Tree: tree, Members: members, Handlers: handlers},
+			Bodies: bodies,
+		}, opts.RunTimeout)
+		if err != nil {
+			rep.add(stage, "cycle %d cut run: %v", cycle, err)
+			return
+		}
+		expectExpelled(rep, stage, out.Expelled, cut)
+		if out.Resolved != excParticipantFailure {
+			rep.add(stage, "cycle %d cut run resolved %q, want %q", cycle, out.Resolved, excParticipantFailure)
+		}
+
+		// The heal is implicit: the rejoin run allocates fresh fabric nodes,
+		// so the named partition of the previous run no longer matches anyone
+		// and the expelled members' petitions get through.
+		bodies = make(map[ident.ObjectID]core.Body, len(members))
+		for _, m := range members {
+			if isCut[m] {
+				bodies[m] = idle
+			} else {
+				bodies[m] = waitWhole
+			}
+		}
+		out, err = sys.RunTimeout(core.Definition{
+			Spec:   core.ActionSpec{Name: cutName + "-rejoin", Tree: tree, Members: members, Handlers: handlers},
+			Bodies: bodies,
+		}, opts.RunTimeout)
+		if err != nil {
+			rep.add(stage, "cycle %d rejoin run: %v", cycle, err)
+			return
+		}
+		if len(out.Rejoined) != len(cut) {
+			rep.add(stage, "cycle %d readmitted %v, want the whole cut %v", cycle, out.Rejoined, cut)
+		}
+	}
+
+	// Post-heal: the compiled family itself — raises, nesting, atomic ops —
+	// on the now-whole persistent group, held to the partition-free
+	// expectations plus the rejoined members' participation.
+	timing := coreTiming{linger: opts.Linger, belated: 10 * time.Millisecond, raiseAt: 2 * time.Millisecond}
+	rec := newRecorder()
+	def := compileFamily(0, fam, tree, rec, timing)
+	out, err := sys.RunTimeout(def, opts.RunTimeout)
+	checkFamilyOutcome(rep, stage+"/postheal", p, tree, 0, out, err, rec, refSites)
+	if err != nil {
+		return
+	}
+	for _, c := range cut {
+		res, ok := out.PerObject[c]
+		if !ok {
+			rep.add(stage, "rejoined object %d has no post-heal result", c)
+			continue
+		}
+		if !res.Completed {
+			rep.add(stage, "rejoined object %d did not complete the post-heal run", c)
+		}
+		if res.Resolved != out.Resolved {
+			rep.add(stage, "rejoined object %d resolved %q post-heal, the run resolved %q", c, res.Resolved, out.Resolved)
+		}
+	}
+	checkSums(rep, stage, sys.Store().Snapshot(), expectedSums(p, []int{0}))
 }

@@ -58,18 +58,25 @@ func TestOracleVerdictDeterministic(t *testing.T) {
 // every structural feature the oracle is built to stress — multi-family
 // programs, nesting, multi-raiser storms, belated joins, atomic ops (locking
 // and fast, including cross-family hot keys and deltas pending under raises)
-// and partitions. A silent generator regression would otherwise hollow out
-// the fuzzer while every case still passes.
+// and partitions, including heal-and-continue and flapping-member churn
+// schedules. A silent generator regression would otherwise hollow out the
+// fuzzer while every case still passes.
 func TestGrammarCoverage(t *testing.T) {
 	var multiFamily, nested, storm, belated, ops, partition, raiseFree bool
-	var fastOps, hotCrossFamily, fastUnderRaise bool
-	for seed := uint64(0); seed < 300; seed++ {
+	var fastOps, hotCrossFamily, fastUnderRaise, healed, flapping bool
+	for seed := uint64(0); seed < 1000; seed++ {
 		p := Generate(seed, KnobConfig(uint8(seed%32)))
 		if len(p.Families) > 1 {
 			multiFamily = true
 		}
 		if p.Partition != nil {
 			partition = true
+			if p.Partition.Heal {
+				healed = true
+			}
+			if p.Partition.Flap > 0 {
+				flapping = true
+			}
 		}
 		totalRaises := 0
 		keyFamilies := make(map[string]map[int]bool)
@@ -121,9 +128,10 @@ func TestGrammarCoverage(t *testing.T) {
 		"belated": belated, "ops": ops, "partition": partition, "raise-free": raiseFree,
 		"fast-ops": fastOps, "hot-cross-family": hotCrossFamily,
 		"fast-under-raise": fastUnderRaise,
+		"heal-and-continue": healed, "flapping-member": flapping,
 	} {
 		if !seen {
-			t.Errorf("no generated program in 300 seeds exercised %s", name)
+			t.Errorf("no generated program in 1000 seeds exercised %s", name)
 		}
 	}
 }

@@ -163,7 +163,18 @@ func Generate(seed uint64, cfg GenConfig) *Program {
 				shuffled := shuffledInts(rng, cuttable)
 				cut := shuffled[:want]
 				sort.Ints(cut)
-				p.Partition = &Partition{Cut: cut, DelayMS: 20 + rng.IntN(20)}
+				part := &Partition{Cut: cut, DelayMS: 20 + rng.IntN(20)}
+				// Heal-and-continue and flapping-member schedules: half
+				// the injected partitions heal and rejoin before the
+				// raises fire, and half of those flap (extra
+				// expel/heal/rejoin cycles).
+				if rng.IntN(2) == 0 {
+					part.Heal = true
+					if rng.IntN(2) == 0 {
+						part.Flap = 1 + rng.IntN(2)
+					}
+				}
+				p.Partition = part
 			}
 		}
 	}

@@ -88,7 +88,10 @@ func (r *Report) String() string {
 //  3. core tier — the full stack (server, dispatchers, transactions) must
 //     complete every family with the reference resolutions, the exact
 //     atomic-object sums, and — for partition programs — exactly the cut
-//     expelled and the participant failure resolved;
+//     expelled and the participant failure resolved; heal-and-continue
+//     programs additionally heal, rejoin the cut via view-synchronous state
+//     transfer (repeatedly, when flapping) and demand the rejoined members
+//     participate in the post-heal resolution;
 //  4. leak — no repository goroutine may outlive the run.
 func Check(p *Program, opts Options) *Report {
 	opts = opts.withDefaults()
@@ -127,9 +130,12 @@ func Check(p *Program, opts Options) *Report {
 
 	checkCR(p, ref, rep)
 
-	if p.Partition != nil {
+	switch {
+	case p.Partition != nil && p.Partition.Heal:
+		checkChurn(p, ref, opts, rep)
+	case p.Partition != nil:
 		checkPartition(p, ref, opts, rep)
-	} else {
+	default:
 		checkCore(p, ref, opts, rep)
 	}
 

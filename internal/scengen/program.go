@@ -1,7 +1,8 @@
 // Package scengen is the scenario fuzzer: a seeded, fully deterministic
 // generator of random CA-action programs — nested action DAGs, belated
 // joins, concurrent multi-raiser storms, shared atomic-object access
-// patterns, concurrent sibling actions, optional partition injection — plus
+// patterns, concurrent sibling actions, optional partition injection
+// (including heal-and-continue and flapping-member churn schedules) — plus
 // a differential oracle that runs every generated case on the deterministic
 // backend as reference and holds the Concurrent (batched and unbatched) and
 // TCP backends, the full core runtime, and the Campbell–Randell baseline to
@@ -124,9 +125,22 @@ type Family struct {
 // expulsion resolves through the §4 machinery as the predefined
 // participant-failure exception. Partition programs are single-family and
 // run on the core level only (membership needs a private netsim directory).
+//
+// With Heal set the partition becomes a heal-and-continue schedule instead:
+// the cut is expelled, the partition heals, the expelled members rejoin the
+// persistent group view-synchronously (petition, state transfer, re-entry in
+// the next epoch view), and only then do the family's raises fire — in a
+// whole-group post-heal run whose resolution the rejoined members must
+// commit like everyone else. Flap repeats the expel/heal/rejoin cycle
+// (the flapping-member schedule) before that final run.
 type Partition struct {
 	Cut     []int `json:"cut"`
 	DelayMS int   `json:"delay_ms,omitempty"`
+	// Heal selects the heal-and-continue schedule described above.
+	Heal bool `json:"heal,omitempty"`
+	// Flap adds extra expel/heal/rejoin cycles (Flap+1 total) in [0, 2];
+	// requires Heal.
+	Flap int `json:"flap,omitempty"`
 }
 
 // Program is one complete generated case.
@@ -425,6 +439,12 @@ func (p *Program) Validate() error {
 		}
 		if p.Partition.DelayMS < 0 || p.Partition.DelayMS > 200 {
 			return fmt.Errorf("scengen: partition delay %dms out of [0, 200]", p.Partition.DelayMS)
+		}
+		if p.Partition.Flap < 0 || p.Partition.Flap > 2 {
+			return fmt.Errorf("scengen: partition flap %d out of [0, 2]", p.Partition.Flap)
+		}
+		if p.Partition.Flap > 0 && !p.Partition.Heal {
+			return errors.New("scengen: flapping partitions must heal")
 		}
 		members := make(map[int]bool, len(fam.Objects))
 		for _, o := range fam.Objects {

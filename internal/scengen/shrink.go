@@ -53,11 +53,23 @@ func shrinkCandidates(p *Program) []*Program {
 	var out []*Program
 	add := func(c *Program) { out = append(out, c) }
 
-	// Drop the partition.
+	// Drop the partition, then weaken it: a flapping schedule to a single
+	// heal cycle, a healing schedule to a plain expel-only partition.
 	if p.Partition != nil {
 		c := clone(p)
 		c.Partition = nil
 		add(c)
+		if p.Partition.Flap > 0 {
+			c := clone(p)
+			c.Partition.Flap = 0
+			add(c)
+		}
+		if p.Partition.Heal {
+			c := clone(p)
+			c.Partition.Heal = false
+			c.Partition.Flap = 0
+			add(c)
+		}
 	}
 	// Drop a whole family.
 	if len(p.Families) > 1 {

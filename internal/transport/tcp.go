@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ident"
+	"repro/internal/vclock"
 	"repro/internal/wire/frame"
 )
 
@@ -41,12 +42,17 @@ type TCPOptions struct {
 	RedialMin time.Duration
 	// RedialMax caps the exponential reconnect backoff (default 1s).
 	RedialMax time.Duration
+	// Clock is the seam for backoff waits on the reconnect path. Nil means
+	// the real clock. Dial timeouts stay on the real clock — they bound a
+	// kernel syscall, not simulated time.
+	Clock vclock.Clock
 }
 
 func (o *TCPOptions) fillDefaults() {
 	if o.Listen == "" {
 		o.Listen = "127.0.0.1:0"
 	}
+	o.Clock = vclock.Or(o.Clock)
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 2 * time.Second
 	}
@@ -494,10 +500,10 @@ func (p *tcpPeer) writeLoop() {
 // sleep waits d or until the fabric closes; it reports whether the writer
 // should keep running.
 func (p *tcpPeer) sleep(d time.Duration) bool {
-	timer := time.NewTimer(d)
+	timer := p.t.opts.Clock.NewTimer(d)
 	defer timer.Stop()
 	select {
-	case <-timer.C:
+	case <-timer.C():
 		return true
 	case <-p.t.stop:
 		return false

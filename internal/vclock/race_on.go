@@ -1,0 +1,7 @@
+//go:build race
+
+package vclock
+
+// raceEnabled reports whether the race detector instruments this build; the
+// auto-advance default grace widens with it (see StartAuto).
+const raceEnabled = true

@@ -1,0 +1,287 @@
+package vclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVirtualNowFrozen(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	if !v.Now().Equal(t0) {
+		t.Fatal("virtual now moved without Advance")
+	}
+	v.Advance(3 * time.Second)
+	if got := v.Now().Sub(t0); got != 3*time.Second {
+		t.Fatalf("advance moved %v, want 3s", got)
+	}
+}
+
+func TestVirtualTimerFiresInOrder(t *testing.T) {
+	v := NewVirtual()
+	a := v.NewTimer(10 * time.Millisecond)
+	b := v.NewTimer(5 * time.Millisecond)
+	v.Advance(20 * time.Millisecond)
+	select {
+	case tb := <-b.C():
+		if got := tb.Sub(NewVirtual().Now()); got != 5*time.Millisecond {
+			t.Fatalf("b fired at +%v, want +5ms", got)
+		}
+	default:
+		t.Fatal("b did not fire")
+	}
+	select {
+	case <-a.C():
+	default:
+		t.Fatal("a did not fire")
+	}
+}
+
+func TestVirtualTimerStopReset(t *testing.T) {
+	v := NewVirtual()
+	tm := v.NewTimer(5 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on armed timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	v.Advance(10 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if tm.Reset(5*time.Millisecond) != false {
+		t.Fatal("Reset on disarmed timer reported true")
+	}
+	v.Advance(5 * time.Millisecond)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+}
+
+func TestVirtualTickerRepeats(t *testing.T) {
+	v := NewVirtual()
+	tk := v.NewTicker(time.Millisecond)
+	ticks := 0
+	for i := 0; i < 5; i++ {
+		v.Advance(time.Millisecond)
+		select {
+		case <-tk.C():
+			ticks++
+		default:
+		}
+	}
+	if ticks != 5 {
+		t.Fatalf("got %d ticks, want 5", ticks)
+	}
+	tk.Stop()
+	v.Advance(10 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker ticked")
+	default:
+	}
+	if n := v.Pending(); n != 0 {
+		t.Fatalf("pending=%d after stop, want 0", n)
+	}
+}
+
+// A 1ms ticker with a buffered channel loses ticks when nobody is reading —
+// same contract as time.Ticker — rather than stalling Advance.
+func TestVirtualTickerDropsWhenSlow(t *testing.T) {
+	v := NewVirtual()
+	tk := v.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	v.Advance(10 * time.Millisecond)
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("buffered ticks=%d, want 1 (channel is 1-buffered)", n)
+	}
+}
+
+func TestVirtualAdvanceToNext(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	_ = v.NewTimer(7 * time.Millisecond)
+	if !v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext found nothing")
+	}
+	if got := v.Now().Sub(t0); got != 7*time.Millisecond {
+		t.Fatalf("jumped %v, want 7ms", got)
+	}
+	if v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext on empty heap reported true")
+	}
+}
+
+func TestVirtualSleepWakesOnAdvance(t *testing.T) {
+	v := NewVirtual()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// Wait until the sleeper has armed its timer.
+	for v.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	v.Advance(50 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper not woken by Advance")
+	}
+}
+
+// Auto mode: a chain of sleepers each waiting 10ms of virtual time completes
+// in far less than 10ms×N of real time because the clock jumps as soon as
+// everyone is parked.
+func TestVirtualAutoAdvance(t *testing.T) {
+	v := NewVirtual()
+	v.StartAuto(100 * time.Microsecond)
+	defer v.StopAuto()
+	var wg sync.WaitGroup
+	var order atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				v.Sleep(10 * time.Millisecond)
+				order.Add(1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("auto-advance did not drive sleepers to completion")
+	}
+	if got := order.Load(); got != 20 {
+		t.Fatalf("sleep iterations=%d, want 20", got)
+	}
+	// 20 sleeps × 10ms = 200ms of virtual time must have elapsed.
+	if elapsed := v.Now().Sub(NewVirtual().Now()); elapsed < 50*time.Millisecond {
+		t.Fatalf("virtual time advanced only %v", elapsed)
+	}
+}
+
+// Auto mode must not jump past near-future periodic work to a far-out
+// deadline: with a live 1ms ticker being consumed, an hour-long timer does
+// not fire within the test.
+func TestVirtualAutoHonorsNearTimers(t *testing.T) {
+	v := NewVirtual()
+	v.StartAuto(100 * time.Microsecond)
+	defer v.StopAuto()
+	far := v.NewTimer(time.Hour)
+	tk := v.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	ticks := 0
+	deadline := time.After(500 * time.Millisecond)
+	for ticks < 50 {
+		select {
+		case <-tk.C():
+			ticks++
+		case <-far.C():
+			t.Fatal("auto-advance leapt to the hour timer past a live ticker")
+		case <-deadline:
+			t.Fatalf("only %d ticks in 500ms real time", ticks)
+		}
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := Or(nil)
+	if c == nil {
+		t.Fatal("Or(nil) returned nil")
+	}
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(start) {
+		t.Fatal("real clock did not move")
+	}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real ticker did not tick")
+	}
+	tk.Stop()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("real After did not fire")
+	}
+}
+
+func TestVirtualTimerResetWhileArmed(t *testing.T) {
+	v := NewVirtual()
+	tm := v.NewTimer(5 * time.Millisecond)
+	if !tm.Reset(20 * time.Millisecond) {
+		t.Fatal("Reset on armed timer reported false")
+	}
+	v.Advance(10 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired at old deadline after Reset")
+	default:
+	}
+	v.Advance(10 * time.Millisecond)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("timer did not fire at the reset deadline")
+	}
+}
+
+func TestVirtualManyTimersHeapOrder(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	const n = 64
+	timers := make([]Timer, n)
+	for i := range timers {
+		// Deadlines 64ms, 63ms, ..., 1ms — reverse arm order.
+		timers[i] = v.NewTimer(time.Duration(n-i) * time.Millisecond)
+	}
+	var fired []time.Duration
+	for v.AdvanceToNext() {
+		for _, tm := range timers {
+			select {
+			case ft := <-tm.C():
+				fired = append(fired, ft.Sub(t0))
+			default:
+			}
+		}
+	}
+	if len(fired) != n {
+		t.Fatalf("fired %d timers, want %d", len(fired), n)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out-of-order firing: %v after %v", fired[i], fired[i-1])
+		}
+	}
+}
